@@ -1,0 +1,41 @@
+//! §VI-g: 512-entry ROB. A larger window bridges longer store-load
+//! distances, growing DMDP's gain (paper: 7.56% Int, 6.35% FP).
+
+use dmdp_bench::{header, run_cfg, suite_geomeans, workloads};
+use dmdp_core::{CommModel, CoreConfig};
+use dmdp_stats::Table;
+
+fn main() {
+    header("alt-rob", "§VI-g — 512-entry ROB: DMDP speedup over NoSQ");
+    let mut t = Table::new(["bench", "rob256 dmdp/nosq", "rob512 dmdp/nosq"]);
+    let mut r256 = Vec::new();
+    let mut r512 = Vec::new();
+    for w in workloads() {
+        let mut ratio = [0.0f64; 2];
+        for (i, rob) in [256usize, 512].into_iter().enumerate() {
+            // Scale the PRF with the ROB so renaming is not starved.
+            let prf = if rob == 512 { 640 } else { 320 };
+            let nosq = run_cfg(
+                CoreConfig { rob_entries: rob, phys_regs: prf, ..CoreConfig::new(CommModel::NoSq) },
+                &w,
+            );
+            let dmdp = run_cfg(
+                CoreConfig { rob_entries: rob, phys_regs: prf, ..CoreConfig::new(CommModel::Dmdp) },
+                &w,
+            );
+            ratio[i] = dmdp.ipc() / nosq.ipc();
+        }
+        r256.push((w.name.to_string(), w.suite, ratio[0]));
+        r512.push((w.name.to_string(), w.suite, ratio[1]));
+        t.row([
+            w.name.to_string(),
+            format!("{:.3}", ratio[0]),
+            format!("{:.3}", ratio[1]),
+        ]);
+    }
+    println!("{t}");
+    let (a, b) = suite_geomeans(&r256);
+    let (c, d) = suite_geomeans(&r512);
+    println!("geomean dmdp/nosq @rob256: Int {a:.3}  FP {b:.3}");
+    println!("geomean dmdp/nosq @rob512: Int {c:.3}  FP {d:.3}  (paper +7.56% / +6.35%)");
+}

@@ -1,0 +1,23 @@
+//! Figure 2: how loads get their values under NoSQ — Direct access,
+//! Bypassing (memory cloaking), Delayed access.
+
+use dmdp_bench::{header, run, workloads};
+use dmdp_core::CommModel;
+use dmdp_stats::{LoadSource, Table};
+
+fn main() {
+    header("fig02", "Figure 2 — load instruction distribution under NoSQ");
+    let mut t = Table::new(["bench", "direct%", "bypassing%", "delayed%"]);
+    for w in workloads() {
+        let r = run(CommModel::NoSq, &w);
+        let ll = &r.stats.load_latency;
+        t.row([
+            w.name.to_string(),
+            format!("{:.1}", 100.0 * ll.fraction(LoadSource::Direct)),
+            format!("{:.1}", 100.0 * ll.fraction(LoadSource::Bypassed)),
+            format!("{:.1}", 100.0 * ll.fraction(LoadSource::Delayed)),
+        ]);
+    }
+    println!("{t}");
+    println!("paper shape: bzip2/gcc/mcf/hmmer/h264ref/astar show the largest Delayed fractions.");
+}

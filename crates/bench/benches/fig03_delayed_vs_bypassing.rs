@@ -1,0 +1,38 @@
+//! Figure 3: log2 ratio of mean Delayed-access to Bypassing load
+//! execution time under NoSQ (positive = delayed loads are slower).
+
+use dmdp_bench::{header, run, workloads};
+use dmdp_core::CommModel;
+use dmdp_stats::{LoadSource, Table};
+
+fn main() {
+    header("fig03", "Figure 3 — delayed vs bypassing load execution time (NoSQ)");
+    let mut t = Table::new(["bench", "delayed(cyc)", "bypassing(cyc)", "log2 ratio"]);
+    let mut del_all = 0.0f64;
+    let mut byp_all = 0.0f64;
+    let mut n = 0u32;
+    for w in workloads() {
+        let r = run(CommModel::NoSq, &w);
+        let ll = &r.stats.load_latency;
+        let d = ll.mean_latency(LoadSource::Delayed);
+        let b = ll.mean_latency(LoadSource::Bypassed);
+        let ratio = if d > 0.0 && b > 0.0 {
+            format!("{:+.2}", (d / b).log2())
+        } else {
+            "n/a".to_string()
+        };
+        if d > 0.0 && b > 0.0 {
+            del_all += d;
+            byp_all += b;
+            n += 1;
+        }
+        t.row([w.name.to_string(), format!("{d:.1}"), format!("{b:.1}"), ratio]);
+    }
+    println!("{t}");
+    if n > 0 {
+        println!(
+            "mean over kernels with both classes: delayed/bypassing = {:.1}x (paper: ~7x)",
+            (del_all / n as f64) / (byp_all / n as f64).max(1.0)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 12: IPC of NoSQ, DMDP and Perfect normalized to the baseline
+//! store-queue machine. Paper geomeans: Int 0.975 / 1.045 / 1.068,
+//! FP 1.008 / 1.053 / 1.066.
+
+use dmdp_bench::{header, run, suite_geomeans, workloads};
+use dmdp_core::CommModel;
+use dmdp_stats::Table;
+
+fn main() {
+    header("fig12", "Figure 12 — SPEC 2006 speedup over the baseline");
+    let mut t = Table::new(["bench", "base-IPC", "nosq", "dmdp", "perfect"]);
+    let mut rows = [Vec::new(), Vec::new(), Vec::new()];
+    for w in workloads() {
+        let base = run(CommModel::Baseline, &w).ipc();
+        let vals = [
+            run(CommModel::NoSq, &w).ipc() / base,
+            run(CommModel::Dmdp, &w).ipc() / base,
+            run(CommModel::Perfect, &w).ipc() / base,
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            rows[i].push((w.name.to_string(), w.suite, *v));
+        }
+        t.row([
+            w.name.to_string(),
+            format!("{base:.3}"),
+            format!("{:.3}", vals[0]),
+            format!("{:.3}", vals[1]),
+            format!("{:.3}", vals[2]),
+        ]);
+    }
+    println!("{t}");
+    for (label, r) in [("nosq", &rows[0]), ("dmdp", &rows[1]), ("perfect", &rows[2])] {
+        let (int, fp) = suite_geomeans(r);
+        println!("{label:8} geomean: Int {int:.3}  FP {fp:.3}");
+    }
+    println!("paper    geomean: Int 0.975/1.045/1.068  FP 1.008/1.053/1.066 (nosq/dmdp/perfect)");
+}

@@ -1,0 +1,25 @@
+//! Criterion benchmark of the simulator itself: simulated instructions
+//! per second for each communication model (not a paper artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dmdp_core::{CommModel, Simulator};
+use dmdp_workloads::{by_name, Scale};
+
+fn bench_models(c: &mut Criterion) {
+    let w = by_name("gcc", Scale::Test).expect("gcc workload");
+    let insns = {
+        let mut emu = dmdp_isa::Emulator::new(&w.program);
+        emu.run(100_000_000).expect("halts").retired
+    };
+    let mut group = c.benchmark_group("simulate-gcc");
+    group.throughput(Throughput::Elements(insns));
+    for model in CommModel::ALL {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| Simulator::new(model).run(&w.program).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Table VII: retire-stall cycles per 1000 committed instructions caused
+//! by load re-execution, NoSQ vs DMDP. Paper shape: DMDP stalls more
+//! (its loads execute earlier, widening the vulnerability window); lbm
+//! is the worst case.
+
+use dmdp_bench::{header, run, workloads};
+use dmdp_core::CommModel;
+use dmdp_stats::Table;
+
+fn main() {
+    header("tab07", "Table VII — re-execution stall cycles per kilo-instruction");
+    let mut t = Table::new(["bench", "nosq", "dmdp"]);
+    for w in workloads() {
+        let n = run(CommModel::NoSq, &w).stats.reexec_stalls_per_ki();
+        let d = run(CommModel::Dmdp, &w).stats.reexec_stalls_per_ki();
+        t.row([w.name.to_string(), format!("{n:.1}"), format!("{d:.1}")]);
+    }
+    println!("{t}");
+}

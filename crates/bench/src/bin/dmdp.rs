@@ -1,0 +1,224 @@
+//! `dmdp` — command-line driver for the simulator.
+//!
+//! ```text
+//! dmdp workloads
+//!     List the 21 SPEC-2006 analogue kernels.
+//!
+//! dmdp run [--model baseline|nosq|dmdp|perfect|all] [--scale test|small|full]
+//!          [--workload NAME | --asm FILE.s | --image FILE.img]
+//!          [--width N] [--rob N] [--prf N] [--sb N] [--rmo] [--energy]
+//!     Simulate a workload (or an assembly/image file) and print a report.
+//!
+//! dmdp asm FILE.s -o FILE.img
+//!     Assemble a source file into a binary program image.
+//!
+//! dmdp disasm FILE.img
+//!     Print the disassembly listing of a program image.
+//! ```
+
+use std::process::ExitCode;
+
+use dmdp_core::{CommModel, CoreConfig, SimReport, Simulator};
+use dmdp_isa::{asm, Program};
+use dmdp_mem::Consistency;
+use dmdp_workloads::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        _ => {
+            eprintln!("usage: dmdp <workloads|run|asm|disasm> [options]  (see --help in the doc comment)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dmdp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_workloads() -> CliResult {
+    println!("{:10} {:5} character", "name", "suite");
+    for w in dmdp_workloads::all(Scale::Test) {
+        println!("{:10} {:5?} {}", w.name, w.suite, w.character);
+    }
+    Ok(())
+}
+
+struct RunOpts {
+    models: Vec<CommModel>,
+    scale: Scale,
+    workload: Option<String>,
+    asm_file: Option<String>,
+    image_file: Option<String>,
+    width: Option<usize>,
+    rob: Option<usize>,
+    prf: Option<usize>,
+    sb: Option<usize>,
+    rmo: bool,
+    energy: bool,
+}
+
+fn parse_run(args: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        models: vec![CommModel::Dmdp],
+        scale: Scale::Small,
+        workload: None,
+        asm_file: None,
+        image_file: None,
+        width: None,
+        rob: None,
+        prf: None,
+        sb: None,
+        rmo: false,
+        energy: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--model" => {
+                let v = val()?;
+                o.models = match v.as_str() {
+                    "baseline" => vec![CommModel::Baseline],
+                    "nosq" => vec![CommModel::NoSq],
+                    "dmdp" => vec![CommModel::Dmdp],
+                    "perfect" => vec![CommModel::Perfect],
+                    "all" => CommModel::ALL.to_vec(),
+                    other => return Err(format!("unknown model `{other}`")),
+                };
+            }
+            "--scale" => {
+                o.scale = match val()?.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--workload" => o.workload = Some(val()?),
+            "--asm" => o.asm_file = Some(val()?),
+            "--image" => o.image_file = Some(val()?),
+            "--width" => o.width = Some(val()?.parse().map_err(|e| format!("--width: {e}"))?),
+            "--rob" => o.rob = Some(val()?.parse().map_err(|e| format!("--rob: {e}"))?),
+            "--prf" => o.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
+            "--sb" => o.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
+            "--rmo" => o.rmo = true,
+            "--energy" => o.energy = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn load_program(o: &RunOpts) -> Result<Program, Box<dyn std::error::Error>> {
+    if let Some(f) = &o.asm_file {
+        let src = std::fs::read_to_string(f)?;
+        return Ok(asm::assemble_named(f, &src)?);
+    }
+    if let Some(f) = &o.image_file {
+        let bytes = std::fs::read(f)?;
+        return Ok(Program::from_image(&bytes)?);
+    }
+    let name = o.workload.as_deref().unwrap_or("bzip2");
+    dmdp_workloads::by_name(name, o.scale)
+        .map(|w| w.program)
+        .ok_or_else(|| format!("unknown workload `{name}` (try `dmdp workloads`)").into())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let o = parse_run(args)?;
+    let program = load_program(&o)?;
+    println!("program: {} ({} static instructions)", program.name(), program.len());
+    for model in &o.models {
+        let mut cfg = CoreConfig::new(*model);
+        if let Some(w) = o.width {
+            cfg.width = w;
+        }
+        if let Some(r) = o.rob {
+            cfg.rob_entries = r;
+        }
+        if let Some(p) = o.prf {
+            cfg.phys_regs = p;
+        }
+        if let Some(s) = o.sb {
+            cfg.store_buffer_entries = s;
+        }
+        if o.rmo {
+            cfg.consistency = Consistency::Rmo;
+        }
+        let report = Simulator::with_config(cfg).run(&program)?;
+        print_report(&report, o.energy);
+    }
+    Ok(())
+}
+
+fn print_report(r: &SimReport, energy: bool) {
+    let s = &r.stats;
+    println!("\n== {} ==", r.model.name());
+    println!("  cycles            {:>12}", s.cycles);
+    println!("  instructions      {:>12}   IPC {:.3}", s.retired_insns, r.ipc());
+    println!("  uops              {:>12}   (+{} predication)", s.retired_uops, s.predication_uops);
+    println!("  loads / stores    {:>12} / {}", s.retired_loads, s.retired_stores);
+    println!(
+        "  branch mispredict {:>12}   memdep mispredict {} ({:.2} MPKI)",
+        s.branch_mispredicts,
+        s.mem_dep_mispredicts,
+        s.mem_dep_mpki()
+    );
+    println!(
+        "  re-executions     {:>12}   stall cycles {} (reexec) / {} (SB full)",
+        s.reexecutions, s.reexec_stall_cycles, s.sb_full_stall_cycles
+    );
+    use dmdp_stats::LoadSource;
+    let ll = &s.load_latency;
+    println!("  load classes      direct {} | bypassed {} | delayed {} | predicated {}",
+        ll.count(LoadSource::Direct),
+        ll.count(LoadSource::Bypassed),
+        ll.count(LoadSource::Delayed),
+        ll.count(LoadSource::Predicated));
+    println!("  mean load latency {:>12.2} cycles", ll.overall_mean());
+    if energy {
+        println!("  energy            {:>12.1} nJ   EDP {:.3e}", s.energy.total_nj(), s.edp());
+        for (ev, n, nj) in s.energy.breakdown().into_iter().take(8) {
+            println!("    {:14} {:>10} events {:>12.1} nJ", ev.label(), n, nj);
+        }
+    }
+}
+
+fn cmd_asm(args: &[String]) -> CliResult {
+    let (input, output) = match args {
+        [i, o_flag, o] if o_flag == "-o" => (i, o.clone()),
+        [i] => (i, format!("{i}.img")),
+        _ => return Err("usage: dmdp asm FILE.s [-o FILE.img]".into()),
+    };
+    let src = std::fs::read_to_string(input)?;
+    let program = asm::assemble_named(input, &src)?;
+    std::fs::write(&output, program.to_image())?;
+    println!(
+        "{input}: {} instructions, {} data bytes -> {output}",
+        program.len(),
+        program.data().len()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let [input] = args else {
+        return Err("usage: dmdp disasm FILE.img".into());
+    };
+    let bytes = std::fs::read(input)?;
+    let program = Program::from_image(&bytes)?;
+    println!("# {} (entry {})", program.name(), program.entry());
+    print!("{}", program.listing());
+    Ok(())
+}

@@ -1,0 +1,191 @@
+use dmdp_mem::{Consistency, MemConfig};
+use dmdp_predict::{BranchConfig, ConfidencePolicy, DistanceConfig, StoreSetsConfig, TssbfConfig};
+
+/// Which store-load communication mechanism the core uses (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommModel {
+    /// Conventional store queue + load queue with Store Sets dependence
+    /// prediction; 4-cycle constant-latency SQ/SB/cache access; store
+    /// coalescing.
+    Baseline,
+    /// Store-queue-free with memory cloaking; low-confidence loads are
+    /// *delayed* until the predicted store commits; balanced confidence
+    /// update.
+    NoSq,
+    /// The paper's contribution: like NoSQ, but low-confidence loads are
+    /// *predicated* (CMP + 2×CMOV) and the confidence update is biased
+    /// (÷2 on a misprediction).
+    Dmdp,
+    /// Oracle memory dependence prediction driven by a functional
+    /// pre-pass: no delays, no re-executions, no mispredictions.
+    Perfect,
+}
+
+impl CommModel {
+    /// All models, in the paper's reporting order.
+    pub const ALL: [CommModel; 4] =
+        [CommModel::Baseline, CommModel::NoSq, CommModel::Dmdp, CommModel::Perfect];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommModel::Baseline => "baseline",
+            CommModel::NoSq => "nosq",
+            CommModel::Dmdp => "dmdp",
+            CommModel::Perfect => "perfect",
+        }
+    }
+
+    /// The confidence policy the model's distance predictor uses (§V:
+    /// "the only difference is that NoSQ decreases the confidence counter
+    /// by one ... DMDP divides the counter by two").
+    pub fn confidence_policy(self) -> ConfidencePolicy {
+        match self {
+            CommModel::Dmdp => ConfidencePolicy::Biased,
+            _ => ConfidencePolicy::Balanced,
+        }
+    }
+}
+
+/// Full configuration of one simulated core.
+///
+/// Defaults reproduce the paper's main configuration (8-wide, 256-entry
+/// ROB, 320 physical registers, 16-entry TSO store buffer); the §VI-g
+/// alternative configurations are obtained by overriding single fields.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_core::{CommModel, CoreConfig};
+/// let cfg = CoreConfig::new(CommModel::Dmdp);
+/// assert_eq!(cfg.width, 8);
+/// let narrow = CoreConfig { width: 4, ..CoreConfig::new(CommModel::Dmdp) };
+/// assert_eq!(narrow.width, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Communication model under test.
+    pub comm: CommModel,
+    /// Fetch/decode/rename/issue/retire width in µops per cycle.
+    pub width: usize,
+    /// Reorder buffer capacity in µops.
+    pub rob_entries: usize,
+    /// Physical register file size.
+    pub phys_regs: usize,
+    /// Issue queue capacity.
+    pub iq_entries: usize,
+    /// Load-execution ports per cycle.
+    pub load_ports: usize,
+    /// Retired-store buffer capacity.
+    pub store_buffer_entries: usize,
+    /// Store-buffer consistency model.
+    pub consistency: Consistency,
+    /// Front-end refill penalty after any pipeline recovery, in cycles.
+    pub redirect_penalty: u64,
+    /// Coalesce consecutive same-word stores in the store buffer.
+    pub coalesce_stores: bool,
+    /// Silent-store-aware predictor update: train the distance predictor
+    /// on *every* load re-execution rather than only on value mismatches
+    /// (paper §IV-C a; on by default for NoSQ and DMDP per §V).
+    pub silent_store_update: bool,
+    /// Memory system parameters.
+    pub mem: MemConfig,
+    /// Branch predictor parameters.
+    pub branch: BranchConfig,
+    /// Store distance predictor parameters (policy is set from `comm`).
+    pub distance: DistanceConfig,
+    /// T-SSBF parameters.
+    pub tssbf: TssbfConfig,
+    /// Store Sets parameters (baseline only).
+    pub store_sets: StoreSetsConfig,
+    /// Multi-core coherence stand-in (§IV-F): every `N` cycles the line
+    /// holding the most recently committed store is invalidated, as if
+    /// another core wrote it. Exercises the T-SSBF invalidation path
+    /// (all words of the line are marked `SSN_commit + 1`, forcing
+    /// in-flight loads of that line to re-execute). `None` disables it.
+    pub coherence_invalidate_every: Option<u64>,
+    /// Safety valve: abort the simulation after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl CoreConfig {
+    /// The paper's main configuration for the given model.
+    pub fn new(comm: CommModel) -> CoreConfig {
+        CoreConfig {
+            comm,
+            width: 8,
+            rob_entries: 256,
+            phys_regs: 320,
+            iq_entries: 96,
+            load_ports: 2,
+            store_buffer_entries: 16,
+            consistency: Consistency::Tso,
+            redirect_penalty: 8,
+            coalesce_stores: true,
+            silent_store_update: true,
+            mem: MemConfig::default(),
+            branch: BranchConfig::default(),
+            distance: DistanceConfig {
+                policy: comm.confidence_policy(),
+                ..DistanceConfig::default()
+            },
+            tssbf: TssbfConfig::default(),
+            store_sets: StoreSetsConfig::default(),
+            coherence_invalidate_every: None,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible configuration (e.g. too few physical
+    /// registers to rename a single instruction group).
+    pub fn validate(&self) {
+        assert!(self.width > 0, "width must be nonzero");
+        assert!(self.rob_entries >= self.width * 2, "ROB too small for the width");
+        assert!(
+            self.phys_regs >= dmdp_isa::Reg::NUM_LOGICAL + 5 * self.width,
+            "physical register file too small"
+        );
+        assert!(self.iq_entries >= self.width, "issue queue too small");
+        assert!(self.load_ports > 0, "need at least one load port");
+        assert!(self.store_buffer_entries > 0, "store buffer needs entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CoreConfig::new(CommModel::NoSq);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.phys_regs, 320);
+        assert_eq!(c.store_buffer_entries, 16);
+        assert_eq!(c.consistency, Consistency::Tso);
+        c.validate();
+    }
+
+    #[test]
+    fn dmdp_gets_biased_policy() {
+        assert_eq!(CoreConfig::new(CommModel::Dmdp).distance.policy, ConfidencePolicy::Biased);
+        assert_eq!(CoreConfig::new(CommModel::NoSq).distance.policy, ConfidencePolicy::Balanced);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(CommModel::Dmdp.name(), "dmdp");
+        assert_eq!(CommModel::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical register file")]
+    fn tiny_prf_rejected() {
+        let mut c = CoreConfig::new(CommModel::Dmdp);
+        c.phys_regs = 30;
+        c.validate();
+    }
+}

@@ -1,0 +1,373 @@
+//! Issue, execute and writeback.
+
+use dmdp_energy::Event;
+use dmdp_isa::bab::{extract_from_word, place_in_word, Predicate};
+use dmdp_isa::uop::UopKind;
+use dmdp_isa::{AluOp, MemWidth};
+
+use crate::config::CommModel;
+use crate::rob::{SeqNum, UopState};
+
+use super::baseline::SearchResult;
+use super::Pipeline;
+
+/// A recovery request raised during execution, applied oldest-first.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecoveryReq {
+    pub from: SeqNum,
+    pub refetch: dmdp_isa::Pc,
+    /// A branch misprediction (for stats) vs a memory-ordering violation.
+    pub is_branch: bool,
+    /// For branches: (history_before, actual_taken) to repair gshare.
+    pub history_fix: Option<(u32, bool)>,
+}
+
+impl Pipeline {
+    /// Issues up to `width` ready µops: wakes delayed loads, retries
+    /// baseline partial-overlap loads, then drains the issue queue in age
+    /// order.
+    pub(crate) fn issue_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        let mut load_ports = self.cfg.load_ports;
+
+        // Delayed loads (NoSQ): wake when the predicted store committed.
+        let delayed = std::mem::take(&mut self.delayed);
+        for seq in delayed {
+            let Some(e) = self.rob.get(seq) else { continue };
+            let ready = budget > 0
+                && load_ports > 0
+                && e.src[0].is_some_and(|p| self.rf.is_ready(p))
+                && e.load
+                    .and_then(|l| l.ssn_byp)
+                    .is_some_and(|ssn| self.ssn_commit >= ssn);
+            if ready {
+                budget -= 1;
+                load_ports -= 1;
+                self.execute_uop(seq);
+            } else {
+                self.delayed.push(seq);
+            }
+        }
+
+        // Regular issue from the queue, oldest first. Baseline loads that
+        // hit a partial-overlap store park themselves on `retry` and are
+        // put back at the end of the cycle, so older µops always get the
+        // load ports first (no starvation).
+        self.iq.sort_unstable();
+        let mut i = 0;
+        while i < self.iq.len() && budget > 0 {
+            let seq = self.iq[i];
+            let Some(e) = self.rob.get(seq) else {
+                self.iq.swap_remove(i);
+                continue;
+            };
+            let is_load = e.kind.is_load();
+            if is_load && load_ports == 0 {
+                i += 1;
+                continue;
+            }
+            let srcs_ready =
+                e.src.iter().all(|s| s.is_none_or(|p| self.rf.is_ready(p)));
+            let wait_ok = e
+                .wait_for_seq
+                .is_none_or(|w| self.rob.get(w).is_none_or(|we| we.is_done()));
+            if !(srcs_ready && wait_ok) {
+                i += 1;
+                continue;
+            }
+            self.iq.remove(i);
+            budget -= 1;
+            if is_load {
+                load_ports -= 1;
+            }
+            self.stats.energy.record(Event::IqWakeup, 1);
+            self.execute_uop(seq);
+        }
+        // Re-queue replayed loads for the next cycle.
+        let retry = std::mem::take(&mut self.retry);
+        self.iq.extend(retry);
+    }
+
+    /// Executes one µop: reads operands, computes the result, and
+    /// schedules completion. Baseline loads may instead park themselves
+    /// on the retry list.
+    fn execute_uop(&mut self, seq: SeqNum) {
+        let e = self.rob.get(seq).expect("executing a live entry");
+        let kind = e.kind;
+        let pc = e.pc;
+        let src0 = e.src[0];
+        let src1 = e.src[1];
+        let imm = e.imm;
+        // Drop consumer references: the values are being read now.
+        if !e.consumed {
+            for p in [src0, src1].into_iter().flatten() {
+                self.rf.drop_consumer(p);
+            }
+            self.rob.get_mut(seq).expect("live").consumed = true;
+        }
+        let src_count = [src0, src1].into_iter().flatten().count() as u64;
+        self.stats.energy.record(Event::PrfRead, src_count);
+        self.stats.energy.record(Event::AluOp, 1);
+
+        let a = self.src_val(src0);
+        let b = self.src_val(src1);
+        let (value, latency) = match kind {
+            UopKind::Alu(op) => {
+                let rhs = if src1.is_some() {
+                    b
+                } else if op == AluOp::Lui {
+                    imm as u32 & 0xFFFF
+                } else {
+                    imm as u32
+                };
+                (op.apply(a, rhs), op.latency() as u64)
+            }
+            UopKind::Agi => {
+                let addr = a.wrapping_add(imm as u32);
+                let walk = self.tlb.translate(addr);
+                self.stats.energy.record(Event::TlbAccess, 1);
+                (addr, 1 + walk)
+            }
+            UopKind::Load { width, signed } => {
+                match self.execute_load(seq, width, signed, a) {
+                    Some(vl) => vl,
+                    None => return, // parked on the retry list
+                }
+            }
+            UopKind::Store { width } => {
+                // Baseline only: fill the store-queue entry.
+                debug_assert_eq!(self.cfg.comm, CommModel::Baseline);
+                let addr = align(a, width);
+                self.sq.fill(seq, addr, width, b);
+                self.stats.energy.record(Event::SqWrite, 1);
+                self.ss.store_completed(pc, seq);
+                (0, 1)
+            }
+            UopKind::Branch(c) => (c.taken(a, b) as u32, 1),
+            UopKind::Jump { link, indirect } => {
+                let _ = indirect;
+                (if link { pc + 1 } else { 0 }, 1)
+            }
+            UopKind::ShiftMask { store_width, store_lo2, load_lo2, load_width, load_signed } => {
+                // NoSQ's predicted shift-and-mask bypass: reposition the
+                // store's data as the load would see it, using the
+                // *predicted* address low bits (verified at retire).
+                let word = place_in_word(store_lo2 as u32, store_width, a);
+                let v = extract_from_word(word, load_lo2 as u32, load_width, load_signed);
+                let sink = seq;
+                if let Some(info) = self.rob.get_mut(sink).and_then(|s| s.load.as_mut()) {
+                    info.value = v;
+                }
+                (v, 1)
+            }
+            UopKind::Cmp { store_width, load_width } => {
+                let load_addr = align(a, load_width);
+                let store_addr = align(b, store_width);
+                let pred = Predicate::compare(store_addr, store_width, load_addr, load_width);
+                if let Some(sink) = self.rob.get(seq).and_then(|e| e.group_sink) {
+                    if let Some(info) =
+                        self.rob.get_mut(sink).and_then(|s| s.load.as_mut())
+                    {
+                        info.pred_matches = Some(pred.matches);
+                    }
+                }
+                (pred.encode(), 1)
+            }
+            UopKind::Cmov { on_true, store_width, load_width, load_signed } => {
+                let pred = Predicate::decode(a);
+                if pred.matches == on_true {
+                    let v = if on_true {
+                        pred.apply_forward(store_width, b, load_width, load_signed)
+                    } else {
+                        b // the cache value, already extended by the LOAD
+                    };
+                    // Record the chosen value for verification.
+                    let sink = self.rob.get(seq).and_then(|e| e.group_sink).unwrap_or(seq);
+                    if let Some(info) = self.rob.get_mut(sink).and_then(|s| s.load.as_mut()) {
+                        info.value = v;
+                    }
+                    (v, 1)
+                } else {
+                    let e = self.rob.get_mut(seq).expect("live");
+                    e.writes_dest = false;
+                    (0, 1)
+                }
+            }
+            UopKind::Halt | UopKind::Nop => (0, 1),
+        };
+        let e = self.rob.get_mut(seq).expect("live");
+        e.value = value;
+        e.state = UopState::Executing(self.cycle + latency.max(1));
+        self.executing.push(seq);
+    }
+
+    /// Executes the cache-access half of a load. Returns `None` when a
+    /// baseline load must retry later.
+    fn execute_load(
+        &mut self,
+        seq: SeqNum,
+        width: MemWidth,
+        signed: bool,
+        addr_raw: u32,
+    ) -> Option<(u32, u64)> {
+        use crate::rob::LoadKind;
+        let e = self.rob.get(seq).expect("live");
+        let kind = e.load.map(|l| l.kind);
+        if kind == Some(LoadKind::Oracle) {
+            // Oracle forward: the value was fixed at rename; it becomes
+            // available one cycle after the store's data (bypass).
+            let value = e.value;
+            let sink = seq;
+            if let Some(info) = self.rob.get_mut(sink).and_then(|s| s.load.as_mut()) {
+                info.executed = true;
+                info.value = value;
+            }
+            return Some((value, 1));
+        }
+        let addr = align(addr_raw, width);
+        if self.cfg.comm == CommModel::Baseline {
+            self.stats.energy.record(Event::SqSearch, 1);
+            match self.sq.search(seq, addr, width, signed, &self.sb) {
+                SearchResult::Forward { ssn, value } => {
+                    self.finish_load(seq, seq, addr, value, Some(ssn));
+                    return Some((value, 4));
+                }
+                SearchResult::Retry => {
+                    self.retry.push(seq);
+                    return None;
+                }
+                SearchResult::Miss => {}
+            }
+        }
+        // Read the cache (committed state).
+        let value = self.data.read(addr, width, signed);
+        let latency = self.mem.read(addr, self.cycle);
+        self.stats.energy.record(Event::CacheRead, 1);
+        let sink = self.rob.get(seq).and_then(|e| e.group_sink).unwrap_or(seq);
+        self.finish_load(seq, sink, addr, value, None);
+        Some((value, latency))
+    }
+
+    /// Records load-execution facts on the verifying entry.
+    fn finish_load(
+        &mut self,
+        seq: SeqNum,
+        sink: SeqNum,
+        addr: u32,
+        value: u32,
+        forwarded_from: Option<u32>,
+    ) {
+        let ssn_commit = self.ssn_commit;
+        if let Some(info) = self.rob.get_mut(sink).and_then(|s| s.load.as_mut()) {
+            info.addr = addr;
+            info.ssn_nvul = ssn_commit;
+            info.executed = true;
+            info.forwarded_from = forwarded_from;
+            // For a predicated load (sink != seq) the winning CMOV sets
+            // the final value; for plain loads this read *is* the value.
+            if sink == seq {
+                info.value = value;
+            }
+        }
+    }
+
+    /// Writeback: completes µops whose latency expired, writes the
+    /// register file, resolves branches, and (baseline) runs store-queue
+    /// violation checks.
+    pub(crate) fn writeback_stage(&mut self) {
+        let mut recoveries: Vec<RecoveryReq> = Vec::new();
+        let executing = std::mem::take(&mut self.executing);
+        for seq in executing {
+            let Some(e) = self.rob.get(seq) else { continue };
+            let UopState::Executing(done) = e.state else { continue };
+            if done > self.cycle {
+                self.executing.push(seq);
+                continue;
+            }
+            // Complete.
+            let kind = e.kind;
+            let dest = e.dest;
+            let writes = e.writes_dest;
+            let value = e.value;
+            let pc = e.pc;
+            {
+                let e = self.rob.get_mut(seq).expect("live");
+                e.state = UopState::Done;
+            }
+            if let Some(d) = dest {
+                if writes {
+                    self.rf.write(d, value, self.cycle);
+                    self.stats.energy.record(Event::PrfWrite, 1);
+                }
+            }
+            match kind {
+                UopKind::Branch(_) => {
+                    if let Some(r) = self.resolve_branch(seq, pc, value != 0) {
+                        recoveries.push(r);
+                    }
+                }
+                UopKind::Jump { indirect: true, .. } => {
+                    if let Some(r) = self.resolve_indirect(seq, pc) {
+                        recoveries.push(r);
+                    }
+                }
+                UopKind::Store { .. }
+                    if self.cfg.comm == CommModel::Baseline => {
+                        if let Some(r) = self.check_violation(seq) {
+                            recoveries.push(r);
+                        }
+                    }
+                _ => {}
+            }
+        }
+        if let Some(r) = recoveries.into_iter().min_by_key(|r| r.from) {
+            if r.is_branch {
+                self.stats.branch_mispredicts += 1;
+            } else {
+                self.stats.mem_dep_mispredicts += 1;
+            }
+            let corrected = r.history_fix.map(|(hist, taken)| {
+                self.bp.mispredicted(hist, taken);
+                (hist << 1) | taken as u32
+            });
+            self.recover_with_history(r.from, r.refetch, corrected);
+        }
+    }
+
+    fn resolve_branch(&mut self, seq: SeqNum, pc: u32, taken: bool) -> Option<RecoveryReq> {
+        let e = self.rob.get(seq).expect("live");
+        let info = e.branch.expect("branch has prediction info");
+        let target = e.imm as u32;
+        self.stats.energy.record(Event::PredictorWrite, 1);
+        self.bp.resolve(pc, taken, target, info.history_before);
+        if taken == info.predicted_taken {
+            return None;
+        }
+        let refetch = if taken { target } else { pc + 1 };
+        Some(RecoveryReq {
+            from: seq + 1,
+            refetch,
+            is_branch: true,
+            history_fix: Some((info.history_before, taken)),
+        })
+    }
+
+    fn resolve_indirect(&mut self, seq: SeqNum, pc: u32) -> Option<RecoveryReq> {
+        let e = self.rob.get(seq).expect("live");
+        let info = e.branch.expect("indirect jump has prediction info");
+        let actual = self.src_val(e.src[0]);
+        self.bp.btb_install(pc, actual);
+        if info.predicted_target == Some(actual) {
+            return None;
+        }
+        Some(RecoveryReq { from: seq + 1, refetch: actual, is_branch: true, history_fix: None })
+    }
+}
+
+/// Aligns a (possibly wrong-path garbage) address to the access width so
+/// the timing machinery never faults; correct-path code is always
+/// naturally aligned (the functional emulator enforces it).
+#[inline]
+fn align(addr: u32, width: MemWidth) -> u32 {
+    addr & !(width.bytes() - 1)
+}

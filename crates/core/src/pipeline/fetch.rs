@@ -1,0 +1,93 @@
+//! Fetch stage: follows predicted control flow, filling the decode queue.
+
+use dmdp_energy::Event;
+use dmdp_isa::Op;
+
+use crate::rob::BranchInfo;
+
+use super::{Fetched, Pipeline};
+
+impl Pipeline {
+    /// Fetches up to `width` instructions along the predicted path.
+    /// Stops at `halt`, at a PC outside the text segment (wrong path —
+    /// a recovery will redirect), or when the decode queue is full.
+    pub(crate) fn fetch_stage(&mut self) {
+        if self.fetch_stopped || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let max_queue = 3 * self.cfg.width;
+        for _ in 0..self.cfg.width {
+            if self.decode_q.len() >= max_queue {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(insn) = self.program.fetch(pc) else {
+                // Wrong-path fetch ran off the text segment; wait for the
+                // inevitable redirect.
+                self.fetch_stopped = true;
+                break;
+            };
+            self.stats.energy.record(Event::Fetch, 1);
+            self.stats.energy.record(Event::Decode, 1);
+            let fetch_history = self.bp.history();
+            let mut branch = None;
+            let next_pc = match insn.op {
+                Op::Branch(_) => {
+                    self.stats.energy.record(Event::PredictorRead, 1);
+                    let p = self.bp.predict_cond(pc);
+                    let target = insn.imm as u32;
+                    branch = Some(BranchInfo {
+                        predicted_taken: p.taken,
+                        predicted_target: Some(target),
+                        history_before: p.history,
+                    });
+                    if p.taken {
+                        target
+                    } else {
+                        pc + 1
+                    }
+                }
+                Op::Jump => insn.imm as u32,
+                Op::JumpAndLink => {
+                    self.bp.ras_push(pc + 1);
+                    insn.imm as u32
+                }
+                Op::JumpReg | Op::JumpAndLinkReg => {
+                    if insn.op == Op::JumpAndLinkReg {
+                        self.bp.ras_push(pc + 1);
+                    }
+                    // Predict through the RAS, then the BTB, else fall
+                    // through (and take the misprediction).
+                    let predicted = match insn.op {
+                        Op::JumpReg => self.bp.ras_pop().or_else(|| self.bp.btb_lookup(pc)),
+                        _ => self.bp.btb_lookup(pc),
+                    }
+                    .unwrap_or(pc + 1);
+                    branch = Some(BranchInfo {
+                        predicted_taken: true,
+                        predicted_target: Some(predicted),
+                        history_before: self.bp.history(),
+                    });
+                    predicted
+                }
+                Op::Halt => {
+                    self.decode_q.push_back(Fetched { pc, insn, branch: None, fetch_history });
+                    self.fetch_stopped = true;
+                    break;
+                }
+                _ => pc + 1,
+            };
+            // Direct jumps never mispredict; record their (trivially
+            // correct) target so execute can skip resolution.
+            if matches!(insn.op, Op::Jump | Op::JumpAndLink) {
+                branch = Some(BranchInfo {
+                    predicted_taken: true,
+                    predicted_target: Some(insn.imm as u32),
+                    history_before: self.bp.history(),
+                });
+            }
+            self.decode_q.push_back(Fetched { pc, insn, branch, fetch_history });
+            self.fetch_pc = next_pc;
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The out-of-order pipeline shared by all four communication models.
+//!
+//! One cycle advances the machine through its stages in reverse pipeline
+//! order (commit → retire → writeback → issue → rename → fetch), so a
+//! value produced in writeback wakes its consumer in issue the same
+//! cycle, giving back-to-back execution of dependent single-cycle µops.
+
+mod baseline;
+mod exec;
+mod fetch;
+mod recover;
+mod rename;
+mod retire;
+
+use std::collections::VecDeque;
+
+use dmdp_energy::Event;
+use dmdp_isa::{Emulator, OracleTrace, Pc, Program, SparseMem, Word};
+use dmdp_mem::{MemHierarchy, StoreBuffer, Tlb};
+use dmdp_predict::{
+    BranchPredictor, DistancePredictor, StoreSets, Tssbf, TssbfHit,
+};
+
+use crate::config::{CommModel, CoreConfig};
+use crate::regfile::RegFile;
+use crate::rob::{BranchInfo, Rob, SeqNum};
+use crate::srb::StoreRegisterBuffer;
+use crate::stats::SimStats;
+
+pub(crate) use baseline::StoreQueue;
+
+/// Error terminating a simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle limit was reached before `halt` retired (livelock guard).
+    CycleLimit {
+        /// The limit that was exhausted.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit {limit} reached before halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An instruction sitting in the decode queue, with its fetch-time
+/// prediction state.
+#[derive(Debug, Clone)]
+pub(crate) struct Fetched {
+    pub pc: Pc,
+    pub insn: dmdp_isa::Insn,
+    pub branch: Option<BranchInfo>,
+    /// Global branch history captured before this instruction's own
+    /// prediction — the snapshot both the path-sensitive distance
+    /// predictor and history repair use.
+    pub fetch_history: u32,
+}
+
+/// Retire-time load verification in progress (paper §IV-A c: the
+/// re-execution is "not issued until the store buffer is drained").
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VerifyState {
+    pub load_seq: SeqNum,
+    pub actual: TssbfHit,
+    pub phase: VerifyPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VerifyPhase {
+    /// Waiting for the store buffer to drain.
+    WaitDrain,
+    /// Cache re-read in flight, completing at the cycle.
+    Reading(u64),
+}
+
+/// The pipeline: one simulated core running one program under one
+/// [`CommModel`].
+pub struct Pipeline {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) program: Program,
+    pub(crate) cycle: u64,
+    // Register state.
+    pub(crate) rf: RegFile,
+    pub(crate) rob: Rob,
+    pub(crate) iq: Vec<SeqNum>,
+    pub(crate) executing: Vec<SeqNum>,
+    pub(crate) delayed: Vec<SeqNum>,
+    pub(crate) retry: Vec<SeqNum>,
+    // Front end.
+    pub(crate) decode_q: VecDeque<Fetched>,
+    pub(crate) fetch_pc: Pc,
+    pub(crate) fetch_stall_until: u64,
+    pub(crate) fetch_stopped: bool,
+    pub(crate) halted: bool,
+    // Memory.
+    pub(crate) data: SparseMem,
+    pub(crate) mem: MemHierarchy,
+    pub(crate) sb: StoreBuffer,
+    pub(crate) tlb: Tlb,
+    // Predictors and SQ-free structures.
+    pub(crate) bp: BranchPredictor,
+    pub(crate) dp: DistancePredictor,
+    pub(crate) tssbf: Tssbf,
+    pub(crate) ss: StoreSets,
+    pub(crate) srb: StoreRegisterBuffer,
+    pub(crate) sq: StoreQueue,
+    // Store sequence numbers (paper Fig. 6).
+    pub(crate) ssn_rename: u32,
+    pub(crate) ssn_retire: u32,
+    pub(crate) ssn_commit: u32,
+    // Oracle (Perfect model).
+    pub(crate) oracle: Option<OracleTrace>,
+    pub(crate) next_load_idx: u64,
+    // Retire-time verification in progress.
+    pub(crate) verify: Option<VerifyState>,
+    // Address of the most recently retired store (coherence stand-in
+    // target).
+    pub(crate) last_commit_addr: Option<dmdp_isa::Addr>,
+    // Measurements.
+    pub(crate) stats: SimStats,
+    // Co-simulation against the functional emulator (tests).
+    pub(crate) cosim: Option<Emulator>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline for `program` under `cfg`. For the Perfect model
+    /// this runs the functional oracle pre-pass (bounded by
+    /// `cfg.max_cycles` emulated instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the oracle pre-pass
+    /// fails (the program must halt).
+    pub fn new(cfg: CoreConfig, program: &Program) -> Pipeline {
+        cfg.validate();
+        let oracle = match cfg.comm {
+            CommModel::Perfect => {
+                let mut emu = Emulator::new(program);
+                let (_, trace) =
+                    emu.run_with_trace(cfg.max_cycles).expect("oracle pre-pass must complete");
+                Some(trace)
+            }
+            _ => None,
+        };
+        Pipeline {
+            rf: RegFile::new(cfg.phys_regs),
+            rob: Rob::new(cfg.rob_entries),
+            iq: Vec::with_capacity(cfg.iq_entries),
+            executing: Vec::new(),
+            delayed: Vec::new(),
+            retry: Vec::new(),
+            decode_q: VecDeque::new(),
+            fetch_pc: program.entry(),
+            fetch_stall_until: 0,
+            fetch_stopped: false,
+            halted: false,
+            data: program.initial_memory(),
+            mem: MemHierarchy::new(cfg.mem),
+            sb: StoreBuffer::new(cfg.store_buffer_entries, cfg.consistency),
+            tlb: Tlb::new(cfg.mem.tlb),
+            bp: BranchPredictor::new(cfg.branch),
+            dp: DistancePredictor::new(cfg.distance),
+            tssbf: Tssbf::new(cfg.tssbf),
+            ss: StoreSets::new(cfg.store_sets),
+            srb: StoreRegisterBuffer::new(),
+            sq: StoreQueue::new(),
+            ssn_rename: 0,
+            ssn_retire: 0,
+            ssn_commit: 0,
+            oracle,
+            next_load_idx: 0,
+            verify: None,
+            last_commit_addr: None,
+            stats: SimStats::default(),
+            cycle: 0,
+            program: program.clone(),
+            cosim: None,
+            cfg,
+        }
+    }
+
+    /// Enables lock-step checking against the functional emulator: every
+    /// retired instruction's PC, register result and memory effect are
+    /// compared, panicking on divergence. Test-only (slows simulation).
+    pub fn enable_cosim(&mut self) {
+        self.cosim = Some(Emulator::new(&self.program));
+    }
+
+    /// Runs to `halt`, returning the collected statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the program does not halt within
+    /// `cfg.max_cycles` cycles.
+    pub fn run(mut self) -> Result<SimStats, SimError> {
+        while !self.halted {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            self.step_cycle();
+        }
+        self.finalize();
+        Ok(self.stats)
+    }
+
+    /// Advances the machine one cycle.
+    pub(crate) fn step_cycle(&mut self) {
+        self.commit_stage();
+        self.retire_stage();
+        if self.halted {
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            return;
+        }
+        self.writeback_stage();
+        self.issue_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.cycle += 1;
+    }
+
+    /// Commit: drains the store buffer into the cache, advances
+    /// `SSN_commit`, releases committed stores' registers, and (RMO)
+    /// invalidates their Store Register Buffer entries. When the
+    /// coherence stand-in is enabled, also injects an external line
+    /// invalidation (§IV-F).
+    fn commit_stage(&mut self) {
+        if let Some(every) = self.cfg.coherence_invalidate_every {
+            if self.cycle > 0 && self.cycle.is_multiple_of(every) {
+                if let Some(addr) = self.last_commit_addr {
+                    let line = self.cfg.mem.l1d.line_bytes;
+                    self.mem.invalidate(addr);
+                    // Invalidation messages carry only the line address:
+                    // every word of the line re-arms the T-SSBF with
+                    // SSN_commit + 1 so earlier-executed loads re-execute.
+                    self.tssbf.invalidate_line(addr & !(line - 1), line, self.ssn_commit);
+                    self.stats.coherence_invalidations += 1;
+                }
+            }
+        }
+        let committed = self.sb.tick(self.cycle, &mut self.mem, &mut self.data);
+        for ssn in committed {
+            debug_assert!(ssn > self.ssn_commit, "SSN_commit must advance monotonically");
+            // Coalescing can skip SSNs: release every store in the gap.
+            for s in self.ssn_commit + 1..=ssn {
+                if let Some(e) = self.srb.remove(s) {
+                    // The store "executes when it is committed": its
+                    // consumer references drop now, possibly freeing the
+                    // registers (paper §IV-B a).
+                    self.rf.drop_consumer(e.addr_preg);
+                    if let Some(d) = e.data_preg {
+                        self.rf.drop_consumer(d);
+                    }
+                }
+            }
+            self.ssn_commit = ssn;
+            self.stats.energy.record(Event::CacheWrite, 1);
+            self.stats.energy.record(Event::StoreBufferOp, 1);
+        }
+    }
+
+    /// Reads a source register value, treating `None` (logical `$0`) as
+    /// the constant zero.
+    #[inline]
+    pub(crate) fn src_val(&self, src: Option<crate::regfile::PregId>) -> Word {
+        match src {
+            Some(p) => self.rf.read(p),
+            None => 0,
+        }
+    }
+
+    fn finalize(&mut self) {
+        // At halt nothing younger than the halt µop exists, so every
+        // physical register must be accounted for by the RAT, by a
+        // pending store-buffer entry's consumer references, or be free —
+        // a leak or double-free in the producer/consumer protocol
+        // (paper §IV-B a) panics here on every run.
+        self.rf.check_quiesced();
+        self.stats.cycles = self.cycle;
+        self.stats.mem = self.mem.stats();
+        self.stats.coalesced_stores = self.sb.coalesced();
+        self.stats.min_free_pregs = self.rf.min_free_seen();
+        let m = self.stats.mem;
+        self.stats.energy.record(Event::L2Access, m.l2_accesses);
+        self.stats.energy.record(Event::DramAccess, m.l2_misses);
+    }
+}
+
+#[cfg(test)]
+mod livelock_tests {
+    use super::*;
+    use crate::config::{CommModel, CoreConfig};
+    use crate::rob::UopState;
+
+    #[test]
+    fn baseline_partial_word_makes_progress() {
+        let src = r#"
+            .data
+    buf:    .space 64
+            .text
+            lui  $8, %hi(buf)
+            ori  $8, $8, %lo(buf)
+            li   $4, 0
+            li   $5, 40
+    loop:
+            andi $6, $4, 7
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            li   $7, -3
+            sb   $7, 1($6)
+            lbu  $9, 1($6)
+            lb   $10, 1($6)
+            add  $11, $11, $9
+            add  $11, $11, $10
+            li   $7, 0x1234
+            sh   $7, 2($6)
+            lhu  $12, 2($6)
+            lw   $13, 0($6)
+            add  $11, $11, $12
+            add  $11, $11, $13
+            sw   $11, 32($8)
+            lw   $14, 32($8)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#;
+        let p = dmdp_isa::asm::assemble(src).unwrap();
+        let cfg = CoreConfig::new(CommModel::Baseline);
+        let mut pl = Pipeline::new(cfg, &p);
+        for _ in 0..20_000 {
+            pl.step_cycle();
+            if pl.halted {
+                return;
+            }
+        }
+        // Dump state on livelock.
+        let mut dump = String::new();
+        use std::fmt::Write;
+        writeln!(dump, "cycle={} retired={}", pl.cycle, pl.stats.retired_insns).unwrap();
+        writeln!(dump, "sb occ={} empty={}", pl.sb.occupancy(), pl.sb.is_empty()).unwrap();
+        writeln!(dump, "retry={:?} iq={:?} delayed={:?} executing={:?}", pl.retry, pl.iq, pl.delayed, pl.executing).unwrap();
+        for e in pl.rob.iter().take(12) {
+            writeln!(
+                dump,
+                "  seq={} pc={} kind={:?} state={:?} first={} last={} srcs={:?}",
+                e.seq, e.pc, e.kind, e.state, e.first_of_insn, e.last_of_insn, e.src
+            )
+            .unwrap();
+            let _ = UopState::Done;
+        }
+        panic!("livelock:\n{dump}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Pipeline recovery: squash, rename rollback (the paper's
+//! counter-recovery walk), and front-end redirect.
+
+use dmdp_energy::Event;
+use dmdp_isa::Pc;
+
+use crate::config::CommModel;
+use crate::rob::SeqNum;
+
+use super::Pipeline;
+
+impl Pipeline {
+    /// Squashes every µop with `seq >= from`, walking them youngest-first
+    /// to undo renaming (RAT, producer/consumer counters, SSNs, SRB/SQ
+    /// entries, oracle index), then redirects fetch to `refetch`.
+    ///
+    /// Branch history is restored to the squash point; for a branch
+    /// misprediction the caller passes the *corrected* history (with the
+    /// resolved outcome bit) via [`Pipeline::recover_with_history`] —
+    /// restoring the pre-squash snapshot there would re-insert the wrong
+    /// predicted bit and poison every later index.
+    pub(crate) fn recover(&mut self, from: SeqNum, refetch: Pc) {
+        self.recover_with_history(from, refetch, None);
+    }
+
+    /// [`Pipeline::recover`] with an explicit post-recovery branch
+    /// history.
+    pub(crate) fn recover_with_history(
+        &mut self,
+        from: SeqNum,
+        refetch: Pc,
+        history: Option<u32>,
+    ) {
+        self.stats.recoveries += 1;
+        let squashed = self.rob.squash_from(from);
+        self.stats.squashed_uops += squashed.len() as u64;
+        self.stats.energy.record(Event::SquashedUop, squashed.len() as u64);
+        let oldest_history = squashed.last().map(|e| e.fetch_history);
+        for e in &squashed {
+            // Undo the rename: restore the RAT and release the definition
+            // (paper: "walking through squashed instructions to recover
+            // the counters").
+            if let (Some(l), Some(d)) = (e.dest_logical, e.dest) {
+                let prev = e.prev_mapping.expect("renamed dest has a previous mapping");
+                self.rf.set_rat(l, prev);
+                self.rf.virtual_release(d);
+            }
+            // Unread operands give their consumer references back.
+            if !e.consumed {
+                for p in e.src.into_iter().flatten() {
+                    self.rf.drop_consumer(p);
+                }
+            }
+            if let Some(s) = e.store {
+                debug_assert_eq!(s.ssn, self.ssn_rename, "stores unwind in LIFO order");
+                self.ssn_rename -= 1;
+                if self.cfg.comm == CommModel::Baseline {
+                    self.sq.remove(e.seq);
+                    self.ss.store_squashed(e.pc, e.seq);
+                } else {
+                    self.srb.remove(s.ssn);
+                }
+            }
+            if e.kind.is_load() {
+                self.next_load_idx -= 1;
+            }
+        }
+        // Drop squashed work from the schedulers.
+        self.iq.retain(|&s| s < from);
+        self.executing.retain(|&s| s < from);
+        self.delayed.retain(|&s| s < from);
+        self.retry.retain(|&s| s < from);
+        self.decode_q.clear();
+        // Repair speculative branch history: the corrected value for a
+        // branch misprediction, else the squash point's snapshot.
+        if let Some(h) = history.or(oldest_history) {
+            self.bp.set_history(h);
+        }
+        self.verify = None;
+        self.fetch_pc = refetch;
+        self.fetch_stall_until = self.cycle + self.cfg.redirect_penalty;
+        self.fetch_stopped = false;
+    }
+}

@@ -1,0 +1,561 @@
+//! Rename/dispatch: µop expansion, register renaming, and the
+//! model-specific load treatment — cloaking, delaying, or predication
+//! insertion (paper Figs. 7 and 8).
+
+use dmdp_energy::Event;
+use dmdp_isa::uop::{self, UopKind};
+use dmdp_isa::{MemWidth, Op, Reg};
+
+use crate::config::CommModel;
+use crate::regfile::PregId;
+use crate::rob::{LoadInfo, LoadKind, StoreInfo, UopEntry, UopState};
+use crate::srb::SrbEntry;
+
+use super::{Fetched, Pipeline};
+
+/// How a load will obtain its value, decided at rename.
+enum LoadPlan {
+    Direct,
+    Cloak { ssn: u32 },
+    /// NoSQ partial-word bypassing through a predicted shift-and-mask µop.
+    ShiftCloak { ssn: u32, store_bab: u8, load_lo2: u8 },
+    Delayed { ssn: u32, low_conf: bool },
+    Predicate { ssn: u32, low_conf: bool },
+    Oracle { ssn: u32, value: u32 },
+}
+
+impl Pipeline {
+    /// Renames up to `width` µops from the decode queue, stopping at any
+    /// resource shortage (ROB, physical registers, issue queue).
+    pub(crate) fn rename_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        while budget > 0 {
+            let Some(front) = self.decode_q.front() else { break };
+            let worst = self.plan_width(front);
+            if worst > budget && budget < self.cfg.width {
+                break; // let the group start on a fresh cycle
+            }
+            if self.rob.free() < worst
+                || self.rf.free_count() < 4
+                || self.cfg.iq_entries - self.iq.len() < worst
+            {
+                break;
+            }
+            let f = self.decode_q.pop_front().expect("peeked entry");
+            let is_halt = f.insn.op == Op::Halt;
+            let used = self.rename_insn(&f);
+            budget = budget.saturating_sub(used);
+            if is_halt {
+                break;
+            }
+        }
+    }
+
+    fn rename_insn(&mut self, f: &Fetched) -> usize {
+        match f.insn.op {
+            Op::Load { width, signed } => self.rename_load(f, width, signed),
+            Op::Store { width } => self.rename_store(f, width),
+            _ => self.rename_simple(f),
+        }
+    }
+
+    /// Blank entry with per-µop bookkeeping filled in.
+    fn make_entry(&mut self, f: &Fetched, kind: UopKind) -> UopEntry {
+        self.stats.energy.record(Event::Rename, 1);
+        self.stats.energy.record(Event::Rob, 1);
+        UopEntry {
+            seq: self.rob.next_seq(),
+            pc: f.pc,
+            kind,
+            first_of_insn: false,
+            last_of_insn: false,
+            dest_logical: None,
+            dest: None,
+            prev_mapping: None,
+            src: [None, None],
+            imm: 0,
+            state: UopState::Waiting,
+            consumed: false,
+            retire_needs_dest_ready: false,
+            value: 0,
+            writes_dest: true,
+            rename_cycle: self.cycle,
+            branch: None,
+            load: None,
+            store: None,
+            group_sink: None,
+            wait_for_seq: None,
+            fetch_history: f.fetch_history,
+            arch_dest: None,
+        }
+    }
+
+    /// Maps a logical source to its physical register, taking a consumer
+    /// reference. `$0` maps to `None`.
+    fn map_src(&mut self, l: Reg) -> Option<PregId> {
+        if l.is_zero() {
+            return None;
+        }
+        let p = self.rf.rat(l);
+        self.rf.add_consumer(p);
+        Some(p)
+    }
+
+    /// Allocates a fresh destination register for `l`, returning
+    /// `(preg, previous mapping)`.
+    fn alloc_dest(&mut self, l: Reg) -> (PregId, PregId) {
+        let prev = self.rf.rat(l);
+        let p = self.rf.allocate(l).expect("free-list checked by rename_stage");
+        (p, prev)
+    }
+
+    fn dispatch(&mut self, entry: UopEntry) {
+        let seq = entry.seq;
+        let to_iq = entry.state == UopState::Waiting && !entry.retire_needs_dest_ready;
+        self.rob.push(entry);
+        if to_iq {
+            self.stats.energy.record(Event::IqWrite, 1);
+            self.iq.push(seq);
+        }
+    }
+
+    /// Renames a single-µop instruction (ALU, branch, jump, nop, halt).
+    fn rename_simple(&mut self, f: &Fetched) -> usize {
+        let u = uop::expand(f.insn).as_slice()[0];
+        let mut e = self.make_entry(f, u.kind);
+        e.first_of_insn = true;
+        e.last_of_insn = true;
+        e.imm = u.imm;
+        let srcs = u.sources();
+        e.src = [srcs[0].and_then(|l| self.map_src(l)), srcs[1].and_then(|l| self.map_src(l))];
+        if let Some(l) = u.dest() {
+            let (p, prev) = self.alloc_dest(l);
+            e.dest = Some(p);
+            e.dest_logical = Some(l);
+            e.prev_mapping = Some(prev);
+            e.arch_dest = Some((l, p));
+        }
+        match u.kind {
+            UopKind::Branch(_) => {
+                e.branch = f.branch;
+            }
+            UopKind::Jump { indirect, link } => {
+                e.branch = f.branch;
+                if !indirect {
+                    // Direct jumps resolve at fetch; only the link value
+                    // needs producing.
+                    if link {
+                        let dest = e.dest.expect("jal links");
+                        self.rf.write(dest, f.pc + 1, self.cycle);
+                        e.value = f.pc + 1;
+                    }
+                    e.state = UopState::Done;
+                    e.consumed = true;
+                }
+            }
+            UopKind::Nop | UopKind::Halt => {
+                e.state = UopState::Done;
+                e.consumed = true;
+            }
+            _ => {}
+        }
+        self.dispatch(e);
+        1
+    }
+
+    /// Renames a store: `AGI` + a store µop that is never dispatched in
+    /// the store-queue-free models (paper Fig. 7).
+    fn rename_store(&mut self, f: &Fetched, width: MemWidth) -> usize {
+        let addr_preg = self.rename_agi(f);
+        let ssn = self.ssn_rename + 1;
+        self.ssn_rename = ssn;
+
+        let mut e = self.make_entry(f, UopKind::Store { width });
+        e.last_of_insn = true;
+        // The store reads its address and data registers (at commit in
+        // the SQ-free machines, at SQ write in the baseline).
+        self.rf.add_consumer(addr_preg);
+        let data_preg = self.map_src(f.insn.rt);
+        e.src = [Some(addr_preg), data_preg];
+        e.store = Some(StoreInfo { ssn, width, addr_preg, data_preg });
+
+        match self.cfg.comm {
+            CommModel::Baseline => {
+                e.wait_for_seq = self.ss.store_dispatched(f.pc, e.seq);
+                self.sq.allocate(e.seq, ssn);
+                self.stats.energy.record(Event::SqWrite, 1);
+            }
+            _ => {
+                // Never issued: it executes when it commits (paper §I).
+                e.state = UopState::Done;
+                self.srb.insert(
+                    ssn,
+                    SrbEntry { addr_preg, data_preg, width, pc: f.pc },
+                );
+            }
+        }
+        self.dispatch(e);
+        2
+    }
+
+    /// Renames the address-generation µop shared by loads and stores,
+    /// returning the address register.
+    fn rename_agi(&mut self, f: &Fetched) -> PregId {
+        let mut e = self.make_entry(f, UopKind::Agi);
+        e.first_of_insn = true;
+        e.imm = f.insn.imm;
+        e.src = [self.map_src(f.insn.rs), None];
+        let (p, prev) = self.alloc_dest(Reg::ADDR_TMP);
+        e.dest = Some(p);
+        e.dest_logical = Some(Reg::ADDR_TMP);
+        e.prev_mapping = Some(prev);
+        self.dispatch(e);
+        p
+    }
+
+    /// Renames a load according to the communication model (paper
+    /// Table I): direct access, memory cloaking, delayed execution,
+    /// predication insertion, or oracle forwarding.
+    fn rename_load(&mut self, f: &Fetched, width: MemWidth, signed: bool) -> usize {
+        let addr_preg = self.rename_agi(f);
+        let ssn_ref = self.ssn_rename;
+        let dyn_idx = self.next_load_idx;
+        self.next_load_idx += 1;
+        let rd = (!f.insn.rd.is_zero()).then_some(f.insn.rd);
+
+        let plan = self.plan_load(f, width, rd, ssn_ref, dyn_idx);
+        let mut info = LoadInfo::new(width, signed, LoadKind::Direct, ssn_ref);
+        info.history = f.fetch_history;
+        info.addr_preg = Some(addr_preg);
+
+        match plan {
+            LoadPlan::Direct | LoadPlan::Delayed { .. } | LoadPlan::Oracle { .. } => {
+                let mut e = self.make_entry(f, UopKind::Load { width, signed });
+                e.last_of_insn = true;
+                match plan {
+                    LoadPlan::Oracle { ssn, value } => {
+                        info.kind = LoadKind::Oracle;
+                        info.ssn_byp = Some(ssn);
+                        let srb_e = *self.srb.get(ssn).expect("oracle store in flight");
+                        e.src = [srb_e.data_preg.inspect(|&p| self.rf.add_consumer(p)), None];
+                        e.value = value;
+                    }
+                    LoadPlan::Delayed { ssn, low_conf } => {
+                        info.kind = LoadKind::Delayed;
+                        info.ssn_byp = Some(ssn);
+                        info.low_conf = low_conf;
+                        self.rf.add_consumer(addr_preg);
+                        e.src = [Some(addr_preg), None];
+                    }
+                    _ => {
+                        self.rf.add_consumer(addr_preg);
+                        e.src = [Some(addr_preg), None];
+                    }
+                }
+                if let Some(l) = rd {
+                    let (p, prev) = self.alloc_dest(l);
+                    e.dest = Some(p);
+                    e.dest_logical = Some(l);
+                    e.prev_mapping = Some(prev);
+                    e.arch_dest = Some((l, p));
+                    info.result_preg = Some(p);
+                }
+                if self.cfg.comm == CommModel::Baseline {
+                    e.wait_for_seq = self.ss.load_dispatched(f.pc);
+                }
+                e.load = Some(info);
+                let delayed = matches!(plan, LoadPlan::Delayed { .. });
+                let seq = e.seq;
+                if delayed {
+                    e.state = UopState::Waiting;
+                    self.rob.push(e);
+                    self.delayed.push(seq);
+                } else {
+                    self.dispatch(e);
+                }
+                2
+            }
+            LoadPlan::ShiftCloak { ssn, store_bab, load_lo2 } => {
+                let l = rd.expect("shift-cloak requires a destination");
+                let srb_e = *self.srb.get(ssn).expect("shifted store in flight");
+                let data_preg = srb_e.data_preg.expect("shift-cloak requires store data");
+                let store_width = width_of_bab(store_bab);
+                let store_lo2 = store_bab.trailing_zeros() as u8;
+                let mut e = self.make_entry(
+                    f,
+                    UopKind::ShiftMask {
+                        store_width,
+                        store_lo2,
+                        load_lo2,
+                        load_width: width,
+                        load_signed: signed,
+                    },
+                );
+                e.last_of_insn = true;
+                self.rf.add_consumer(data_preg);
+                e.src = [Some(data_preg), None];
+                let (p, prev) = self.alloc_dest(l);
+                e.dest = Some(p);
+                e.dest_logical = Some(l);
+                e.prev_mapping = Some(prev);
+                e.arch_dest = Some((l, p));
+                info.kind = LoadKind::Cloaked;
+                info.ssn_byp = Some(ssn);
+                info.result_preg = Some(p);
+                info.shift_pred = Some((store_bab, load_lo2));
+                e.load = Some(info);
+                self.dispatch(e);
+                2
+            }
+            LoadPlan::Cloak { ssn } => {
+                let l = rd.expect("cloak requires a destination");
+                let srb_e = *self.srb.get(ssn).expect("cloaked store in flight");
+                let data_preg = srb_e.data_preg.expect("cloak requires store data register");
+                let mut e = self.make_entry(f, UopKind::Load { width, signed });
+                e.last_of_insn = true;
+                let prev = self.rf.rat(l);
+                self.rf.redefine(data_preg, Some(l));
+                e.dest = Some(data_preg);
+                e.dest_logical = Some(l);
+                e.prev_mapping = Some(prev);
+                e.arch_dest = Some((l, data_preg));
+                // The address register is read only at verification; no
+                // consumer reference is needed because the next AGI's
+                // retirement (younger than this group) releases it.
+                e.src = [Some(addr_preg), None];
+                e.consumed = true;
+                e.retire_needs_dest_ready = true;
+                info.kind = LoadKind::Cloaked;
+                info.ssn_byp = Some(ssn);
+                info.result_preg = Some(data_preg);
+                e.load = Some(info);
+                self.dispatch(e);
+                2
+            }
+            LoadPlan::Predicate { ssn, low_conf } => {
+                let l = rd.expect("predication requires a destination");
+                let srb_e = *self.srb.get(ssn).expect("predicated store in flight");
+                self.stats.predication_uops += 3;
+                // Seq layout: AGI(seq-1) LOAD CMP CMOVt CMOVf.
+                let sink = self.rob.next_seq() + 3;
+
+                // Cache-access half: LOAD $33, (addr).
+                let mut ld = self.make_entry(f, UopKind::Load { width, signed });
+                self.rf.add_consumer(addr_preg);
+                ld.src = [Some(addr_preg), None];
+                let (pl, pl_prev) = self.alloc_dest(Reg::LOAD_TMP);
+                ld.dest = Some(pl);
+                ld.dest_logical = Some(Reg::LOAD_TMP);
+                ld.prev_mapping = Some(pl_prev);
+                ld.group_sink = Some(sink);
+                self.dispatch(ld);
+
+                // CMP $34, load_addr, store_addr.
+                let mut cmp = self.make_entry(
+                    f,
+                    UopKind::Cmp { store_width: srb_e.width, load_width: width },
+                );
+                self.rf.add_consumer(addr_preg);
+                self.rf.add_consumer(srb_e.addr_preg);
+                cmp.src = [Some(addr_preg), Some(srb_e.addr_preg)];
+                let (pp, pp_prev) = self.alloc_dest(Reg::PRED_TMP);
+                cmp.dest = Some(pp);
+                cmp.dest_logical = Some(Reg::PRED_TMP);
+                cmp.prev_mapping = Some(pp_prev);
+                cmp.group_sink = Some(sink);
+                self.dispatch(cmp);
+
+                // CMOV rd, $34, store_data (predicate-true path).
+                let mut ct = self.make_entry(
+                    f,
+                    UopKind::Cmov {
+                        on_true: true,
+                        store_width: srb_e.width,
+                        load_width: width,
+                        load_signed: signed,
+                    },
+                );
+                self.rf.add_consumer(pp);
+                ct.src = [Some(pp), srb_e.data_preg.inspect(|&p| self.rf.add_consumer(p))];
+                let (pd, pd_prev) = self.alloc_dest(l);
+                ct.dest = Some(pd);
+                ct.dest_logical = Some(l);
+                ct.prev_mapping = Some(pd_prev);
+                ct.group_sink = Some(sink);
+                self.dispatch(ct);
+
+                // CMOV rd, !$34, $33 (predicate-false path) — shares pd.
+                let mut cf = self.make_entry(
+                    f,
+                    UopKind::Cmov {
+                        on_true: false,
+                        store_width: srb_e.width,
+                        load_width: width,
+                        load_signed: signed,
+                    },
+                );
+                cf.last_of_insn = true;
+                self.rf.add_consumer(pp);
+                self.rf.add_consumer(pl);
+                cf.src = [Some(pp), Some(pl)];
+                self.rf.redefine(pd, Some(l));
+                cf.dest = Some(pd);
+                cf.dest_logical = Some(l);
+                cf.prev_mapping = Some(pd);
+                cf.arch_dest = Some((l, pd));
+                info.kind = LoadKind::Predicated;
+                info.ssn_byp = Some(ssn);
+                info.low_conf = low_conf;
+                info.result_preg = Some(pd);
+                cf.load = Some(info);
+                debug_assert_eq!(cf.seq, sink);
+                self.dispatch(cf);
+                5
+            }
+        }
+    }
+
+    /// The model-specific rename-time decision for a load.
+    fn plan_load(
+        &mut self,
+        f: &Fetched,
+        width: MemWidth,
+        rd: Option<Reg>,
+        ssn_ref: u32,
+        dyn_idx: u64,
+    ) -> LoadPlan {
+        match self.cfg.comm {
+            CommModel::Baseline => LoadPlan::Direct,
+            CommModel::Perfect => {
+                let trace = self.oracle.as_ref().expect("perfect model has a trace");
+                let Some(&ssn) = trace.last_writer_ssn.get(dyn_idx as usize) else {
+                    return LoadPlan::Direct; // wrong-path overrun
+                };
+                if ssn == 0 || ssn <= self.ssn_commit || rd.is_none() {
+                    return LoadPlan::Direct;
+                }
+                let Some(srb_e) = self.srb.get(ssn) else {
+                    return LoadPlan::Direct;
+                };
+                // A word-word in-flight collision is exactly the cloaking
+                // case: give Perfect the same zero-µop bypass DMDP gets.
+                if width == MemWidth::Word
+                    && srb_e.width == MemWidth::Word
+                    && srb_e.data_preg.is_some()
+                {
+                    return LoadPlan::Cloak { ssn };
+                }
+                LoadPlan::Oracle { ssn, value: trace.load_values[dyn_idx as usize] }
+            }
+            CommModel::NoSq | CommModel::Dmdp => {
+                self.stats.energy.record(Event::PredictorRead, 1);
+                let Some(p) = self.dp.predict(f.pc, f.fetch_history) else {
+                    return LoadPlan::Direct;
+                };
+                if p.distance >= ssn_ref && ssn_ref == 0 {
+                    return LoadPlan::Direct;
+                }
+                let ssn = ssn_ref.saturating_sub(p.distance);
+                if ssn == 0 || ssn <= self.ssn_commit {
+                    return LoadPlan::Direct;
+                }
+                let Some(srb_e) = self.srb.get(ssn) else {
+                    return LoadPlan::Direct;
+                };
+                let can_cloak = p.confident
+                    && rd.is_some()
+                    && width == MemWidth::Word
+                    && srb_e.width == MemWidth::Word
+                    && srb_e.data_preg.is_some();
+                if can_cloak {
+                    return LoadPlan::Cloak { ssn };
+                }
+                match self.cfg.comm {
+                    CommModel::NoSq => {
+                        // Confident partial-word collisions use the
+                        // predicted shift-and-mask bypass (paper §IV-D's
+                        // description of NoSQ); everything else delays.
+                        let load_bab_ok = width.is_aligned(p.load_lo2 as u32);
+                        let covered = load_bab_ok
+                            && dmdp_isa::bab::covers(
+                                p.store_bab,
+                                dmdp_isa::bab::bab(p.load_lo2 as u32, width),
+                            );
+                        if p.confident
+                            && covered
+                            && rd.is_some()
+                            && srb_e.data_preg.is_some()
+                            && p.store_bab.count_ones().is_power_of_two()
+                        {
+                            LoadPlan::ShiftCloak {
+                                ssn,
+                                store_bab: p.store_bab,
+                                load_lo2: p.load_lo2,
+                            }
+                        } else {
+                            LoadPlan::Delayed { ssn, low_conf: !p.confident }
+                        }
+                    }
+                    CommModel::Dmdp => {
+                        if rd.is_none() {
+                            LoadPlan::Delayed { ssn, low_conf: !p.confident }
+                        } else {
+                            LoadPlan::Predicate { ssn, low_conf: !p.confident }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+impl Pipeline {
+    /// Upper bound on the µops the front instruction expands to, using a
+    /// side-effect-free predictor peek so a DMDP load that will not be
+    /// predicated does not reserve predication width.
+    fn plan_width(&self, f: &Fetched) -> usize {
+        match f.insn.op {
+            Op::Load { width, .. } => {
+                if self.cfg.comm != CommModel::Dmdp {
+                    return 2;
+                }
+                // Mirror `plan_load`'s Predicate conditions exactly: an
+                // underestimate here could overflow the checked ROB/PRF
+                // headroom.
+                let Some(p) = self.dp.peek(f.pc, f.fetch_history) else {
+                    return 2;
+                };
+                let ssn = self.ssn_rename.saturating_sub(p.distance);
+                if ssn == 0 || ssn <= self.ssn_commit || f.insn.rd.is_zero() {
+                    return 2;
+                }
+                let Some(srb_e) = self.srb.get(ssn) else {
+                    return 2;
+                };
+                let can_cloak = p.confident
+                    && width == MemWidth::Word
+                    && srb_e.width == MemWidth::Word
+                    && srb_e.data_preg.is_some();
+                if can_cloak {
+                    2
+                } else {
+                    5
+                }
+            }
+            Op::Store { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The access width a contiguous BAB encodes.
+fn width_of_bab(bab: u8) -> MemWidth {
+    match bab.count_ones() {
+        1 => MemWidth::Byte,
+        2 => MemWidth::Half,
+        _ => MemWidth::Word,
+    }
+}
+
+

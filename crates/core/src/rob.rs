@@ -1,0 +1,417 @@
+use dmdp_isa::uop::UopKind;
+use dmdp_isa::{Addr, MemWidth, Pc, Reg, Word};
+
+use crate::regfile::PregId;
+
+/// Sequence number identifying an in-flight µop; monotonically increasing
+/// in rename order, so comparing tags compares age.
+pub type SeqNum = u64;
+
+/// Execution state of a µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopState {
+    /// In the issue queue (or, for a delayed load, parked) waiting for
+    /// operands.
+    Waiting,
+    /// Issued; result arrives at the contained cycle.
+    Executing(u64),
+    /// Completed (or needs no execution: cloaked loads, store-queue-free
+    /// stores, `nop`/`halt`).
+    Done,
+}
+
+/// How a load obtains its value — fixed at rename time by the
+/// communication model (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Reads the cache when its address is ready.
+    Direct,
+    /// Memory cloaking: reuses the predicted store's data register.
+    Cloaked,
+    /// NoSQ low-confidence: waits for the predicted store to commit, then
+    /// reads the cache.
+    Delayed,
+    /// DMDP low-confidence: CMP/CMOV predication selects between the
+    /// store's data and the cache value.
+    Predicated,
+    /// Perfect-model oracle forward from the actual last-writer store.
+    Oracle,
+}
+
+/// Per-load bookkeeping, attached to the µop whose retirement triggers
+/// verification (the load µop itself, or the closing `CMOV` of a
+/// predication group).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadInfo {
+    /// Access width.
+    pub width: MemWidth,
+    /// Sign extension for sub-word loads.
+    pub signed: bool,
+    /// Mechanism chosen at rename.
+    pub kind: LoadKind,
+    /// Predicted colliding store (`SSN_byp`), when predicted dependent.
+    pub ssn_byp: Option<u32>,
+    /// `SSN_rename` captured at rename — the reference point store
+    /// distances are measured from.
+    pub ssn_ref: u32,
+    /// `SSN_commit` captured when the cache was read (`SSN_nvul`).
+    pub ssn_nvul: u32,
+    /// Effective address (filled at execute from the address register).
+    pub addr: Addr,
+    /// The value delivered to the destination register.
+    pub value: Word,
+    /// Predicate outcome for a predicated load (set by `CMP`).
+    pub pred_matches: Option<bool>,
+    /// Whether the prediction was low-confidence (Figure 5's population).
+    pub low_conf: bool,
+    /// Physical register holding the architectural load result.
+    pub result_preg: Option<PregId>,
+    /// Branch history at rename (for predictor training).
+    pub history: u32,
+    /// Baseline: SSN of the store-queue/store-buffer entry the load
+    /// forwarded from (`None` = value came from the cache).
+    pub forwarded_from: Option<u32>,
+    /// NoSQ shift-and-mask forwarding: the predicted (store BAB, load
+    /// low-address-bits) pair, verified against the actual collision at
+    /// retire (§IV-D).
+    pub shift_pred: Option<(u8, u8)>,
+    /// Physical register holding the load's effective address (read at
+    /// verification for loads that never access the cache).
+    pub addr_preg: Option<PregId>,
+    /// Whether the cache (or forward) read happened.
+    pub executed: bool,
+}
+
+impl LoadInfo {
+    /// A fresh record for a load of `width`/`signed` renamed when
+    /// `SSN_rename == ssn_ref`.
+    pub fn new(width: MemWidth, signed: bool, kind: LoadKind, ssn_ref: u32) -> LoadInfo {
+        LoadInfo {
+            width,
+            signed,
+            kind,
+            ssn_byp: None,
+            ssn_ref,
+            ssn_nvul: 0,
+            addr: 0,
+            value: 0,
+            pred_matches: None,
+            low_conf: false,
+            result_preg: None,
+            history: 0,
+            forwarded_from: None,
+            shift_pred: None,
+            addr_preg: None,
+            executed: false,
+        }
+    }
+}
+
+/// Per-store bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreInfo {
+    /// The store's sequence number (assigned at rename).
+    pub ssn: u32,
+    /// Access width.
+    pub width: MemWidth,
+    /// Physical register holding the (translated) address.
+    pub addr_preg: PregId,
+    /// Physical register holding the data, or `None` for a store of `$0`.
+    pub data_preg: Option<PregId>,
+}
+
+/// Branch/jump bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchInfo {
+    /// Fetch-time predicted direction (true for unconditional).
+    pub predicted_taken: bool,
+    /// Fetch-time predicted target.
+    pub predicted_target: Option<Pc>,
+    /// Global history before the prediction (for repair/training).
+    pub history_before: u32,
+
+}
+
+/// One in-flight µop: the unit the ROB, issue queue and execution lists
+/// operate on.
+#[derive(Debug, Clone)]
+pub struct UopEntry {
+    /// Age tag.
+    pub seq: SeqNum,
+    /// PC of the parent architectural instruction.
+    pub pc: Pc,
+    /// Operation.
+    pub kind: UopKind,
+    /// First µop of its architectural instruction.
+    pub first_of_insn: bool,
+    /// Last µop of its architectural instruction (retirement of this µop
+    /// retires the instruction).
+    pub last_of_insn: bool,
+    /// Logical destination (None for `$0`/no dest).
+    pub dest_logical: Option<Reg>,
+    /// Physical destination.
+    pub dest: Option<PregId>,
+    /// RAT mapping of `dest_logical` before this µop renamed (for virtual
+    /// release at retire and rollback at squash).
+    pub prev_mapping: Option<PregId>,
+    /// Physical sources.
+    pub src: [Option<PregId>; 2],
+    /// Immediate operand.
+    pub imm: i32,
+    /// Execution state.
+    pub state: UopState,
+    /// Whether this µop's consumer references have been dropped (at
+    /// issue, at commit for stores, or at squash).
+    pub consumed: bool,
+    /// Whether this µop requires the destination register to be ready
+    /// before it can retire without executing (cloaked loads).
+    pub retire_needs_dest_ready: bool,
+    /// Result value (for writeback and co-simulation).
+    pub value: Word,
+    /// Whether this µop actually writes its destination (losing `CMOV`s
+    /// do not).
+    pub writes_dest: bool,
+    /// Rename cycle (load execution-time statistics measure from here).
+    pub rename_cycle: u64,
+    /// Branch bookkeeping.
+    pub branch: Option<BranchInfo>,
+    /// Load bookkeeping (on the verifying µop of the group).
+    pub load: Option<LoadInfo>,
+    /// Store bookkeeping.
+    pub store: Option<StoreInfo>,
+    /// For µops of a predication group: the seq of the µop carrying the
+    /// group's [`LoadInfo`] (the closing `CMOV`), so execute can record
+    /// facts there.
+    pub group_sink: Option<SeqNum>,
+    /// Baseline Store-Sets ordering: this µop may not issue until the µop
+    /// with this seq has executed (or vanished).
+    pub wait_for_seq: Option<SeqNum>,
+    /// Global branch history captured when the parent instruction was
+    /// fetched (path-sensitive prediction and history repair).
+    pub fetch_history: u32,
+    /// Architectural destination register value holder for the
+    /// instruction (set on the last µop; used by retirement stats and
+    /// co-simulation).
+    pub arch_dest: Option<(Reg, PregId)>,
+}
+
+impl UopEntry {
+    /// Whether every state needed to retire is reached.
+    pub fn is_done(&self) -> bool {
+        self.state == UopState::Done
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of µops in rename order.
+///
+/// Entries are addressed by their [`SeqNum`]; slot reuse is handled by the
+/// ring mapping, and stale lookups (squashed µops) return `None`.
+#[derive(Debug)]
+pub struct Rob {
+    slots: Vec<Option<UopEntry>>,
+    capacity: usize,
+    head: SeqNum,
+    tail: SeqNum,
+}
+
+impl Rob {
+    /// Creates an empty ROB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0, "ROB needs capacity");
+        Rob { slots: (0..capacity).map(|_| None).collect(), capacity, head: 0, tail: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.len()
+    }
+
+    /// The next sequence number `push` will assign.
+    pub fn next_seq(&self) -> SeqNum {
+        self.tail
+    }
+
+    /// Sequence number of the head (oldest) entry, if any.
+    pub fn head_seq(&self) -> Option<SeqNum> {
+        (!self.is_empty()).then_some(self.head)
+    }
+
+    /// Appends an entry (its `seq` must equal [`Rob::next_seq`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when full or on a seq mismatch.
+    pub fn push(&mut self, entry: UopEntry) -> SeqNum {
+        assert!(self.free() > 0, "ROB overflow");
+        assert_eq!(entry.seq, self.tail, "seq must be allocated in order");
+        let slot = (self.tail % self.capacity as u64) as usize;
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(entry);
+        self.tail += 1;
+        self.tail - 1
+    }
+
+    /// Looks up a live entry.
+    pub fn get(&self, seq: SeqNum) -> Option<&UopEntry> {
+        if seq < self.head || seq >= self.tail {
+            return None;
+        }
+        self.slots[(seq % self.capacity as u64) as usize].as_ref()
+    }
+
+    /// Mutable lookup of a live entry.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut UopEntry> {
+        if seq < self.head || seq >= self.tail {
+            return None;
+        }
+        self.slots[(seq % self.capacity as u64) as usize].as_mut()
+    }
+
+    /// Removes and returns the head entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn pop_head(&mut self) -> UopEntry {
+        assert!(!self.is_empty(), "pop from empty ROB");
+        let slot = (self.head % self.capacity as u64) as usize;
+        let e = self.slots[slot].take().expect("head entry present");
+        self.head += 1;
+        e
+    }
+
+    /// Removes every entry with `seq >= from`, youngest first, returning
+    /// them for rollback processing.
+    pub fn squash_from(&mut self, from: SeqNum) -> Vec<UopEntry> {
+        let from = from.max(self.head);
+        let mut out = Vec::new();
+        while self.tail > from {
+            self.tail -= 1;
+            let slot = (self.tail % self.capacity as u64) as usize;
+            out.push(self.slots[slot].take().expect("tail entry present"));
+        }
+        out
+    }
+
+    /// Iterates over live entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &UopEntry> {
+        (self.head..self.tail)
+            .filter_map(move |s| self.slots[(s % self.capacity as u64) as usize].as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: SeqNum) -> UopEntry {
+        UopEntry {
+            seq,
+            pc: 0,
+            kind: UopKind::Nop,
+            first_of_insn: true,
+            last_of_insn: true,
+            dest_logical: None,
+            dest: None,
+            prev_mapping: None,
+            src: [None, None],
+            imm: 0,
+            state: UopState::Done,
+            consumed: true,
+            retire_needs_dest_ready: false,
+            value: 0,
+            writes_dest: false,
+            rename_cycle: 0,
+            branch: None,
+            load: None,
+            store: None,
+            group_sink: None,
+            wait_for_seq: None,
+            fetch_history: 0,
+            arch_dest: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.pop_head().seq, 0);
+        assert_eq!(rob.pop_head().seq, 1);
+        rob.push(entry(3));
+        rob.push(entry(4)); // wraps the ring
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.pop_head().seq, 2);
+    }
+
+    #[test]
+    fn get_rejects_stale_seqs() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.pop_head();
+        assert!(rob.get(0).is_none());
+        assert!(rob.get(1).is_some());
+        assert!(rob.get(2).is_none());
+    }
+
+    #[test]
+    fn squash_from_removes_youngest_first() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_from(2);
+        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 3, 2]);
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.next_seq(), 2);
+        // Reuse the freed seqs.
+        rob.push(entry(2));
+        assert!(rob.get(2).is_some());
+    }
+
+    #[test]
+    fn squash_everything() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        let squashed = rob.squash_from(0);
+        assert_eq!(squashed.len(), 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    fn iter_oldest_first() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        let seqs: Vec<SeqNum> = rob.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,104 @@
+use dmdp_isa::Program;
+
+use crate::config::{CommModel, CoreConfig};
+use crate::pipeline::{Pipeline, SimError};
+use crate::stats::SimStats;
+
+/// A complete simulation report: the configuration echo plus everything
+/// measured.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Program name.
+    pub program: String,
+    /// Communication model simulated.
+    pub model: CommModel,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// The top-level simulator: configure once, run programs.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_core::{CommModel, Simulator};
+/// use dmdp_isa::asm;
+///
+/// let program = asm::assemble_named(
+///     "incr",
+///     r#"
+///         .data
+///     x:  .word 5
+///         .text
+///         lui  $8, %hi(x)
+///         ori  $8, $8, %lo(x)
+///         lw   $9, 0($8)
+///         addi $9, $9, 1
+///         sw   $9, 0($8)
+///         halt
+///     "#,
+/// )?;
+/// let report = Simulator::new(CommModel::Dmdp).run(&program)?;
+/// assert_eq!(report.stats.retired_insns, 6);
+/// assert!(report.ipc() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: CoreConfig,
+}
+
+impl Simulator {
+    /// A simulator with the paper's main configuration for `model`.
+    pub fn new(model: CommModel) -> Simulator {
+        Simulator { cfg: CoreConfig::new(model) }
+    }
+
+    /// A simulator with a custom configuration (alternative ROB sizes,
+    /// widths, store buffers, consistency models — §VI-e/f/g).
+    pub fn with_config(cfg: CoreConfig) -> Simulator {
+        Simulator { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the program does not halt in
+    /// `config().max_cycles` cycles.
+    pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        let pipeline = Pipeline::new(self.cfg.clone(), program);
+        let stats = pipeline.run()?;
+        Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+
+    /// Runs with lock-step functional checking: every retired
+    /// instruction is compared against the architectural emulator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any architectural divergence (this is the test harness's
+    /// primary correctness oracle).
+    pub fn run_checked(&self, program: &Program) -> Result<SimReport, SimError> {
+        let mut pipeline = Pipeline::new(self.cfg.clone(), program);
+        pipeline.enable_cosim();
+        let stats = pipeline.run()?;
+        Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+}

@@ -1,0 +1,118 @@
+use std::collections::HashMap;
+
+use dmdp_isa::{MemWidth, Pc};
+
+use crate::regfile::PregId;
+
+/// One in-flight store visible to the renamer (paper Fig. 6, "Store
+/// Register Buffer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrbEntry {
+    /// Physical register holding the store's translated address.
+    pub addr_preg: PregId,
+    /// Physical register holding the store's data (`None`: stores `$0`,
+    /// whose value is the constant zero).
+    pub data_preg: Option<PregId>,
+    /// Access width (needed to build `CMP`/`CMOV` µops and to decide
+    /// cloaking legality).
+    pub width: MemWidth,
+    /// The store's PC (Store-Sets training on recoveries).
+    pub pc: Pc,
+}
+
+/// The Store Register Buffer: maps the SSN of every in-flight store
+/// (renamed but not yet committed) to the physical registers holding its
+/// address and data.
+///
+/// Memory cloaking reads the data register identity here; predication
+/// insertion reads both. Entries are created at rename, removed at
+/// squash, and invalidated when the store commits and updates the cache
+/// (after which forwarding is pointless — the value is in the cache).
+///
+/// # Example
+///
+/// ```
+/// use dmdp_core::srb::{SrbEntry, StoreRegisterBuffer};
+/// use dmdp_isa::MemWidth;
+/// let mut srb = StoreRegisterBuffer::new();
+/// srb.insert(1, SrbEntry { addr_preg: 40, data_preg: Some(41), width: MemWidth::Word, pc: 0 });
+/// assert!(srb.get(1).is_some());
+/// srb.remove(1); // the store committed
+/// assert!(srb.get(1).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreRegisterBuffer {
+    entries: HashMap<u32, SrbEntry>,
+}
+
+impl StoreRegisterBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> StoreRegisterBuffer {
+        StoreRegisterBuffer::default()
+    }
+
+    /// Registers a renamed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SSN is already present (SSNs are unique while in
+    /// flight).
+    pub fn insert(&mut self, ssn: u32, entry: SrbEntry) {
+        let prev = self.entries.insert(ssn, entry);
+        assert!(prev.is_none(), "duplicate SSN {ssn} in SRB");
+    }
+
+    /// Looks up an in-flight store by SSN.
+    pub fn get(&self, ssn: u32) -> Option<&SrbEntry> {
+        self.entries.get(&ssn)
+    }
+
+    /// Removes a store (committed or squashed); returns its entry.
+    pub fn remove(&mut self, ssn: u32) -> Option<SrbEntry> {
+        self.entries.remove(&ssn)
+    }
+
+    /// Number of in-flight stores tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stores are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(addr_preg: PregId) -> SrbEntry {
+        SrbEntry { addr_preg, data_preg: Some(addr_preg + 1), width: MemWidth::Word, pc: 7 }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut srb = StoreRegisterBuffer::new();
+        srb.insert(3, e(50));
+        assert_eq!(srb.get(3).unwrap().addr_preg, 50);
+        assert_eq!(srb.len(), 1);
+        assert_eq!(srb.remove(3).unwrap().data_preg, Some(51));
+        assert!(srb.is_empty());
+        assert!(srb.remove(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate SSN")]
+    fn duplicate_ssn_panics() {
+        let mut srb = StoreRegisterBuffer::new();
+        srb.insert(1, e(10));
+        srb.insert(1, e(11));
+    }
+
+    #[test]
+    fn missing_ssn_is_none() {
+        let srb = StoreRegisterBuffer::new();
+        assert!(srb.get(42).is_none());
+    }
+}

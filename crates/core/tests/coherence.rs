@@ -1,0 +1,45 @@
+//! §IV-F: external cache-line invalidations (the multi-core stand-in).
+//! Invalidations must force conservative re-execution of in-flight loads
+//! without ever changing architectural results.
+
+use dmdp_core::{CommModel, CoreConfig, Simulator};
+use dmdp_workloads::{by_name, Scale};
+
+#[test]
+fn invalidations_preserve_architectural_state() {
+    for name in ["gcc", "hmmer", "lbm"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        for model in [CommModel::NoSq, CommModel::Dmdp] {
+            let cfg = CoreConfig {
+                coherence_invalidate_every: Some(40),
+                ..CoreConfig::new(model)
+            };
+            let r = Simulator::with_config(cfg)
+                .run_checked(&w.program)
+                .unwrap_or_else(|e| panic!("{name} under {model:?}: {e}"));
+            assert!(
+                r.stats.coherence_invalidations > 0,
+                "{name}: the stand-in must actually fire"
+            );
+        }
+    }
+}
+
+#[test]
+fn invalidations_increase_reexecutions() {
+    let w = by_name("gcc", Scale::Test).unwrap();
+    let quiet = Simulator::new(CommModel::Dmdp).run(&w.program).unwrap();
+    let cfg = CoreConfig {
+        coherence_invalidate_every: Some(25),
+        ..CoreConfig::new(CommModel::Dmdp)
+    };
+    let noisy = Simulator::with_config(cfg).run(&w.program).unwrap();
+    assert!(
+        noisy.stats.reexecutions > quiet.stats.reexecutions,
+        "invalidations must widen the vulnerability window: {} vs {}",
+        noisy.stats.reexecutions,
+        quiet.stats.reexecutions
+    );
+    // Conservative slowdown, never a wrong answer (run_checked above).
+    assert!(noisy.stats.cycles >= quiet.stats.cycles);
+}

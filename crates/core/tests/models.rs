@@ -1,0 +1,327 @@
+//! Cross-model architectural correctness: every communication model must
+//! retire exactly the architectural instruction stream, verified in
+//! lock-step against the functional emulator.
+
+use dmdp_core::{CommModel, CoreConfig, SimReport, Simulator};
+use dmdp_isa::{asm, Program};
+
+fn assemble(name: &str, src: &str) -> Program {
+    asm::assemble_named(name, src).expect("kernel assembles")
+}
+
+fn run_all_models(p: &Program) -> Vec<SimReport> {
+    CommModel::ALL
+        .iter()
+        .map(|&m| {
+            Simulator::new(m)
+                .run_checked(p)
+                .unwrap_or_else(|e| panic!("{} under {:?}: {e}", p.name(), m))
+        })
+        .collect()
+}
+
+/// The paper's Figure 1 occasionally-colliding pattern: a pointer array
+/// indexes a histogram; repeated pointers collide, distinct ones do not.
+fn oc_kernel() -> Program {
+    assemble(
+        "oc-pointer",
+        r#"
+            .data
+    ptrs:   .word 0, 4, 4, 8, 12, 12, 12, 16, 0, 20, 24, 4, 8, 8, 28, 0
+    hist:   .space 64
+            .text
+            lui  $8, %hi(ptrs)
+            ori  $8, $8, %lo(ptrs)
+            lui  $9, %hi(hist)
+            ori  $9, $9, %lo(hist)
+            li   $4, 0          # i
+            li   $5, 96         # iterations
+    loop:
+            andi $6, $4, 15     # i % 16
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)      # ptr = ptrs[i%16]
+            add  $7, $7, $9
+            lw   $10, 0($7)     # x[ptr]
+            addi $10, $10, 1
+            sw   $10, 0($7)     # x[ptr]++   <-- OC store
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            # checksum
+            li   $4, 0
+            li   $11, 0
+    sum:
+            sll  $6, $4, 2
+            add  $6, $6, $9
+            lw   $7, 0($6)
+            add  $11, $11, $7
+            addi $4, $4, 1
+            slti $6, $4, 16
+            bgtz $6, sum
+            halt
+        "#,
+    )
+}
+
+/// Always-colliding: register-spill style, a hot stack slot rewritten and
+/// reread every iteration.
+fn ac_kernel() -> Program {
+    assemble(
+        "ac-spill",
+        r#"
+            .data
+    slot:   .space 16
+            .text
+            lui  $29, %hi(slot)
+            ori  $29, $29, %lo(slot)
+            li   $4, 0
+            li   $5, 200
+    loop:
+            sw   $4, 0($29)     # spill
+            addi $6, $4, 3
+            mul  $6, $6, $6
+            lw   $7, 0($29)     # reload: always collides
+            add  $8, $7, $6
+            sw   $8, 4($29)
+            lw   $9, 4($29)
+            add  $10, $10, $9
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#,
+    )
+}
+
+/// Never-colliding: streaming sum over an array (loads only).
+fn nc_kernel() -> Program {
+    assemble(
+        "nc-sweep",
+        r#"
+            .data
+    arr:    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+            .text
+            lui  $8, %hi(arr)
+            ori  $8, $8, %lo(arr)
+            li   $4, 0
+            li   $5, 16
+            li   $6, 0
+    loop:
+            lw   $7, 0($8)
+            add  $6, $6, $7
+            addi $8, $8, 4
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#,
+    )
+}
+
+/// Partial-word traffic: byte/half stores forwarded into word and
+/// sub-word loads, with sign extension.
+fn partial_kernel() -> Program {
+    assemble(
+        "partial-word",
+        r#"
+            .data
+    buf:    .space 64
+            .text
+            lui  $8, %hi(buf)
+            ori  $8, $8, %lo(buf)
+            li   $4, 0
+            li   $5, 40
+    loop:
+            andi $6, $4, 7
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            li   $7, -3
+            sb   $7, 1($6)      # byte store
+            lbu  $9, 1($6)      # zero-extended reload
+            lb   $10, 1($6)     # sign-extended reload
+            add  $11, $11, $9
+            add  $11, $11, $10
+            li   $7, 0x1234
+            sh   $7, 2($6)      # half store
+            lhu  $12, 2($6)
+            lw   $13, 0($6)     # word load over byte+half stores
+            add  $11, $11, $12
+            add  $11, $11, $13
+            sw   $11, 32($8)
+            lw   $14, 32($8)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#,
+    )
+}
+
+/// Silent stores: the same value rewritten repeatedly (paper Fig. 10).
+fn silent_kernel() -> Program {
+    assemble(
+        "silent-store",
+        r#"
+            .data
+    cell:   .word 7
+    out:    .space 8
+            .text
+            lui  $8, %hi(cell)
+            ori  $8, $8, %lo(cell)
+            li   $4, 0
+            li   $5, 120
+            li   $6, 7
+    loop:
+            sw   $6, 0($8)      # silent store: always writes 7
+            lw   $7, 0($8)
+            add  $9, $9, $7
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $9, 4($8)
+            halt
+        "#,
+    )
+}
+
+/// Calls, returns, and data-dependent branches.
+fn control_kernel() -> Program {
+    assemble(
+        "control",
+        r#"
+            .data
+    vals:   .word 3, -1, 4, -1, 5, -9, 2, 6
+    acc:    .space 8
+            .text
+            lui  $8, %hi(vals)
+            ori  $8, $8, %lo(vals)
+            li   $4, 0
+            li   $5, 8
+    loop:
+            sll  $6, $4, 2
+            add  $6, $6, $8
+            lw   $2, 0($6)
+            jal  absval
+            add  $9, $9, $2
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $9, acc($0)
+            halt
+    absval:
+            bgez $2, done
+            sub  $2, $0, $2
+    done:
+            jr   $31
+        "#,
+    )
+}
+
+fn all_kernels() -> Vec<Program> {
+    vec![
+        oc_kernel(),
+        ac_kernel(),
+        nc_kernel(),
+        partial_kernel(),
+        silent_kernel(),
+        control_kernel(),
+    ]
+}
+
+#[test]
+fn all_models_retire_the_architectural_stream() {
+    for p in all_kernels() {
+        let reports = run_all_models(&p);
+        let baseline_insns = reports[0].stats.retired_insns;
+        for r in &reports {
+            assert_eq!(
+                r.stats.retired_insns, baseline_insns,
+                "{} under {:?} retired a different instruction count",
+                p.name(),
+                r.model
+            );
+            assert!(r.stats.cycles > 0);
+            assert!(r.ipc() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn perfect_never_mispredicts_memory() {
+    for p in all_kernels() {
+        let r = Simulator::new(CommModel::Perfect).run_checked(&p).unwrap();
+        assert_eq!(r.stats.mem_dep_mispredicts, 0, "{}", p.name());
+        assert_eq!(r.stats.reexecutions, 0, "{}", p.name());
+    }
+}
+
+#[test]
+fn ac_kernel_gets_cloaked_under_nosq_and_dmdp() {
+    use dmdp_stats::LoadSource;
+    let p = ac_kernel();
+    for m in [CommModel::NoSq, CommModel::Dmdp] {
+        let r = Simulator::new(m).run_checked(&p).unwrap();
+        assert!(
+            r.stats.load_latency.count(LoadSource::Bypassed) > 50,
+            "{:?} should cloak the spill reloads, got {:?}",
+            m,
+            r.stats.load_latency
+        );
+    }
+}
+
+#[test]
+fn dmdp_predicates_instead_of_delaying() {
+    use dmdp_stats::LoadSource;
+    let p = oc_kernel();
+    let nosq = Simulator::new(CommModel::NoSq).run_checked(&p).unwrap();
+    let dmdp = Simulator::new(CommModel::Dmdp).run_checked(&p).unwrap();
+    assert_eq!(
+        dmdp.stats.load_latency.count(LoadSource::Delayed),
+        0,
+        "DMDP never delays loads"
+    );
+    assert_eq!(
+        nosq.stats.load_latency.count(LoadSource::Predicated),
+        0,
+        "NoSQ never predicates"
+    );
+    assert!(dmdp.stats.predication_uops > 0, "the OC kernel must trigger predication");
+}
+
+#[test]
+fn partial_word_loads_never_cloak() {
+    use dmdp_stats::LoadSource;
+    let p = partial_kernel();
+    let r = Simulator::new(CommModel::Dmdp).run_checked(&p).unwrap();
+    // Sub-word loads must use predication or direct access; word loads
+    // over mixed stores re-execute rather than forward wrongly.
+    assert!(r.stats.load_latency.count(LoadSource::Predicated) > 0);
+}
+
+#[test]
+fn rmo_matches_tso_architecturally() {
+    use dmdp_mem::Consistency;
+    for p in all_kernels() {
+        for model in [CommModel::NoSq, CommModel::Dmdp] {
+            let cfg = CoreConfig { consistency: Consistency::Rmo, ..CoreConfig::new(model) };
+            Simulator::with_config(cfg).run_checked(&p).unwrap();
+        }
+    }
+}
+
+#[test]
+fn alternative_geometries_stay_correct() {
+    let p = oc_kernel();
+    for model in CommModel::ALL {
+        for (width, rob, prf, sb) in
+            [(4, 256, 320, 16), (8, 512, 320, 16), (8, 256, 160, 16), (8, 256, 320, 64)]
+        {
+            let cfg = CoreConfig {
+                width,
+                rob_entries: rob,
+                phys_regs: prf,
+                store_buffer_entries: sb,
+                ..CoreConfig::new(model)
+            };
+            Simulator::with_config(cfg)
+                .run_checked(&p)
+                .unwrap_or_else(|e| panic!("{model:?} w{width} rob{rob} prf{prf} sb{sb}: {e}"));
+        }
+    }
+}

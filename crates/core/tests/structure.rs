@@ -1,0 +1,221 @@
+//! Microscopic behavioural checks of the paper's mechanisms, driven
+//! through the public API with purpose-built programs.
+
+use dmdp_core::{CommModel, CoreConfig, Simulator};
+use dmdp_isa::asm;
+use dmdp_stats::LoadSource;
+
+/// A loop whose load always collides with a store at the same distance:
+/// the canonical memory-cloaking case (paper Fig. 7).
+const AC_LOOP: &str = r#"
+        .data
+cell:   .space 8
+        .text
+        lui  $8, %hi(cell)
+        ori  $8, $8, %lo(cell)
+        li   $4, 0
+        li   $5, 500
+loop:
+        sw   $4, 0($8)
+        lw   $6, 0($8)      # always collides, distance 0
+        add  $7, $7, $6
+        addi $4, $4, 1
+        bne  $4, $5, loop
+        halt
+"#;
+
+/// A loop whose load collides only when the drifting pointer repeats:
+/// the occasionally-colliding case that triggers predication (Fig. 8).
+const OC_LOOP: &str = r#"
+        .data
+ptrs:   .word 0, 4, 4, 8, 0, 12, 8, 8
+x:      .space 16
+        .text
+        lui  $8, %hi(ptrs)
+        ori  $8, $8, %lo(ptrs)
+        lui  $9, %hi(x)
+        ori  $9, $9, %lo(x)
+        li   $4, 0
+        li   $5, 600
+loop:
+        andi $6, $4, 7
+        sll  $6, $6, 2
+        add  $6, $6, $8
+        lw   $7, 0($6)
+        add  $7, $7, $9
+        lw   $10, 0($7)
+        addi $10, $10, 1
+        sw   $10, 0($7)
+        addi $4, $4, 1
+        bne  $4, $5, loop
+        halt
+"#;
+
+#[test]
+fn cloaking_dominates_the_always_colliding_loop() {
+    let p = asm::assemble_named("ac", AC_LOOP).unwrap();
+    for model in [CommModel::NoSq, CommModel::Dmdp] {
+        let r = Simulator::new(model).run_checked(&p).unwrap();
+        let ll = &r.stats.load_latency;
+        let frac = ll.fraction(LoadSource::Bypassed);
+        assert!(frac > 0.9, "{model:?}: bypassed fraction {frac}");
+        // Cloaked loads inherit the store data's readiness: with a
+        // one-cycle producer the mean execution time collapses.
+        assert!(
+            ll.mean_latency(LoadSource::Bypassed) < 3.0,
+            "{model:?}: cloaked latency {}",
+            ll.mean_latency(LoadSource::Bypassed)
+        );
+        // Cloaking allocates no µops: retired µops equal the baseline's.
+        assert_eq!(r.stats.predication_uops, 0);
+    }
+}
+
+#[test]
+fn predication_groups_cost_exactly_three_uops() {
+    let p = asm::assemble_named("oc", OC_LOOP).unwrap();
+    let r = Simulator::new(CommModel::Dmdp).run_checked(&p).unwrap();
+    let predicated = r.stats.load_latency.count(LoadSource::Predicated);
+    assert!(predicated > 0, "the OC loop must predicate some loads");
+    // CMP + 2×CMOV per surviving predicated load; squashed groups can
+    // only add to the inserted count, never subtract.
+    assert!(
+        r.stats.predication_uops >= 3 * predicated,
+        "{} inserted vs {} retired groups",
+        r.stats.predication_uops,
+        predicated
+    );
+    // Each retired instruction's µop count: predicated loads are 5 (AGI,
+    // LOAD, CMP, CMOV, CMOV); everything else at most 2.
+    assert!(r.stats.retired_uops >= r.stats.retired_insns + 3 * predicated);
+}
+
+#[test]
+fn nosq_never_pays_predication_dmdp_never_delays() {
+    let p = asm::assemble_named("oc", OC_LOOP).unwrap();
+    let nosq = Simulator::new(CommModel::NoSq).run_checked(&p).unwrap();
+    let dmdp = Simulator::new(CommModel::Dmdp).run_checked(&p).unwrap();
+    assert_eq!(nosq.stats.predication_uops, 0);
+    assert_eq!(nosq.stats.load_latency.count(LoadSource::Predicated), 0);
+    assert_eq!(dmdp.stats.load_latency.count(LoadSource::Delayed), 0);
+}
+
+#[test]
+fn silent_store_policy_collapses_reexecutions() {
+    // Rewrites of an unchanged value (paper Fig. 10): without the
+    // silent-store-aware update the same load re-executes forever.
+    let src = r#"
+            .data
+    cell:   .word 7
+            .text
+            lui  $8, %hi(cell)
+            ori  $8, $8, %lo(cell)
+            li   $4, 0
+            li   $5, 400
+            li   $6, 7
+    loop:
+            sw   $6, 0($8)
+            lw   $7, 0($8)
+            add  $9, $9, $7
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+    "#;
+    let p = asm::assemble_named("silent", src).unwrap();
+    let aware = Simulator::new(CommModel::Dmdp).run_checked(&p).unwrap();
+    let naive = Simulator::with_config(CoreConfig {
+        silent_store_update: false,
+        ..CoreConfig::new(CommModel::Dmdp)
+    })
+    .run_checked(&p)
+    .unwrap();
+    assert!(
+        naive.stats.reexecutions > 4 * aware.stats.reexecutions.max(1),
+        "aware {} vs naive {}",
+        aware.stats.reexecutions,
+        naive.stats.reexecutions
+    );
+}
+
+#[test]
+fn biased_confidence_recovers_slower_than_balanced() {
+    // After a burst of mispredictions the biased policy needs ~32 correct
+    // outcomes to re-confident; the balanced policy needs one. The OC
+    // loop therefore predicates a larger share under the biased policy.
+    use dmdp_predict::ConfidencePolicy;
+    let p = asm::assemble_named("oc", OC_LOOP).unwrap();
+    let biased = Simulator::new(CommModel::Dmdp).run(&p).unwrap();
+    let balanced = Simulator::with_config({
+        let mut c = CoreConfig::new(CommModel::Dmdp);
+        c.distance.policy = ConfidencePolicy::Balanced;
+        c
+    })
+    .run(&p)
+    .unwrap();
+    assert!(
+        biased.stats.predication_uops >= balanced.stats.predication_uops,
+        "biased {} vs balanced {}",
+        biased.stats.predication_uops,
+        balanced.stats.predication_uops
+    );
+}
+
+#[test]
+fn perfect_retires_zero_overhead() {
+    let p = asm::assemble_named("oc", OC_LOOP).unwrap();
+    let r = Simulator::new(CommModel::Perfect).run_checked(&p).unwrap();
+    assert_eq!(r.stats.mem_dep_mispredicts, 0);
+    assert_eq!(r.stats.reexecutions, 0);
+    assert_eq!(r.stats.reexec_stall_cycles, 0);
+    assert_eq!(r.stats.predication_uops, 0);
+    assert_eq!(r.stats.load_latency.count(LoadSource::Delayed), 0);
+}
+
+#[test]
+fn store_of_zero_register_cloaks_as_direct() {
+    // `sw $0, ...` has no data register; cloaking/predication must fall
+    // back gracefully.
+    let src = r#"
+            .data
+    cell:   .space 8
+            .text
+            lui  $8, %hi(cell)
+            ori  $8, $8, %lo(cell)
+            li   $4, 0
+            li   $5, 200
+    loop:
+            sw   $0, 0($8)
+            lw   $6, 0($8)
+            add  $7, $7, $6
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+    "#;
+    let p = asm::assemble_named("zero-store", src).unwrap();
+    for model in CommModel::ALL {
+        Simulator::new(model).run_checked(&p).unwrap();
+    }
+}
+
+#[test]
+fn load_to_zero_register_is_harmless() {
+    let src = r#"
+            .data
+    cell:   .word 9
+            .text
+            lui  $8, %hi(cell)
+            ori  $8, $8, %lo(cell)
+            li   $4, 0
+            li   $5, 100
+    loop:
+            sw   $4, 0($8)
+            lw   $0, 0($8)      # architectural no-op destination
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+    "#;
+    let p = asm::assemble_named("zero-load", src).unwrap();
+    for model in CommModel::ALL {
+        Simulator::new(model).run_checked(&p).unwrap();
+    }
+}

@@ -1,0 +1,284 @@
+//! Byte Access Bits (BAB) and partial-word forwarding (paper §IV-D).
+//!
+//! Every memory access is described by its *aligned word address* plus a
+//! 4-bit mask — the Byte Access Bits — saying which bytes of that word it
+//! touches. A store forwards to a load iff the word addresses match and
+//! the store's BAB covers the load's BAB; the forwarded value must then be
+//! shifted, masked and sign/zero-extended according to the two accesses'
+//! low address bits and widths. The machine is little-endian.
+//!
+//! The `CMP` µop compresses everything the `CMOV` needs into a single
+//! predicate word ([`Predicate`]): the match bit plus both accesses' low
+//! address bits. The paper notes that "the predicate is a word-wide
+//! register, only one bit is used to guard the predicated instruction,
+//! other bits can be used" — this module defines that encoding.
+
+use crate::op::MemWidth;
+use crate::{Addr, Word};
+
+/// The aligned word address containing `addr`.
+#[inline]
+pub fn word_addr(addr: Addr) -> Addr {
+    addr & !3
+}
+
+/// The Byte Access Bits for an access of `width` at `addr`: bit *i* set
+/// means byte *i* of the aligned word is touched.
+///
+/// # Panics
+///
+/// Panics if the access is not naturally aligned (the ISA traps on
+/// unaligned accesses, so the µarch never sees one).
+#[inline]
+pub fn bab(addr: Addr, width: MemWidth) -> u8 {
+    assert!(width.is_aligned(addr), "unaligned {width} access at {addr:#x}");
+    let lane = (addr & 3) as u8;
+    match width {
+        MemWidth::Byte => 1 << lane,
+        MemWidth::Half => 0b11 << lane,
+        MemWidth::Word => 0b1111,
+    }
+}
+
+/// Whether a store with `store_bab` fully covers a load with `load_bab`
+/// (forwarding is legal — paper Fig. 11 left branch).
+#[inline]
+pub fn covers(store_bab: u8, load_bab: u8) -> bool {
+    store_bab & load_bab == load_bab
+}
+
+/// Whether the two accesses touch at least one common byte (a collision —
+/// paper §IV-A b).
+#[inline]
+pub fn overlaps(store_bab: u8, load_bab: u8) -> bool {
+    store_bab & load_bab != 0
+}
+
+/// Positions `value` of `width` stored at `addr` within its aligned word
+/// ("the store shifts left", §IV-D).
+#[inline]
+pub fn place_in_word(addr: Addr, width: MemWidth, value: Word) -> Word {
+    let shift = (addr & 3) * 8;
+    let masked = match width {
+        MemWidth::Byte => value & 0xFF,
+        MemWidth::Half => value & 0xFFFF,
+        MemWidth::Word => value,
+    };
+    masked << shift
+}
+
+/// Extracts an access of `width` at `addr` out of the aligned word value
+/// `word` ("the load shifts right", §IV-D), applying sign or zero
+/// extension for sub-word loads.
+#[inline]
+pub fn extract_from_word(word: Word, addr: Addr, width: MemWidth, signed: bool) -> Word {
+    let shift = (addr & 3) * 8;
+    let raw = word >> shift;
+    match (width, signed) {
+        (MemWidth::Byte, false) => raw & 0xFF,
+        (MemWidth::Byte, true) => (raw as u8) as i8 as i32 as u32,
+        (MemWidth::Half, false) => raw & 0xFFFF,
+        (MemWidth::Half, true) => (raw as u16) as i16 as i32 as u32,
+        (MemWidth::Word, _) => raw,
+    }
+}
+
+/// Store→load forwarding: the value the load observes if it takes its data
+/// from the store, or `None` if forwarding is illegal (different words, or
+/// the store does not cover every byte the load needs).
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::bab::forward;
+/// use dmdp_isa::MemWidth;
+/// // A word store forwards its upper half, shifted, to a half-word load.
+/// let v = forward(0x100, MemWidth::Word, 0xAABB_CCDD, 0x102, MemWidth::Half, false);
+/// assert_eq!(v, Some(0xAABB));
+/// // A byte store cannot satisfy a word load.
+/// assert_eq!(forward(0x100, MemWidth::Byte, 0xFF, 0x100, MemWidth::Word, false), None);
+/// ```
+pub fn forward(
+    store_addr: Addr,
+    store_width: MemWidth,
+    store_value: Word,
+    load_addr: Addr,
+    load_width: MemWidth,
+    load_signed: bool,
+) -> Option<Word> {
+    if word_addr(store_addr) != word_addr(load_addr) {
+        return None;
+    }
+    let sb = bab(store_addr, store_width);
+    let lb = bab(load_addr, load_width);
+    if !covers(sb, lb) {
+        return None;
+    }
+    let word = place_in_word(store_addr, store_width, store_value);
+    Some(extract_from_word(word, load_addr, load_width, load_signed))
+}
+
+/// The word-wide predicate produced by the `CMP` µop.
+///
+/// Layout: bit 0 = addresses match and store covers load; bits 8–9 = the
+/// store's low address bits; bits 10–11 = the load's low address bits.
+/// The `CMOV` µop combines these with its statically-known widths to shift
+/// and extend the forwarded store data.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Predicate {
+    /// Whether the predicted store indeed collides (and covers) the load.
+    pub matches: bool,
+    /// `store_addr & 3`.
+    pub store_lo2: u8,
+    /// `load_addr & 3`.
+    pub load_lo2: u8,
+}
+
+impl Predicate {
+    /// Computes the predicate for a (store, load) address pair — exactly
+    /// what the `CMP` µop does at execute.
+    pub fn compare(
+        store_addr: Addr,
+        store_width: MemWidth,
+        load_addr: Addr,
+        load_width: MemWidth,
+    ) -> Predicate {
+        let matches = word_addr(store_addr) == word_addr(load_addr)
+            && covers(bab(store_addr, store_width), bab(load_addr, load_width));
+        Predicate {
+            matches,
+            store_lo2: (store_addr & 3) as u8,
+            load_lo2: (load_addr & 3) as u8,
+        }
+    }
+
+    /// Packs the predicate into a register value.
+    pub fn encode(self) -> Word {
+        (self.matches as u32) | ((self.store_lo2 as u32) << 8) | ((self.load_lo2 as u32) << 10)
+    }
+
+    /// Unpacks a predicate from a register value.
+    pub fn decode(word: Word) -> Predicate {
+        Predicate {
+            matches: word & 1 != 0,
+            store_lo2: ((word >> 8) & 3) as u8,
+            load_lo2: ((word >> 10) & 3) as u8,
+        }
+    }
+
+    /// The value a true-path `CMOV` writes: the store's data shifted and
+    /// extended as the load requires.
+    ///
+    /// Must only be called when [`Predicate::matches`] is true; the shift
+    /// amounts are meaningless otherwise.
+    pub fn apply_forward(
+        self,
+        store_width: MemWidth,
+        store_value: Word,
+        load_width: MemWidth,
+        load_signed: bool,
+    ) -> Word {
+        let word = place_in_word(self.store_lo2 as Addr, store_width, store_value);
+        extract_from_word(word, self.load_lo2 as Addr, load_width, load_signed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bab_masks() {
+        assert_eq!(bab(0x100, MemWidth::Word), 0b1111);
+        assert_eq!(bab(0x101, MemWidth::Byte), 0b0010);
+        assert_eq!(bab(0x102, MemWidth::Half), 0b1100);
+        assert_eq!(bab(0x103, MemWidth::Byte), 0b1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_half_panics() {
+        let _ = bab(0x101, MemWidth::Half);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        assert!(covers(0b1111, 0b0011));
+        assert!(!covers(0b0011, 0b1111));
+        assert!(overlaps(0b0011, 0b0110));
+        assert!(!overlaps(0b0011, 0b1100));
+    }
+
+    #[test]
+    fn word_forwards_to_subword() {
+        // Store 0xAABBCCDD at word 0x100; LE byte layout DD CC BB AA.
+        let w = 0xAABB_CCDDu32;
+        assert_eq!(forward(0x100, MemWidth::Word, w, 0x100, MemWidth::Byte, false), Some(0xDD));
+        assert_eq!(forward(0x100, MemWidth::Word, w, 0x103, MemWidth::Byte, false), Some(0xAA));
+        assert_eq!(forward(0x100, MemWidth::Word, w, 0x102, MemWidth::Half, false), Some(0xAABB));
+        assert_eq!(forward(0x100, MemWidth::Word, w, 0x100, MemWidth::Word, false), Some(w));
+    }
+
+    #[test]
+    fn sign_extension_on_forward() {
+        let w = 0x0000_80FFu32;
+        assert_eq!(
+            forward(0x100, MemWidth::Word, w, 0x100, MemWidth::Byte, true),
+            Some(0xFFFF_FFFF)
+        );
+        assert_eq!(
+            forward(0x100, MemWidth::Word, w, 0x100, MemWidth::Half, true),
+            Some(0xFFFF_80FF)
+        );
+        assert_eq!(forward(0x100, MemWidth::Word, w, 0x100, MemWidth::Half, false), Some(0x80FF));
+    }
+
+    #[test]
+    fn partial_store_rejects_wider_load() {
+        assert_eq!(forward(0x100, MemWidth::Half, 0x1234, 0x100, MemWidth::Word, false), None);
+        assert_eq!(forward(0x100, MemWidth::Byte, 0x12, 0x100, MemWidth::Half, false), None);
+    }
+
+    #[test]
+    fn disjoint_bytes_reject() {
+        assert_eq!(forward(0x100, MemWidth::Half, 0x1234, 0x102, MemWidth::Half, false), None);
+        assert_eq!(forward(0x100, MemWidth::Word, 0, 0x104, MemWidth::Word, false), None);
+    }
+
+    #[test]
+    fn byte_store_forwards_to_same_byte() {
+        assert_eq!(forward(0x102, MemWidth::Byte, 0x5A, 0x102, MemWidth::Byte, false), Some(0x5A));
+    }
+
+    #[test]
+    fn predicate_roundtrip() {
+        for matches in [false, true] {
+            for s in 0..4u8 {
+                for l in 0..4u8 {
+                    let p = Predicate { matches, store_lo2: s, load_lo2: l };
+                    assert_eq!(Predicate::decode(p.encode()), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_compare_matches_forward() {
+        let p = Predicate::compare(0x100, MemWidth::Word, 0x102, MemWidth::Half);
+        assert!(p.matches);
+        assert_eq!(
+            p.apply_forward(MemWidth::Word, 0xAABB_CCDD, MemWidth::Half, false),
+            0xAABB
+        );
+        let p = Predicate::compare(0x100, MemWidth::Half, 0x102, MemWidth::Half);
+        assert!(!p.matches);
+    }
+
+    #[test]
+    fn predicate_guard_bit_is_bit_zero() {
+        let p = Predicate { matches: true, store_lo2: 0, load_lo2: 0 };
+        assert_eq!(p.encode() & 1, 1);
+        let p = Predicate { matches: false, store_lo2: 3, load_lo2: 3 };
+        assert_eq!(p.encode() & 1, 0);
+    }
+}

@@ -1,0 +1,579 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::Insn;
+use crate::op::{AluOp, Op};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::sparse::SparseMem;
+use crate::{Addr, Pc, Word};
+
+/// Error produced by the functional emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The PC walked past the end of the text segment without hitting
+    /// `halt`.
+    PcOutOfRange {
+        /// The offending PC.
+        pc: Pc,
+    },
+    /// `run` reached its step limit before the program halted.
+    StepLimit {
+        /// The limit that was exhausted.
+        limit: u64,
+    },
+    /// An unaligned memory access was attempted.
+    Unaligned {
+        /// The PC of the faulting instruction.
+        pc: Pc,
+        /// The faulting address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::PcOutOfRange { pc } => write!(f, "pc {pc} outside text segment"),
+            EmuError::StepLimit { limit } => write!(f, "step limit {limit} exhausted before halt"),
+            EmuError::Unaligned { pc, addr } => {
+                write!(f, "unaligned access at {addr:#x} (pc {pc})")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// What a single [`Emulator::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired; execution continues.
+    Retired(RetiredEvent),
+    /// A `halt` retired; the machine is stopped.
+    Halted,
+}
+
+/// The architectural effect of one retired instruction — used by
+/// co-simulation tests to check the out-of-order models instruction by
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetiredEvent {
+    /// PC of the retired instruction.
+    pub pc: Pc,
+    /// The instruction itself.
+    pub insn: Insn,
+    /// Register write performed, if any.
+    pub wrote: Option<(Reg, Word)>,
+    /// Memory effect, if any.
+    pub mem: Option<MemEvent>,
+    /// PC of the next instruction.
+    pub next_pc: Pc,
+}
+
+/// A memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Effective byte address.
+    pub addr: Addr,
+    /// The value loaded (post-extension) or stored (pre-truncation).
+    pub value: Word,
+    /// Whether this was a store.
+    pub is_store: bool,
+}
+
+/// Summary of a completed [`Emulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunResult {
+    /// Dynamic instructions retired, `halt` included.
+    pub retired: u64,
+    /// Dynamic loads retired.
+    pub loads: u64,
+    /// Dynamic stores retired.
+    pub stores: u64,
+    /// Dynamic conditional branches retired.
+    pub branches: u64,
+}
+
+/// Per-dynamic-load oracle facts extracted by a functional pre-pass.
+///
+/// This is the knowledge the paper's *Perfect* memory dependence predictor
+/// is assumed to have: for the *n*-th dynamic load, which store (by store
+/// sequence number, 1-based in program order) last wrote any byte the load
+/// reads — `0` when the location was never stored to — and the exact value
+/// the load observes.
+#[derive(Debug, Clone, Default)]
+pub struct OracleTrace {
+    /// `last_writer_ssn[n]` = SSN of the youngest earlier store overlapping
+    /// dynamic load `n` (0 = none).
+    pub last_writer_ssn: Vec<u32>,
+    /// The architecturally correct value of dynamic load `n`.
+    pub load_values: Vec<Word>,
+    /// Total dynamic stores in the run.
+    pub store_count: u32,
+}
+
+/// Tracks, per byte of memory, the SSN of the last store that wrote it.
+#[derive(Default)]
+struct LastWriter {
+    pages: HashMap<u32, Box<[u32; 4096]>>,
+}
+
+impl LastWriter {
+    fn record(&mut self, addr: Addr, len: u32, ssn: u32) {
+        for a in addr..addr + len {
+            let page = self
+                .pages
+                .entry(a >> 12)
+                .or_insert_with(|| Box::new([0u32; 4096]));
+            page[(a & 0xFFF) as usize] = ssn;
+        }
+    }
+
+    fn youngest(&self, addr: Addr, len: u32) -> u32 {
+        let mut best = 0;
+        for a in addr..addr + len {
+            if let Some(page) = self.pages.get(&(a >> 12)) {
+                best = best.max(page[(a & 0xFFF) as usize]);
+            }
+        }
+        best
+    }
+}
+
+/// A functional (architecturally exact, untimed) emulator.
+///
+/// Serves two roles in the reproduction:
+///
+/// 1. **Golden reference** — every out-of-order model's final architectural
+///    state must match the emulator's (checked by the integration tests).
+/// 2. **Oracle pre-pass** — [`Emulator::run_with_trace`] records the exact
+///    store→load dependences, which drives the paper's *Perfect* model.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::{asm, Emulator, Reg};
+/// let p = asm::assemble("li $1, 2\nli $2, 3\nmul $3, $1, $2\nhalt")?;
+/// let mut emu = Emulator::new(&p);
+/// emu.run(100)?;
+/// assert_eq!(emu.reg(Reg::new(3)), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Emulator {
+    program: Program,
+    regs: [Word; Reg::NUM_ARCH],
+    pc: Pc,
+    mem: SparseMem,
+    halted: bool,
+    result: RunResult,
+}
+
+impl Emulator {
+    /// Creates an emulator with the program's initial memory image loaded
+    /// and all registers zero.
+    pub fn new(program: &Program) -> Emulator {
+        Emulator {
+            mem: program.initial_memory(),
+            program: program.clone(),
+            regs: [0; Reg::NUM_ARCH],
+            pc: program.entry(),
+            halted: false,
+            result: RunResult::default(),
+        }
+    }
+
+    /// Current value of an architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a hidden (µarch-only) register.
+    pub fn reg(&self, r: Reg) -> Word {
+        assert!(!r.is_hidden(), "hidden registers have no architectural value");
+        self.regs[r.index()]
+    }
+
+    /// Sets an architectural register (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is hidden. Writes to `$0` are ignored.
+    pub fn set_reg(&mut self, r: Reg, value: Word) {
+        assert!(!r.is_hidden());
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// A copy of all 32 architectural registers.
+    pub fn regs(&self) -> [Word; Reg::NUM_ARCH] {
+        self.regs
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Whether the machine has retired `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Read-only view of memory.
+    pub fn mem(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// Convenience word read from memory.
+    pub fn load_word(&self, addr: Addr) -> Word {
+        self.mem.read_word(addr)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RunResult {
+        self.result
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a PC outside the text segment or an unaligned
+    /// access. The emulator is left un-advanced on error.
+    pub fn step(&mut self) -> Result<StepOutcome, EmuError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        let pc = self.pc;
+        let insn = self
+            .program
+            .fetch(pc)
+            .ok_or(EmuError::PcOutOfRange { pc })?;
+        let g = |r: Reg| -> Word {
+            if r.is_zero() {
+                0
+            } else {
+                self.regs[r.index()]
+            }
+        };
+        let mut wrote = None;
+        let mut mem_event = None;
+        let mut next_pc = pc + 1;
+        match insn.op {
+            Op::Alu(op) => {
+                wrote = Some((insn.rd, op.apply(g(insn.rs), g(insn.rt))));
+            }
+            Op::AluImm(op) => {
+                let b = if op == AluOp::Lui { insn.imm as u32 & 0xFFFF } else { insn.imm as u32 };
+                wrote = Some((insn.rd, op.apply(g(insn.rs), b)));
+            }
+            Op::Load { width, signed } => {
+                let addr = g(insn.rs).wrapping_add(insn.imm as u32);
+                if !width.is_aligned(addr) {
+                    return Err(EmuError::Unaligned { pc, addr });
+                }
+                let value = self.mem.read(addr, width, signed);
+                wrote = Some((insn.rd, value));
+                mem_event = Some(MemEvent { addr, value, is_store: false });
+                self.result.loads += 1;
+            }
+            Op::Store { width } => {
+                let addr = g(insn.rs).wrapping_add(insn.imm as u32);
+                if !width.is_aligned(addr) {
+                    return Err(EmuError::Unaligned { pc, addr });
+                }
+                let value = g(insn.rt);
+                self.mem.write(addr, width, value);
+                mem_event = Some(MemEvent { addr, value, is_store: true });
+                self.result.stores += 1;
+            }
+            Op::Branch(cond) => {
+                if cond.taken(g(insn.rs), g(insn.rt)) {
+                    next_pc = insn.imm as Pc;
+                }
+                self.result.branches += 1;
+            }
+            Op::Jump => next_pc = insn.imm as Pc,
+            Op::JumpAndLink => {
+                wrote = Some((insn.rd, pc + 1));
+                next_pc = insn.imm as Pc;
+            }
+            Op::JumpReg => next_pc = g(insn.rs),
+            Op::JumpAndLinkReg => {
+                wrote = Some((insn.rd, pc + 1));
+                next_pc = g(insn.rs);
+            }
+            Op::Nop => {}
+            Op::Halt => {
+                self.halted = true;
+                self.result.retired += 1;
+                return Ok(StepOutcome::Halted);
+            }
+        }
+        if let Some((rd, v)) = wrote {
+            if rd.is_zero() {
+                wrote = None;
+            } else {
+                self.regs[rd.index()] = v;
+            }
+        }
+        self.pc = next_pc;
+        self.result.retired += 1;
+        Ok(StepOutcome::Retired(RetiredEvent { pc, insn, wrote, mem: mem_event, next_pc }))
+    }
+
+    /// Runs until `halt`, for at most `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Emulator::step`] errors, and returns
+    /// [`EmuError::StepLimit`] if the program does not halt in time.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, EmuError> {
+        for _ in 0..max_steps {
+            if let StepOutcome::Halted = self.step()? {
+                return Ok(self.result);
+            }
+        }
+        if self.halted {
+            Ok(self.result)
+        } else {
+            Err(EmuError::StepLimit { limit: max_steps })
+        }
+    }
+
+    /// Runs to completion while recording the [`OracleTrace`] that the
+    /// *Perfect* dependence predictor consumes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Emulator::run`].
+    pub fn run_with_trace(&mut self, max_steps: u64) -> Result<(RunResult, OracleTrace), EmuError> {
+        let mut trace = OracleTrace::default();
+        let mut writers = LastWriter::default();
+        for _ in 0..max_steps {
+            match self.step()? {
+                StepOutcome::Halted => return Ok((self.result, trace)),
+                StepOutcome::Retired(ev) => {
+                    if let Some(mem) = ev.mem {
+                        let width = ev.insn.mem_width().expect("mem event without width");
+                        if mem.is_store {
+                            trace.store_count += 1;
+                            writers.record(mem.addr, width.bytes(), trace.store_count);
+                        } else {
+                            trace
+                                .last_writer_ssn
+                                .push(writers.youngest(mem.addr, width.bytes()));
+                            trace.load_values.push(mem.value);
+                        }
+                    }
+                }
+            }
+        }
+        Err(EmuError::StepLimit { limit: max_steps })
+    }
+}
+
+impl fmt::Debug for Emulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Emulator")
+            .field("program", &self.program.name())
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("retired", &self.result.retired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> Emulator {
+        let p = assemble(src).unwrap();
+        let mut e = Emulator::new(&p);
+        e.run(1_000_000).unwrap();
+        e
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // sum = 1 + 2 + ... + 10
+        let e = run_asm(
+            r#"
+            li   $1, 10
+            li   $2, 0
+        top:
+            add  $2, $2, $1
+            addi $1, $1, -1
+            bgtz $1, top
+            halt
+        "#,
+        );
+        assert_eq!(e.reg(Reg::new(2)), 55);
+        assert!(e.is_halted());
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let e = run_asm(
+            r#"
+                .data
+        buf:    .space 16
+                .text
+            lui  $8, %hi(buf)
+            ori  $8, $8, %lo(buf)
+            li   $1, -2
+            sw   $1, 0($8)
+            lw   $2, 0($8)
+            lh   $3, 0($8)
+            lhu  $4, 0($8)
+            lb   $5, 0($8)
+            lbu  $6, 0($8)
+            halt
+        "#,
+        );
+        assert_eq!(e.reg(Reg::new(2)), -2i32 as u32);
+        assert_eq!(e.reg(Reg::new(3)), -2i32 as u32);
+        assert_eq!(e.reg(Reg::new(4)), 0xFFFE);
+        assert_eq!(e.reg(Reg::new(5)), -2i32 as u32);
+        assert_eq!(e.reg(Reg::new(6)), 0xFE);
+    }
+
+    #[test]
+    fn jal_jr_call_return() {
+        let e = run_asm(
+            r#"
+            jal  func
+            li   $2, 7
+            halt
+        func:
+            li   $1, 5
+            jr   $31
+        "#,
+        );
+        assert_eq!(e.reg(Reg::new(1)), 5);
+        assert_eq!(e.reg(Reg::new(2)), 7);
+    }
+
+    #[test]
+    fn zero_register_ignores_writes() {
+        let e = run_asm("addi $0, $0, 99\nhalt");
+        assert_eq!(e.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn step_limit_error() {
+        let p = assemble("top: j top\nhalt").unwrap();
+        let mut e = Emulator::new(&p);
+        assert_eq!(e.run(100), Err(EmuError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn pc_out_of_range_error() {
+        let p = assemble("nop\nnop").unwrap();
+        let mut e = Emulator::new(&p);
+        let r = e.run(100);
+        assert_eq!(r, Err(EmuError::PcOutOfRange { pc: 2 }));
+    }
+
+    #[test]
+    fn unaligned_access_error() {
+        let p = assemble("li $1, 1\nlw $2, 0($1)\nhalt").unwrap();
+        let mut e = Emulator::new(&p);
+        assert!(matches!(e.run(10), Err(EmuError::Unaligned { addr: 1, .. })));
+    }
+
+    #[test]
+    fn retired_event_contents() {
+        let p = assemble("li $1, 3\nsw $1, 0x10000($0)\nhalt").unwrap();
+        let mut e = Emulator::new(&p);
+        let ev = match e.step().unwrap() {
+            StepOutcome::Retired(ev) => ev,
+            _ => panic!(),
+        };
+        assert_eq!(ev.wrote, Some((Reg::new(1), 3)));
+        assert_eq!(ev.next_pc, 1);
+        let ev = match e.step().unwrap() {
+            StepOutcome::Retired(ev) => ev,
+            _ => panic!(),
+        };
+        assert_eq!(ev.mem, Some(MemEvent { addr: 0x10000, value: 3, is_store: true }));
+    }
+
+    #[test]
+    fn oracle_trace_tracks_last_writer() {
+        let p = assemble(
+            r#"
+                .data
+        a:      .word 0
+        b:      .word 0
+                .text
+            li   $1, 1
+            lui  $8, %hi(a)
+            ori  $8, $8, %lo(a)
+            lw   $2, 0($8)      # load 0: never written -> ssn 0
+            sw   $1, 0($8)      # store 1
+            lw   $3, 0($8)      # load 1: last writer store 1
+            sw   $1, 4($8)      # store 2
+            lw   $4, 0($8)      # load 2: still store 1
+            lw   $5, 4($8)      # load 3: store 2
+            sw   $1, 0($8)      # store 3 (silent)
+            lw   $6, 0($8)      # load 4: store 3
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut e = Emulator::new(&p);
+        let (_, trace) = e.run_with_trace(1000).unwrap();
+        assert_eq!(trace.store_count, 3);
+        assert_eq!(trace.last_writer_ssn, vec![0, 1, 1, 2, 3]);
+        assert_eq!(trace.load_values, vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn oracle_trace_partial_word_overlap() {
+        let p = assemble(
+            r#"
+                .data
+        a:      .word 0
+                .text
+            li   $1, 0x7F
+            lui  $8, %hi(a)
+            ori  $8, $8, %lo(a)
+            sw   $1, 0($8)      # store 1 writes bytes 0..4
+            sb   $1, 2($8)      # store 2 writes byte 2
+            lhu  $2, 0($8)      # load 0 reads bytes 0..2 -> store 1
+            lhu  $3, 2($8)      # load 1 reads bytes 2..4 -> store 2
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut e = Emulator::new(&p);
+        let (_, trace) = e.run_with_trace(1000).unwrap();
+        assert_eq!(trace.last_writer_ssn, vec![1, 2]);
+        assert_eq!(trace.load_values, vec![0x7F, 0x7F]);
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let e = run_asm(
+            r#"
+            li  $1, 2
+        top:
+            sw  $1, 0x10000($0)
+            lw  $2, 0x10000($0)
+            addi $1, $1, -1
+            bgtz $1, top
+            halt
+        "#,
+        );
+        let s = e.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.retired, 1 + 2 * 4 + 1);
+    }
+}

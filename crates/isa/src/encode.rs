@@ -1,0 +1,363 @@
+//! Binary encoding of instructions and whole program images.
+//!
+//! Each instruction packs into one 64-bit word (the 32-bit immediate
+//! rules out a MIPS-style 32-bit encoding: data labels produce full
+//! addresses):
+//!
+//! ```text
+//!  63      56 55    50 49    44 43    38 37     32 31            0
+//! +----------+--------+--------+--------+---------+---------------+
+//! |  opcode  |   rd   |   rs   |   rt   | (unused)|   immediate   |
+//! +----------+--------+--------+--------+---------+---------------+
+//! ```
+//!
+//! [`Program::to_image`] / [`Program::from_image`] serialize a whole
+//! program (magic, entry point, text, data base, data bytes) so that
+//! assembled kernels can be cached on disk or shipped between tools.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::Insn;
+use crate::op::{AluOp, BranchCond, MemWidth, Op};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Decoding error: the word does not denote a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u64,
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#018x}: {}", self.word, self.reason)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn err(word: u64, reason: &'static str) -> DecodeError {
+    DecodeError { word, reason }
+}
+
+const OP_ALU: u8 = 0x01;
+const OP_ALU_IMM: u8 = 0x02;
+const OP_LOAD: u8 = 0x10; // +width*2 +signed
+const OP_STORE: u8 = 0x18; // +width
+const OP_BRANCH: u8 = 0x20; // +cond
+const OP_JUMP: u8 = 0x30;
+const OP_JAL: u8 = 0x31;
+const OP_JR: u8 = 0x32;
+const OP_JALR: u8 = 0x33;
+const OP_NOP: u8 = 0x3E;
+const OP_HALT: u8 = 0x3F;
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Nor => 5,
+        AluOp::Slt => 6,
+        AluOp::Sltu => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Lui => 11,
+        AluOp::Mul => 12,
+        AluOp::Div => 13,
+        AluOp::Rem => 14,
+    }
+}
+
+fn alu_from(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Nor,
+        6 => AluOp::Slt,
+        7 => AluOp::Sltu,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Lui,
+        12 => AluOp::Mul,
+        13 => AluOp::Div,
+        14 => AluOp::Rem,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lez => 2,
+        BranchCond::Gtz => 3,
+        BranchCond::Ltz => 4,
+        BranchCond::Gez => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lez,
+        3 => BranchCond::Gtz,
+        4 => BranchCond::Ltz,
+        5 => BranchCond::Gez,
+        _ => return None,
+    })
+}
+
+fn width_code(w: MemWidth) -> u8 {
+    match w {
+        MemWidth::Byte => 0,
+        MemWidth::Half => 1,
+        MemWidth::Word => 2,
+    }
+}
+
+fn width_from(code: u8) -> Option<MemWidth> {
+    Some(match code {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        2 => MemWidth::Word,
+        _ => return None,
+    })
+}
+
+/// Encodes an instruction into its 64-bit word.
+pub fn encode(insn: Insn) -> u64 {
+    let (opcode, sub): (u8, u8) = match insn.op {
+        Op::Alu(a) => (OP_ALU, alu_code(a)),
+        Op::AluImm(a) => (OP_ALU_IMM, alu_code(a)),
+        Op::Load { width, signed } => (OP_LOAD + width_code(width) * 2 + signed as u8, 0),
+        Op::Store { width } => (OP_STORE + width_code(width), 0),
+        Op::Branch(c) => (OP_BRANCH + cond_code(c), 0),
+        Op::Jump => (OP_JUMP, 0),
+        Op::JumpAndLink => (OP_JAL, 0),
+        Op::JumpReg => (OP_JR, 0),
+        Op::JumpAndLinkReg => (OP_JALR, 0),
+        Op::Nop => (OP_NOP, 0),
+        Op::Halt => (OP_HALT, 0),
+    };
+    ((opcode as u64) << 56)
+        | ((insn.rd.index() as u64) << 50)
+        | ((insn.rs.index() as u64) << 44)
+        | ((insn.rt.index() as u64) << 38)
+        | ((sub as u64) << 32)
+        | (insn.imm as u32 as u64)
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes, ALU/branch sub-codes, or
+/// out-of-range register fields.
+pub fn decode(word: u64) -> Result<Insn, DecodeError> {
+    let opcode = (word >> 56) as u8;
+    let rd_i = ((word >> 50) & 0x3F) as u8;
+    let rs_i = ((word >> 44) & 0x3F) as u8;
+    let rt_i = ((word >> 38) & 0x3F) as u8;
+    let sub = ((word >> 32) & 0x3F) as u8;
+    let imm = word as u32 as i32;
+    if rd_i as usize >= Reg::NUM_LOGICAL
+        || rs_i as usize >= Reg::NUM_LOGICAL
+        || rt_i as usize >= Reg::NUM_LOGICAL
+    {
+        return Err(err(word, "register field out of range"));
+    }
+    let (rd, rs, rt) = (Reg::new(rd_i), Reg::new(rs_i), Reg::new(rt_i));
+    let op = match opcode {
+        OP_ALU => Op::Alu(alu_from(sub).ok_or_else(|| err(word, "bad ALU sub-code"))?),
+        OP_ALU_IMM => Op::AluImm(alu_from(sub).ok_or_else(|| err(word, "bad ALU sub-code"))?),
+        o if (OP_LOAD..OP_LOAD + 6).contains(&o) => {
+            let rel = o - OP_LOAD;
+            Op::Load {
+                width: width_from(rel / 2).ok_or_else(|| err(word, "bad load width"))?,
+                signed: rel % 2 == 1,
+            }
+        }
+        o if (OP_STORE..OP_STORE + 3).contains(&o) => Op::Store {
+            width: width_from(o - OP_STORE).ok_or_else(|| err(word, "bad store width"))?,
+        },
+        o if (OP_BRANCH..OP_BRANCH + 6).contains(&o) => Op::Branch(
+            cond_from(o - OP_BRANCH).ok_or_else(|| err(word, "bad branch condition"))?,
+        ),
+        OP_JUMP => Op::Jump,
+        OP_JAL => Op::JumpAndLink,
+        OP_JR => Op::JumpReg,
+        OP_JALR => Op::JumpAndLinkReg,
+        OP_NOP => Op::Nop,
+        OP_HALT => Op::Halt,
+        _ => return Err(err(word, "unknown opcode")),
+    };
+    Ok(Insn { op, rd, rs, rt, imm })
+}
+
+const IMAGE_MAGIC: u32 = 0x444D_4450; // "DMDP"
+const IMAGE_VERSION: u32 = 1;
+
+/// Program image (de)serialization.
+impl Program {
+    /// Serializes the program into a self-describing byte image.
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let name = self.name().as_bytes();
+        out.extend_from_slice(&IMAGE_MAGIC.to_le_bytes());
+        out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.entry().to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for i in self.text() {
+            out.extend_from_slice(&encode(*i).to_le_bytes());
+        }
+        out.extend_from_slice(&self.data_base().to_le_bytes());
+        out.extend_from_slice(&(self.data().len() as u32).to_le_bytes());
+        out.extend_from_slice(self.data());
+        out
+    }
+
+    /// Deserializes a program image produced by [`Program::to_image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on a bad magic/version, a truncated
+    /// image, or an undecodable instruction word.
+    pub fn from_image(bytes: &[u8]) -> Result<Program, DecodeError> {
+        struct Cursor<'a>(&'a [u8]);
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+                if self.0.len() < n {
+                    return Err(err(0, "truncated image"));
+                }
+                let (head, rest) = self.0.split_at(n);
+                self.0 = rest;
+                Ok(head)
+            }
+            fn u32(&mut self) -> Result<u32, DecodeError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+            }
+            fn u64(&mut self) -> Result<u64, DecodeError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+            }
+        }
+        let mut c = Cursor(bytes);
+        if c.u32()? != IMAGE_MAGIC {
+            return Err(err(0, "bad magic"));
+        }
+        if c.u32()? != IMAGE_VERSION {
+            return Err(err(0, "unsupported image version"));
+        }
+        let name_len = c.u32()? as usize;
+        let name = String::from_utf8(c.take(name_len)?.to_vec())
+            .map_err(|_| err(0, "program name is not UTF-8"))?;
+        let entry = c.u32()?;
+        let text_len = c.u32()? as usize;
+        let mut text = Vec::with_capacity(text_len);
+        for _ in 0..text_len {
+            text.push(decode(c.u64()?)?);
+        }
+        let data_base = c.u32()?;
+        let data_len = c.u32()? as usize;
+        let data = c.take(data_len)?.to_vec();
+        if entry as usize >= text.len().max(1) {
+            return Err(err(0, "entry point outside text"));
+        }
+        Ok(Program::new(name, text, data_base, data, entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn encode_decode_representative_instructions() {
+        let cases = [
+            Insn::add(r(3), r(1), r(2)),
+            Insn::addi(r(3), r(1), -12345),
+            Insn::lui(r(8), 0xFFFF),
+            Insn::lw(r(9), r(3), 0x1_0004),
+            Insn::lb(r(9), r(3), -3),
+            Insn::lhu(r(9), r(3), 6),
+            Insn::sw(r(7), r(8), 8),
+            Insn::sb(r(7), r(8), 1),
+            Insn::beq(r(1), r(2), 42),
+            Insn::bltz(r(1), 7),
+            Insn::j(99),
+            Insn::jal(5),
+            Insn::jr(Reg::RA),
+            Insn::jalr(r(4), r(5)),
+            Insn::muli(r(6), r(7), 257),
+            Insn::nop(),
+            Insn::halt(),
+        ];
+        for i in cases {
+            assert_eq!(decode(encode(i)).unwrap(), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert!(decode(0xFF << 56).is_err()); // unknown opcode
+        assert!(decode((OP_ALU as u64) << 56 | (63 << 32)).is_err()); // bad sub
+        let bad_reg = ((OP_ALU as u64) << 56) | (40u64 << 50);
+        assert!(decode(bad_reg).is_err());
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let p = crate::asm::assemble_named(
+            "img",
+            r#"
+                .data
+        x:      .word 7, 9
+                .text
+        start:  lw $1, x($0)
+                addi $1, $1, 1
+                halt
+            "#,
+        )
+        .unwrap();
+        let image = p.to_image();
+        let q = Program::from_image(&image).unwrap();
+        assert_eq!(q.name(), "img");
+        assert_eq!(q.text(), p.text());
+        assert_eq!(q.data(), p.data());
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.data_base(), p.data_base());
+    }
+
+    #[test]
+    fn truncated_image_fails_cleanly() {
+        let p = crate::asm::assemble("nop\nhalt").unwrap();
+        let image = p.to_image();
+        for cut in [0, 3, 7, image.len() - 1] {
+            assert!(Program::from_image(&image[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_fails() {
+        let p = crate::asm::assemble("halt").unwrap();
+        let mut image = p.to_image();
+        image[0] ^= 0xFF;
+        assert!(Program::from_image(&image).is_err());
+    }
+}

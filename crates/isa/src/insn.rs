@@ -1,0 +1,457 @@
+use std::fmt;
+
+use crate::op::{AluOp, BranchCond, MemWidth, Op};
+use crate::reg::Reg;
+use crate::Pc;
+
+/// One architectural instruction.
+///
+/// Instructions use a uniform three-register + immediate format; which
+/// fields are meaningful depends on [`Op`]. Constructors (e.g.
+/// [`Insn::add`], [`Insn::lw`], [`Insn::beq`]) build well-formed
+/// instructions; the field accessors [`Insn::dest`] and [`Insn::sources`]
+/// expose the dataflow a renamer needs.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::{Insn, Reg};
+/// let i = Insn::addi(Reg::new(9), Reg::new(8), 4);
+/// assert_eq!(i.dest(), Some(Reg::new(9)));
+/// assert_eq!(i.sources(), [Some(Reg::new(8)), None]);
+/// assert_eq!(i.to_string(), "addi $9, $8, 4");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Insn {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register (meaning depends on `op`).
+    pub rd: Reg,
+    /// First source register.
+    pub rs: Reg,
+    /// Second source register.
+    pub rt: Reg,
+    /// Immediate: ALU constant, load/store byte offset, or branch/jump
+    /// target in instruction-index units.
+    pub imm: i32,
+}
+
+macro_rules! alu3 {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(rd: Reg, rs: Reg, rt: Reg) -> Insn {
+                Insn { op: Op::Alu(AluOp::$op), rd, rs, rt, imm: 0 }
+            }
+        )*
+    };
+}
+
+macro_rules! alui {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(rd: Reg, rs: Reg, imm: i32) -> Insn {
+                Insn { op: Op::AluImm(AluOp::$op), rd, rs, rt: Reg::ZERO, imm }
+            }
+        )*
+    };
+}
+
+impl Insn {
+    alu3! {
+        /// `add rd, rs, rt`
+        add => Add,
+        /// `sub rd, rs, rt`
+        sub => Sub,
+        /// `and rd, rs, rt`
+        and => And,
+        /// `or rd, rs, rt`
+        or => Or,
+        /// `xor rd, rs, rt`
+        xor => Xor,
+        /// `nor rd, rs, rt`
+        nor => Nor,
+        /// `slt rd, rs, rt`
+        slt => Slt,
+        /// `sltu rd, rs, rt`
+        sltu => Sltu,
+        /// `sllv rd, rs, rt` (shift amount in `rt`)
+        sllv => Sll,
+        /// `srlv rd, rs, rt`
+        srlv => Srl,
+        /// `srav rd, rs, rt`
+        srav => Sra,
+        /// `mul rd, rs, rt`
+        mul => Mul,
+        /// `div rd, rs, rt` (quotient)
+        div => Div,
+        /// `rem rd, rs, rt`
+        rem => Rem,
+    }
+
+    alui! {
+        /// `addi rd, rs, imm`
+        addi => Add,
+        /// `andi rd, rs, imm`
+        andi => And,
+        /// `ori rd, rs, imm`
+        ori => Or,
+        /// `xori rd, rs, imm`
+        xori => Xor,
+        /// `slti rd, rs, imm`
+        slti => Slt,
+        /// `sltiu rd, rs, imm`
+        sltiu => Sltu,
+        /// `sll rd, rs, sh` (immediate shift)
+        sll => Sll,
+        /// `srl rd, rs, sh`
+        srl => Srl,
+        /// `sra rd, rs, sh`
+        sra => Sra,
+        /// `muli rd, rs, imm` (immediate multiply; ISA extension for
+        /// compact kernels)
+        muli => Mul,
+    }
+
+    /// `lui rd, imm`: `rd = imm << 16`.
+    pub fn lui(rd: Reg, imm: i32) -> Insn {
+        Insn { op: Op::AluImm(AluOp::Lui), rd, rs: Reg::ZERO, rt: Reg::ZERO, imm }
+    }
+
+    /// `li rd, imm` pseudo-instruction for small constants, encoded as
+    /// `addi rd, $0, imm`.
+    pub fn li(rd: Reg, imm: i32) -> Insn {
+        Insn::addi(rd, Reg::ZERO, imm)
+    }
+
+    /// `move rd, rs` pseudo-instruction, encoded as `or rd, rs, $0`.
+    pub fn mv(rd: Reg, rs: Reg) -> Insn {
+        Insn::or(rd, rs, Reg::ZERO)
+    }
+
+    /// A generic load; see also [`Insn::lw`], [`Insn::lh`], etc.
+    pub fn load(rd: Reg, base: Reg, offset: i32, width: MemWidth, signed: bool) -> Insn {
+        Insn { op: Op::Load { width, signed }, rd, rs: base, rt: Reg::ZERO, imm: offset }
+    }
+
+    /// A generic store; see also [`Insn::sw`], [`Insn::sh`], [`Insn::sb`].
+    pub fn store(rt: Reg, base: Reg, offset: i32, width: MemWidth) -> Insn {
+        Insn { op: Op::Store { width }, rd: Reg::ZERO, rs: base, rt, imm: offset }
+    }
+
+    /// `lw rd, offset(base)`
+    pub fn lw(rd: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::load(rd, base, offset, MemWidth::Word, false)
+    }
+
+    /// `lh rd, offset(base)` (sign-extending half-word load)
+    pub fn lh(rd: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::load(rd, base, offset, MemWidth::Half, true)
+    }
+
+    /// `lhu rd, offset(base)`
+    pub fn lhu(rd: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::load(rd, base, offset, MemWidth::Half, false)
+    }
+
+    /// `lb rd, offset(base)` (sign-extending byte load)
+    pub fn lb(rd: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::load(rd, base, offset, MemWidth::Byte, true)
+    }
+
+    /// `lbu rd, offset(base)`
+    pub fn lbu(rd: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::load(rd, base, offset, MemWidth::Byte, false)
+    }
+
+    /// `sw rt, offset(base)`
+    pub fn sw(rt: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::store(rt, base, offset, MemWidth::Word)
+    }
+
+    /// `sh rt, offset(base)`
+    pub fn sh(rt: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::store(rt, base, offset, MemWidth::Half)
+    }
+
+    /// `sb rt, offset(base)`
+    pub fn sb(rt: Reg, base: Reg, offset: i32) -> Insn {
+        Insn::store(rt, base, offset, MemWidth::Byte)
+    }
+
+    /// `beq rs, rt, target`
+    pub fn beq(rs: Reg, rt: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Eq), rd: Reg::ZERO, rs, rt, imm: target as i32 }
+    }
+
+    /// `bne rs, rt, target`
+    pub fn bne(rs: Reg, rt: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Ne), rd: Reg::ZERO, rs, rt, imm: target as i32 }
+    }
+
+    /// `blez rs, target`
+    pub fn blez(rs: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Lez), rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `bgtz rs, target`
+    pub fn bgtz(rs: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Gtz), rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `bltz rs, target`
+    pub fn bltz(rs: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Ltz), rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `bgez rs, target`
+    pub fn bgez(rs: Reg, target: Pc) -> Insn {
+        Insn { op: Op::Branch(BranchCond::Gez), rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `j target`
+    pub fn j(target: Pc) -> Insn {
+        Insn { op: Op::Jump, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `jal target` (links into `$31`)
+    pub fn jal(target: Pc) -> Insn {
+        Insn { op: Op::JumpAndLink, rd: Reg::RA, rs: Reg::ZERO, rt: Reg::ZERO, imm: target as i32 }
+    }
+
+    /// `jr rs`
+    pub fn jr(rs: Reg) -> Insn {
+        Insn { op: Op::JumpReg, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `jalr rd, rs`
+    pub fn jalr(rd: Reg, rs: Reg) -> Insn {
+        Insn { op: Op::JumpAndLinkReg, rd, rs, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `nop`
+    pub fn nop() -> Insn {
+        Insn { op: Op::Nop, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `halt`
+    pub fn halt() -> Insn {
+        Insn { op: Op::Halt, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// The architectural register this instruction writes, if any.
+    /// Writes to `$0` are reported as `None` (they are architectural
+    /// no-ops and must not allocate a physical register).
+    pub fn dest(&self) -> Option<Reg> {
+        let d = match self.op {
+            Op::Alu(_) | Op::AluImm(_) | Op::Load { .. } => Some(self.rd),
+            Op::JumpAndLink | Op::JumpAndLinkReg => Some(self.rd),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// The up-to-two architectural registers this instruction reads.
+    /// Reads of `$0` are reported as `None`.
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        let f = |r: Reg| if r.is_zero() { None } else { Some(r) };
+        match self.op {
+            Op::Alu(_) => [f(self.rs), f(self.rt)],
+            Op::AluImm(AluOp::Lui) => [None, None],
+            Op::AluImm(_) => [f(self.rs), None],
+            Op::Load { .. } => [f(self.rs), None],
+            Op::Store { .. } => [f(self.rs), f(self.rt)],
+            Op::Branch(c) => {
+                if c.uses_rt() {
+                    [f(self.rs), f(self.rt)]
+                } else {
+                    [f(self.rs), None]
+                }
+            }
+            Op::JumpReg | Op::JumpAndLinkReg => [f(self.rs), None],
+            Op::Jump | Op::JumpAndLink | Op::Nop | Op::Halt => [None, None],
+        }
+    }
+
+    /// Memory access width for loads and stores.
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        match self.op {
+            Op::Load { width, .. } | Op::Store { width } => Some(width),
+            _ => None,
+        }
+    }
+
+    /// The statically-known control-flow target (branches and direct
+    /// jumps); `None` for indirect jumps and non-control instructions.
+    pub fn static_target(&self) -> Option<Pc> {
+        match self.op {
+            Op::Branch(_) | Op::Jump | Op::JumpAndLink => Some(self.imm as Pc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Alu(op) => {
+                let name = alu_name(op, false);
+                write!(f, "{name} {}, {}, {}", self.rd, self.rs, self.rt)
+            }
+            Op::AluImm(AluOp::Lui) => write!(f, "lui {}, {}", self.rd, self.imm),
+            Op::AluImm(op) => {
+                let name = alu_name(op, true);
+                write!(f, "{name} {}, {}, {}", self.rd, self.rs, self.imm)
+            }
+            Op::Load { width, signed } => {
+                let name = match (width, signed) {
+                    (MemWidth::Word, _) => "lw",
+                    (MemWidth::Half, true) => "lh",
+                    (MemWidth::Half, false) => "lhu",
+                    (MemWidth::Byte, true) => "lb",
+                    (MemWidth::Byte, false) => "lbu",
+                };
+                write!(f, "{name} {}, {}({})", self.rd, self.imm, self.rs)
+            }
+            Op::Store { width } => {
+                let name = match width {
+                    MemWidth::Word => "sw",
+                    MemWidth::Half => "sh",
+                    MemWidth::Byte => "sb",
+                };
+                write!(f, "{name} {}, {}({})", self.rt, self.imm, self.rs)
+            }
+            Op::Branch(c) => {
+                let name = match c {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lez => "blez",
+                    BranchCond::Gtz => "bgtz",
+                    BranchCond::Ltz => "bltz",
+                    BranchCond::Gez => "bgez",
+                };
+                if c.uses_rt() {
+                    write!(f, "{name} {}, {}, {}", self.rs, self.rt, self.imm)
+                } else {
+                    write!(f, "{name} {}, {}", self.rs, self.imm)
+                }
+            }
+            Op::Jump => write!(f, "j {}", self.imm),
+            Op::JumpAndLink => write!(f, "jal {}", self.imm),
+            Op::JumpReg => write!(f, "jr {}", self.rs),
+            Op::JumpAndLinkReg => write!(f, "jalr {}, {}", self.rd, self.rs),
+            Op::Nop => f.write_str("nop"),
+            Op::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, _) => "sub",
+        (AluOp::And, false) => "and",
+        (AluOp::And, true) => "andi",
+        (AluOp::Or, false) => "or",
+        (AluOp::Or, true) => "ori",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Nor, _) => "nor",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Sltu, true) => "sltiu",
+        (AluOp::Sll, false) => "sllv",
+        (AluOp::Sll, true) => "sll",
+        (AluOp::Srl, false) => "srlv",
+        (AluOp::Srl, true) => "srl",
+        (AluOp::Sra, false) => "srav",
+        (AluOp::Sra, true) => "sra",
+        (AluOp::Lui, _) => "lui",
+        (AluOp::Mul, false) => "mul",
+        (AluOp::Mul, true) => "muli",
+        (AluOp::Div, _) => "div",
+        (AluOp::Rem, _) => "rem",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn dataflow_of_alu() {
+        let i = Insn::add(r(3), r(1), r(2));
+        assert_eq!(i.dest(), Some(r(3)));
+        assert_eq!(i.sources(), [Some(r(1)), Some(r(2))]);
+    }
+
+    #[test]
+    fn zero_register_is_filtered() {
+        let i = Insn::add(Reg::ZERO, Reg::ZERO, r(2));
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), [None, Some(r(2))]);
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let i = Insn::sw(r(7), r(8), 8);
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), [Some(r(8)), Some(r(7))]);
+        assert_eq!(i.mem_width(), Some(MemWidth::Word));
+    }
+
+    #[test]
+    fn load_writes_rd_reads_base() {
+        let i = Insn::lhu(r(9), r(3), 4);
+        assert_eq!(i.dest(), Some(r(9)));
+        assert_eq!(i.sources(), [Some(r(3)), None]);
+        assert_eq!(i.mem_width(), Some(MemWidth::Half));
+    }
+
+    #[test]
+    fn branch_sources_depend_on_condition() {
+        assert_eq!(Insn::beq(r(1), r(2), 10).sources(), [Some(r(1)), Some(r(2))]);
+        assert_eq!(Insn::bltz(r(1), 10).sources(), [Some(r(1)), None]);
+    }
+
+    #[test]
+    fn jal_links_ra() {
+        let i = Insn::jal(5);
+        assert_eq!(i.dest(), Some(Reg::RA));
+        assert_eq!(i.static_target(), Some(5));
+    }
+
+    #[test]
+    fn jr_is_indirect() {
+        let i = Insn::jr(r(31));
+        assert_eq!(i.static_target(), None);
+        assert!(i.op.is_control());
+    }
+
+    #[test]
+    fn lui_has_no_sources() {
+        assert_eq!(Insn::lui(r(8), 0x1000).sources(), [None, None]);
+    }
+
+    #[test]
+    fn display_round_trips_key_forms() {
+        assert_eq!(Insn::add(r(3), r(1), r(2)).to_string(), "add $3, $1, $2");
+        assert_eq!(Insn::lw(r(9), r(3), 4).to_string(), "lw $9, 4($3)");
+        assert_eq!(Insn::sw(r(7), r(8), 8).to_string(), "sw $7, 8($8)");
+        assert_eq!(Insn::beq(r(1), r(2), 7).to_string(), "beq $1, $2, 7");
+        assert_eq!(Insn::halt().to_string(), "halt");
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        assert_eq!(Insn::li(r(4), 9), Insn::addi(r(4), Reg::ZERO, 9));
+        assert_eq!(Insn::mv(r(4), r(5)), Insn::or(r(4), r(5), Reg::ZERO));
+    }
+}

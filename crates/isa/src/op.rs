@@ -1,0 +1,316 @@
+use std::fmt;
+
+/// Width of a memory access.
+///
+/// The paper's partial-word forwarding machinery (§IV-D) distinguishes
+/// accesses by the set of bytes they touch within an aligned word; the
+/// width (together with the low address bits) determines the Byte Access
+/// Bits.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum MemWidth {
+    /// One byte (`LB`/`LBU`/`SB`).
+    Byte,
+    /// Two bytes (`LH`/`LHU`/`SH`).
+    Half,
+    /// Four bytes (`LW`/`SW`).
+    Word,
+}
+
+impl MemWidth {
+    /// Number of bytes accessed.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+
+    /// Whether an access of this width at `addr` is naturally aligned.
+    #[inline]
+    pub fn is_aligned(self, addr: u32) -> bool {
+        addr.is_multiple_of(self.bytes())
+    }
+
+    /// Whether this is a sub-word access. Sub-word loads are barred from
+    /// memory cloaking in DMDP (§IV-D) and must use predication.
+    #[inline]
+    pub fn is_partial(self) -> bool {
+        self != MemWidth::Word
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemWidth::Byte => "byte",
+            MemWidth::Half => "half",
+            MemWidth::Word => "word",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic/logic operations executed by the ALU µop.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping addition (also used for `ADDI` and address material).
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise nor.
+    Nor,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Logical shift left (amount from the second operand, mod 32).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Load-upper-immediate: `rt = imm << 16` (first operand ignored).
+    Lui,
+    /// Signed 32-bit multiply (low word). Long latency.
+    Mul,
+    /// Signed 32-bit divide (quotient; division by zero yields 0). Long
+    /// latency.
+    Div,
+    /// Remainder (0 on division by zero). Long latency.
+    Rem,
+}
+
+impl AluOp {
+    /// Execution latency in cycles; the issue model uses this to schedule
+    /// wakeup of dependents.
+    #[inline]
+    pub fn latency(self) -> u8 {
+        match self {
+            AluOp::Mul => 4,
+            AluOp::Div | AluOp::Rem => 12,
+            _ => 1,
+        }
+    }
+
+    /// Applies the operation to two operand values.
+    #[inline]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Lui => b << 16,
+            AluOp::Mul => (a as i32).wrapping_mul(b as i32) as u32,
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                }
+            }
+        }
+    }
+}
+
+/// Branch conditions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Branch if equal (`BEQ`), two register sources.
+    Eq,
+    /// Branch if not equal (`BNE`), two register sources.
+    Ne,
+    /// Branch if `rs <= 0` signed (`BLEZ`).
+    Lez,
+    /// Branch if `rs > 0` signed (`BGTZ`).
+    Gtz,
+    /// Branch if `rs < 0` signed (`BLTZ`).
+    Ltz,
+    /// Branch if `rs >= 0` signed (`BGEZ`).
+    Gez,
+}
+
+impl BranchCond {
+    /// Evaluates the condition for source values `a` (and `b` for the
+    /// two-source conditions, ignored otherwise).
+    #[inline]
+    pub fn taken(self, a: u32, b: u32) -> bool {
+        let sa = a as i32;
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lez => sa <= 0,
+            BranchCond::Gtz => sa > 0,
+            BranchCond::Ltz => sa < 0,
+            BranchCond::Gez => sa >= 0,
+        }
+    }
+
+    /// Whether the condition reads a second register source.
+    #[inline]
+    pub fn uses_rt(self) -> bool {
+        matches!(self, BranchCond::Eq | BranchCond::Ne)
+    }
+}
+
+/// Architectural opcodes.
+///
+/// The instruction format is uniform ([`crate::Insn`]): `rd`/`rs`/`rt`
+/// register fields plus a 32-bit immediate whose meaning depends on the
+/// opcode (ALU immediate, load/store offset, branch/jump target in
+/// instruction-index units).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Three-register ALU operation: `rd = rs <op> rt`.
+    Alu(AluOp),
+    /// Immediate ALU operation: `rd = rs <op> imm`.
+    AluImm(AluOp),
+    /// Load: `rd = mem[rs + imm]`, `signed` controls sub-word extension.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend (`LB`/`LH`) vs zero-extend (`LBU`/`LHU`).
+        signed: bool,
+    },
+    /// Store: `mem[rs + imm] = rt`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Conditional branch to `imm` (instruction index) when taken.
+    Branch(BranchCond),
+    /// Unconditional jump to `imm`.
+    Jump,
+    /// Jump-and-link: `rd = pc + 1; pc = imm`.
+    JumpAndLink,
+    /// Jump to the address in `rs` (instruction index in the register).
+    JumpReg,
+    /// Jump-and-link through register.
+    JumpAndLinkReg,
+    /// No operation.
+    Nop,
+    /// Stops the machine; the last instruction every kernel retires.
+    Halt,
+}
+
+impl Op {
+    /// Whether the opcode reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// Whether the opcode writes memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+
+    /// Whether the opcode can redirect the PC.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Op::Branch(_) | Op::Jump | Op::JumpAndLink | Op::JumpReg | Op::JumpAndLinkReg
+        )
+    }
+
+    /// Whether the opcode is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::Branch(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+        assert!(MemWidth::Half.is_partial());
+        assert!(!MemWidth::Word.is_partial());
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(MemWidth::Word.is_aligned(8));
+        assert!(!MemWidth::Word.is_aligned(6));
+        assert!(MemWidth::Half.is_aligned(6));
+        assert!(!MemWidth::Half.is_aligned(7));
+        assert!(MemWidth::Byte.is_aligned(7));
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Slt.apply(-1i32 as u32, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(-1i32 as u32, 0), 0);
+        assert_eq!(AluOp::Sra.apply(-8i32 as u32, 1), -4i32 as u32);
+        assert_eq!(AluOp::Srl.apply(-8i32 as u32, 1), 0x7FFF_FFFC);
+        assert_eq!(AluOp::Lui.apply(0, 0x1234), 0x1234_0000);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Div.apply(-9i32 as u32, 2), -4i32 as u32);
+        assert_eq!(AluOp::Rem.apply(9, 4), 1);
+        assert_eq!(AluOp::Nor.apply(0, 0), u32::MAX);
+    }
+
+    #[test]
+    fn alu_latencies() {
+        assert_eq!(AluOp::Add.latency(), 1);
+        assert_eq!(AluOp::Mul.latency(), 4);
+        assert_eq!(AluOp::Div.latency(), 12);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.taken(3, 3));
+        assert!(!BranchCond::Eq.taken(3, 4));
+        assert!(BranchCond::Ne.taken(3, 4));
+        assert!(BranchCond::Lez.taken(0, 9));
+        assert!(BranchCond::Lez.taken(-5i32 as u32, 9));
+        assert!(!BranchCond::Gtz.taken(0, 9));
+        assert!(BranchCond::Gtz.taken(1, 9));
+        assert!(BranchCond::Ltz.taken(-1i32 as u32, 0));
+        assert!(BranchCond::Gez.taken(0, 0));
+        assert!(BranchCond::Eq.uses_rt());
+        assert!(!BranchCond::Ltz.uses_rt());
+    }
+
+    #[test]
+    fn op_classes() {
+        assert!(Op::Load { width: MemWidth::Word, signed: false }.is_load());
+        assert!(Op::Store { width: MemWidth::Byte }.is_store());
+        assert!(Op::Branch(BranchCond::Eq).is_control());
+        assert!(Op::Branch(BranchCond::Eq).is_cond_branch());
+        assert!(Op::Jump.is_control());
+        assert!(!Op::Jump.is_cond_branch());
+        assert!(!Op::Nop.is_control());
+    }
+}

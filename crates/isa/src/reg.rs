@@ -1,0 +1,140 @@
+use std::fmt;
+
+/// An architectural (logical) register.
+///
+/// The ISA exposes 32 general-purpose registers `$0`–`$31`, with `$0`
+/// hard-wired to zero. Following the paper (§IV-A e), three additional
+/// registers are visible *only to the hardware* and are used by the µop
+/// expansion machinery:
+///
+/// * [`Reg::ADDR_TMP`] (`$32`) — destination of address-generation (`AGI`)
+///   µops,
+/// * [`Reg::LOAD_TMP`] (`$33`) — destination of the cache-access half of a
+///   predicated load,
+/// * [`Reg::PRED_TMP`] (`$34`) — the predicate produced by `CMP`.
+///
+/// These participate in renaming exactly like ordinary registers, which is
+/// what lets the rename stage treat predication insertion as regular
+/// instruction flow.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::Reg;
+/// let r = Reg::new(8);
+/// assert_eq!(r.index(), 8);
+/// assert_eq!(r.to_string(), "$8");
+/// assert!(!r.is_zero());
+/// assert!(Reg::ADDR_TMP.is_hidden());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `$0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional return-address register `$31`.
+    pub const RA: Reg = Reg(31);
+    /// Conventional stack pointer `$29`.
+    pub const SP: Reg = Reg(29);
+    /// Hardware-only address temporary `$32` (paper Fig. 7).
+    pub const ADDR_TMP: Reg = Reg(32);
+    /// Hardware-only load-data temporary `$33` (paper Fig. 8).
+    pub const LOAD_TMP: Reg = Reg(33);
+    /// Hardware-only predicate register `$34` (paper Fig. 8).
+    pub const PRED_TMP: Reg = Reg(34);
+
+    /// Number of programmer-visible registers.
+    pub const NUM_ARCH: usize = 32;
+    /// Total number of logical registers including the hidden ones.
+    pub const NUM_LOGICAL: usize = 35;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::NUM_LOGICAL`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::NUM_LOGICAL,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's index in `0..Reg::NUM_LOGICAL`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this register is one of the hardware-only temporaries
+    /// (`$32`–`$34`) that are invisible to the programmer.
+    #[inline]
+    pub fn is_hidden(self) -> bool {
+        self.0 >= Reg::NUM_ARCH as u8
+    }
+
+    /// Iterator over every logical register, hidden ones included.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::NUM_LOGICAL as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    fn hidden_registers() {
+        assert!(Reg::ADDR_TMP.is_hidden());
+        assert!(Reg::LOAD_TMP.is_hidden());
+        assert!(Reg::PRED_TMP.is_hidden());
+        assert!(!Reg::new(31).is_hidden());
+    }
+
+    #[test]
+    fn display_matches_mips_convention() {
+        assert_eq!(Reg::new(8).to_string(), "$8");
+        assert_eq!(Reg::ADDR_TMP.to_string(), "$32");
+    }
+
+    #[test]
+    fn all_covers_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), Reg::NUM_LOGICAL);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[34], Reg::PRED_TMP);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(35);
+    }
+}

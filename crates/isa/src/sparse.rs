@@ -1,0 +1,207 @@
+use std::collections::HashMap;
+
+use crate::op::MemWidth;
+use crate::{Addr, Word};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse byte-addressable memory image, allocated in 4 KiB pages on
+/// first touch. Unwritten bytes read as zero.
+///
+/// This is the *architectural* storage used by the functional emulator and
+/// as the backing store behind the timed cache hierarchy; it has no timing
+/// of its own.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::SparseMem;
+/// let mut m = SparseMem::new();
+/// m.write_word(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_word(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_byte(0x1003), 0xDE); // little-endian
+/// assert_eq!(m.read_word(0x2000), 0);    // untouched memory is zero
+/// ```
+#[derive(Clone, Default)]
+pub struct SparseMem {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> SparseMem {
+        SparseMem { pages: HashMap::new() }
+    }
+
+    #[inline]
+    fn page(&self, addr: Addr) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_byte(&self, addr: Addr) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_byte(&mut self, addr: Addr, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a naturally-aligned little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    #[inline]
+    pub fn read_word(&self, addr: Addr) -> Word {
+        assert!(addr.is_multiple_of(4), "unaligned word read at {addr:#x}");
+        u32::from_le_bytes([
+            self.read_byte(addr),
+            self.read_byte(addr + 1),
+            self.read_byte(addr + 2),
+            self.read_byte(addr + 3),
+        ])
+    }
+
+    /// Writes a naturally-aligned little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    #[inline]
+    pub fn write_word(&mut self, addr: Addr, value: Word) {
+        assert!(addr.is_multiple_of(4), "unaligned word write at {addr:#x}");
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_byte(addr + i as u32, *b);
+        }
+    }
+
+    /// Reads an access of the given width, applying sign/zero extension
+    /// for sub-word loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is not naturally aligned.
+    pub fn read(&self, addr: Addr, width: MemWidth, signed: bool) -> Word {
+        assert!(width.is_aligned(addr), "unaligned {width} read at {addr:#x}");
+        match (width, signed) {
+            (MemWidth::Byte, false) => self.read_byte(addr) as u32,
+            (MemWidth::Byte, true) => self.read_byte(addr) as i8 as i32 as u32,
+            (MemWidth::Half, s) => {
+                let v = u16::from_le_bytes([self.read_byte(addr), self.read_byte(addr + 1)]);
+                if s {
+                    v as i16 as i32 as u32
+                } else {
+                    v as u32
+                }
+            }
+            (MemWidth::Word, _) => self.read_word(addr),
+        }
+    }
+
+    /// Writes the low `width` bytes of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is not naturally aligned.
+    pub fn write(&mut self, addr: Addr, width: MemWidth, value: Word) {
+        assert!(width.is_aligned(addr), "unaligned {width} write at {addr:#x}");
+        for i in 0..width.bytes() {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u32, *b);
+        }
+    }
+
+    /// Number of resident 4 KiB pages (useful in tests and for memory
+    /// footprint reporting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl std::fmt::Debug for SparseMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseMem")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill() {
+        let m = SparseMem::new();
+        assert_eq!(m.read_word(0), 0);
+        assert_eq!(m.read_byte(0xFFFF_FFFF), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMem::new();
+        m.write_word(0x10, 0x0102_0304);
+        assert_eq!(m.read_byte(0x10), 0x04);
+        assert_eq!(m.read_byte(0x13), 0x01);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = SparseMem::new();
+        m.write_word(0xFFC, 0xAABB_CCDD);
+        assert_eq!(m.read_word(0xFFC), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 1);
+        m.write_bytes(0xFFE, &[1, 2, 3, 4]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sub_word_reads() {
+        let mut m = SparseMem::new();
+        m.write_word(0x20, 0xFFFF_80FE);
+        assert_eq!(m.read(0x20, MemWidth::Byte, false), 0xFE);
+        assert_eq!(m.read(0x20, MemWidth::Byte, true), 0xFFFF_FFFE);
+        assert_eq!(m.read(0x20, MemWidth::Half, true), 0xFFFF_80FE);
+        assert_eq!(m.read(0x20, MemWidth::Half, false), 0x80FE);
+        assert_eq!(m.read(0x22, MemWidth::Half, false), 0xFFFF);
+    }
+
+    #[test]
+    fn sub_word_writes() {
+        let mut m = SparseMem::new();
+        m.write_word(0x30, 0xAAAA_AAAA);
+        m.write(0x31, MemWidth::Byte, 0x11);
+        assert_eq!(m.read_word(0x30), 0xAAAA_11AA);
+        m.write(0x32, MemWidth::Half, 0xBEEF);
+        assert_eq!(m.read_word(0x30), 0xBEEF_11AA);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_word_read_panics() {
+        SparseMem::new().read_word(2);
+    }
+}

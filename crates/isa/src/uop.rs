@@ -1,0 +1,379 @@
+//! The micro-op (µop) layer.
+//!
+//! The paper's machine splits every memory instruction at decode into an
+//! **address-generation µop** (`AGI`) that computes *and translates* the
+//! effective address into a dedicated physical register, followed by the
+//! memory-access µop proper (paper Fig. 7). The `AGI` destination is the
+//! hardware-only logical register `$32` ([`Reg::ADDR_TMP`]); renaming gives
+//! every memory instruction its own physical copy. This is what removes
+//! the load/store queues: addresses live in the register file and are read
+//! back at retire/commit.
+//!
+//! DMDP additionally inserts, at rename time for low-confidence loads, a
+//! `CMP` µop producing a predicate in `$34` and a pair of `CMOV`s
+//! (paper Fig. 8). Those µop kinds are defined here; the insertion logic
+//! lives in `dmdp-core`.
+
+use crate::insn::Insn;
+use crate::op::{AluOp, BranchCond, MemWidth, Op};
+use crate::reg::Reg;
+
+/// The operation a µop performs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UopKind {
+    /// ALU operation, `rd = rs <op> (rt | imm)`.
+    Alu(AluOp),
+    /// Address generation + TLB translation: `rd = rs + imm`, flagged so
+    /// the result is a *physical* address (paper §IV-A e).
+    Agi,
+    /// Cache access half of a load; the address comes from the `AGI`'s
+    /// destination register (µop source `rs`).
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sub-word sign extension.
+        signed: bool,
+    },
+    /// A store's data/address bookkeeping µop. Never dispatched to the
+    /// out-of-order core: the store executes when it commits (§I).
+    Store {
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Conditional branch.
+    Branch(BranchCond),
+    /// Unconditional jump; `link` writes the return address, `indirect`
+    /// takes the target from `rs`.
+    Jump {
+        /// Writes `pc+1` into `rd`.
+        link: bool,
+        /// Target comes from a register rather than the immediate.
+        indirect: bool,
+    },
+    /// DMDP predicate computation: compares the predicted store's address
+    /// register with the load's address register and writes an encoded
+    /// [`crate::bab::Predicate`].
+    Cmp {
+        /// The predicted store's access width (known from the Store
+        /// Register Buffer at insertion time).
+        store_width: MemWidth,
+        /// The load's access width.
+        load_width: MemWidth,
+    },
+    /// NoSQ's "shift & mask instruction" for partial-word bypassing: the
+    /// store and load addresses are unknown at rename, so the shift
+    /// amounts are *predicted* (remembered from the last collision) and
+    /// verified at retire (paper §IV-D's NoSQ comparison).
+    ShiftMask {
+        /// Predicted store access width.
+        store_width: MemWidth,
+        /// Predicted low bits of the store address.
+        store_lo2: u8,
+        /// Predicted low bits of the load address.
+        load_lo2: u8,
+        /// The load's width.
+        load_width: MemWidth,
+        /// The load's sign extension.
+        load_signed: bool,
+    },
+    /// DMDP conditional move. The two `CMOV`s of a predication pair share
+    /// one destination physical register; exactly one of them writes it.
+    Cmov {
+        /// Executes when the predicate is true (forward the store's data)
+        /// vs false (use the value loaded from the cache).
+        on_true: bool,
+        /// Store width, for the partial-word shift.
+        store_width: MemWidth,
+        /// Load width, for the partial-word mask.
+        load_width: MemWidth,
+        /// Load sign extension.
+        load_signed: bool,
+    },
+    /// Stops the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl UopKind {
+    /// Functional-unit latency of this µop, excluding memory (loads take
+    /// the cache access time determined by the memory model).
+    pub fn latency(self) -> u8 {
+        match self {
+            UopKind::Alu(op) => op.latency(),
+            // AGI includes the TLB lookup done in parallel with the add.
+            UopKind::Agi => 1,
+            UopKind::Cmp { .. } | UopKind::Cmov { .. } | UopKind::ShiftMask { .. } => 1,
+            UopKind::Branch(_) | UopKind::Jump { .. } => 1,
+            UopKind::Load { .. } | UopKind::Store { .. } | UopKind::Halt | UopKind::Nop => 1,
+        }
+    }
+
+    /// Whether this µop is the cache-access half of a load.
+    pub fn is_load(self) -> bool {
+        matches!(self, UopKind::Load { .. })
+    }
+
+    /// Whether this µop is a store placeholder.
+    pub fn is_store(self) -> bool {
+        matches!(self, UopKind::Store { .. })
+    }
+
+    /// Whether this µop may redirect control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, UopKind::Branch(_) | UopKind::Jump { .. })
+    }
+}
+
+/// A decoded µop over *logical* registers (renaming maps them to physical
+/// registers inside `dmdp-core`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Uop {
+    /// Operation.
+    pub kind: UopKind,
+    /// Logical destination (`Reg::ZERO` when none).
+    pub rd: Reg,
+    /// First logical source (`Reg::ZERO` when none).
+    pub rs: Reg,
+    /// Second logical source (`Reg::ZERO` when none).
+    pub rt: Reg,
+    /// Immediate operand.
+    pub imm: i32,
+}
+
+impl Uop {
+    /// Logical destination, `None` for `$0` (never renamed).
+    pub fn dest(&self) -> Option<Reg> {
+        (!self.rd.is_zero()).then_some(self.rd)
+    }
+
+    /// Logical sources, `None` entries for `$0`.
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        let f = |r: Reg| (!r.is_zero()).then_some(r);
+        [f(self.rs), f(self.rt)]
+    }
+}
+
+/// The µop expansion of one architectural instruction: at most two µops
+/// (an optional `AGI` plus the main µop).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct UopSeq {
+    uops: [Uop; 2],
+    len: u8,
+}
+
+impl UopSeq {
+    fn one(u: Uop) -> UopSeq {
+        UopSeq { uops: [u, u], len: 1 }
+    }
+
+    fn two(a: Uop, b: Uop) -> UopSeq {
+        UopSeq { uops: [a, b], len: 2 }
+    }
+
+    /// The µops, in program order.
+    pub fn as_slice(&self) -> &[Uop] {
+        &self.uops[..self.len as usize]
+    }
+
+    /// Number of µops (1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false; expansion produces at least one µop.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<'a> IntoIterator for &'a UopSeq {
+    type Item = &'a Uop;
+    type IntoIter = std::slice::Iter<'a, Uop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Expands an architectural instruction into its µop sequence
+/// (paper Fig. 7 a→b).
+///
+/// * `lw $9, 4($3)` → `agi $32, $3, 4` ; `load $9, ($32)`
+/// * `sw $7, 8($8)` → `agi $32, $8, 8` ; `store $7, ($32)`
+/// * everything else expands to itself.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_isa::{uop, Insn, Reg};
+/// let seq = uop::expand(Insn::lw(Reg::new(9), Reg::new(3), 4));
+/// assert_eq!(seq.len(), 2);
+/// assert_eq!(seq.as_slice()[0].rd, Reg::ADDR_TMP);
+/// ```
+pub fn expand(insn: Insn) -> UopSeq {
+    let agi = |base: Reg, imm: i32| Uop {
+        kind: UopKind::Agi,
+        rd: Reg::ADDR_TMP,
+        rs: base,
+        rt: Reg::ZERO,
+        imm,
+    };
+    match insn.op {
+        Op::Load { width, signed } => UopSeq::two(
+            agi(insn.rs, insn.imm),
+            Uop {
+                kind: UopKind::Load { width, signed },
+                rd: insn.rd,
+                rs: Reg::ADDR_TMP,
+                rt: Reg::ZERO,
+                imm: 0,
+            },
+        ),
+        Op::Store { width } => UopSeq::two(
+            agi(insn.rs, insn.imm),
+            Uop {
+                kind: UopKind::Store { width },
+                rd: Reg::ZERO,
+                rs: Reg::ADDR_TMP,
+                rt: insn.rt,
+                imm: 0,
+            },
+        ),
+        Op::Alu(op) => UopSeq::one(Uop {
+            kind: UopKind::Alu(op),
+            rd: insn.rd,
+            rs: insn.rs,
+            rt: insn.rt,
+            imm: 0,
+        }),
+        Op::AluImm(op) => UopSeq::one(Uop {
+            kind: UopKind::Alu(op),
+            rd: insn.rd,
+            rs: insn.rs,
+            rt: Reg::ZERO,
+            imm: insn.imm,
+        }),
+        Op::Branch(c) => UopSeq::one(Uop {
+            kind: UopKind::Branch(c),
+            rd: Reg::ZERO,
+            rs: insn.rs,
+            rt: insn.rt,
+            imm: insn.imm,
+        }),
+        Op::Jump => UopSeq::one(Uop {
+            kind: UopKind::Jump { link: false, indirect: false },
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: insn.imm,
+        }),
+        Op::JumpAndLink => UopSeq::one(Uop {
+            kind: UopKind::Jump { link: true, indirect: false },
+            rd: insn.rd,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: insn.imm,
+        }),
+        Op::JumpReg => UopSeq::one(Uop {
+            kind: UopKind::Jump { link: false, indirect: true },
+            rd: Reg::ZERO,
+            rs: insn.rs,
+            rt: Reg::ZERO,
+            imm: 0,
+        }),
+        Op::JumpAndLinkReg => UopSeq::one(Uop {
+            kind: UopKind::Jump { link: true, indirect: true },
+            rd: insn.rd,
+            rs: insn.rs,
+            rt: Reg::ZERO,
+            imm: 0,
+        }),
+        Op::Nop => UopSeq::one(Uop {
+            kind: UopKind::Nop,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+        }),
+        Op::Halt => UopSeq::one(Uop {
+            kind: UopKind::Halt,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_expands_to_agi_plus_load() {
+        let seq = expand(Insn::lw(Reg::new(9), Reg::new(3), 4));
+        let u = seq.as_slice();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].kind, UopKind::Agi);
+        assert_eq!(u[0].rd, Reg::ADDR_TMP);
+        assert_eq!(u[0].rs, Reg::new(3));
+        assert_eq!(u[0].imm, 4);
+        assert!(u[1].kind.is_load());
+        assert_eq!(u[1].rd, Reg::new(9));
+        assert_eq!(u[1].rs, Reg::ADDR_TMP);
+    }
+
+    #[test]
+    fn store_expands_to_agi_plus_store() {
+        let seq = expand(Insn::sw(Reg::new(7), Reg::new(8), 8));
+        let u = seq.as_slice();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].kind, UopKind::Agi);
+        assert!(u[1].kind.is_store());
+        assert_eq!(u[1].rt, Reg::new(7));
+        assert_eq!(u[1].dest(), None);
+        assert_eq!(u[1].sources(), [Some(Reg::ADDR_TMP), Some(Reg::new(7))]);
+    }
+
+    #[test]
+    fn alu_expands_to_itself() {
+        let seq = expand(Insn::add(Reg::new(3), Reg::new(1), Reg::new(2)));
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.as_slice()[0].kind, UopKind::Alu(AluOp::Add));
+    }
+
+    #[test]
+    fn alu_imm_moves_imm_into_uop() {
+        let seq = expand(Insn::addi(Reg::new(3), Reg::new(1), -7));
+        let u = seq.as_slice()[0];
+        assert_eq!(u.imm, -7);
+        assert_eq!(u.sources(), [Some(Reg::new(1)), None]);
+    }
+
+    #[test]
+    fn control_uops() {
+        assert!(expand(Insn::beq(Reg::new(1), Reg::new(2), 0)).as_slice()[0]
+            .kind
+            .is_control());
+        let jal = expand(Insn::jal(7)).as_slice()[0];
+        assert_eq!(jal.kind, UopKind::Jump { link: true, indirect: false });
+        assert_eq!(jal.dest(), Some(Reg::RA));
+        let jr = expand(Insn::jr(Reg::RA)).as_slice()[0];
+        assert_eq!(jr.kind, UopKind::Jump { link: false, indirect: true });
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(UopKind::Agi.latency(), 1);
+        assert_eq!(UopKind::Alu(AluOp::Div).latency(), 12);
+        assert_eq!(UopKind::Cmp { store_width: MemWidth::Word, load_width: MemWidth::Word }.latency(), 1);
+    }
+
+    #[test]
+    fn uop_seq_iteration() {
+        let seq = expand(Insn::lw(Reg::new(9), Reg::new(3), 4));
+        assert_eq!(seq.into_iter().count(), 2);
+        assert!(!seq.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the assembler: the disassembly listing of any
+//! program re-assembles to the identical program (mnemonics, operand
+//! forms and numeric targets all round-trip), and memory stays
+//! little-endian coherent under random access sequences.
+
+use dmdp_isa::{asm, Insn, MemWidth, Program, Reg, SparseMem};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_insn(text_len: u32) -> impl Strategy<Value = Insn> {
+    let r = reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(a, b, c)| Insn::add(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Insn::sub(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Insn::xor(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Insn::slt(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Insn::mul(a, b, c)),
+        (r(), r(), -32768i32..32768).prop_map(|(a, b, i)| Insn::addi(a, b, i)),
+        (r(), r(), 0i32..65536).prop_map(|(a, b, i)| Insn::ori(a, b, i)),
+        (r(), r(), -32768i32..32768).prop_map(|(a, b, i)| Insn::muli(a, b, i)),
+        (r(), 0i32..65536).prop_map(|(a, i)| Insn::lui(a, i)),
+        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lw(a, b, o * 4)),
+        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lhu(a, b, o * 2)),
+        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lb(a, b, o)),
+        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::sw(a, b, o * 4)),
+        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::sh(a, b, o * 2)),
+        (r(), r(), 0..text_len).prop_map(|(a, b, t)| Insn::beq(a, b, t)),
+        (r(), 0..text_len).prop_map(|(a, t)| Insn::bgtz(a, t)),
+        (0..text_len).prop_map(Insn::j),
+        r().prop_map(Insn::jr),
+        Just(Insn::nop()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn listing_reassembles_identically(
+        insns in prop::collection::vec(arb_insn(32), 1..32)
+    ) {
+        let mut text = insns;
+        text.push(Insn::halt());
+        let original = Program::new("p", text, 0x10000, Vec::new(), 0);
+        let listing: String = original
+            .listing()
+            .lines()
+            .map(|l| l.split_once(':').expect("pc prefix").1.trim().to_string() + "\n")
+            .collect();
+        let reassembled = asm::assemble(&listing).expect("listing must be valid assembly");
+        prop_assert_eq!(original.text(), reassembled.text());
+    }
+
+    #[test]
+    fn sparse_memory_byte_coherence(
+        ops in prop::collection::vec(
+            (0u32..256, any::<u32>(), 0u8..3),
+            1..64
+        )
+    ) {
+        let mut mem = SparseMem::new();
+        let mut shadow = [0u8; 1024];
+        for (slot, value, width_sel) in ops {
+            let width = match width_sel {
+                0 => MemWidth::Byte,
+                1 => MemWidth::Half,
+                _ => MemWidth::Word,
+            };
+            let addr = slot * 4; // word-aligned, valid for every width
+            mem.write(addr, width, value);
+            for i in 0..width.bytes() {
+                shadow[(addr + i) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
+        for a in 0..1024u32 {
+            prop_assert_eq!(mem.read_byte(a), shadow[a as usize]);
+        }
+    }
+}
+
+proptest! {
+    /// Binary round trip: every constructible instruction survives
+    /// encode/decode, and whole programs survive imaging.
+    #[test]
+    fn binary_encoding_round_trips(insns in prop::collection::vec(arb_insn(64), 1..48)) {
+        for i in &insns {
+            prop_assert_eq!(dmdp_isa::encode::decode(dmdp_isa::encode::encode(*i)).unwrap(), *i);
+        }
+        let mut text = insns;
+        text.push(Insn::halt());
+        let p = Program::new("bin", text, 0x10000, vec![1, 2, 3, 4], 0);
+        let q = Program::from_image(&p.to_image()).unwrap();
+        prop_assert_eq!(p.text(), q.text());
+        prop_assert_eq!(p.data(), q.data());
+    }
+}

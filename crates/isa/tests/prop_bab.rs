@@ -1,0 +1,109 @@
+//! Property tests for the partial-word forwarding rules (paper §IV-D):
+//! the shift/mask/extend algebra must agree with a byte-array reference
+//! model for every (store, load) geometry.
+
+use dmdp_isa::bab::{self, Predicate};
+use dmdp_isa::MemWidth;
+use proptest::prelude::*;
+
+fn widths() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+}
+
+/// An aligned address for `w` within one word at `base`.
+fn aligned_addr(base: u32, w: MemWidth, lane: u32) -> u32 {
+    base + (lane % (4 / w.bytes())) * w.bytes()
+}
+
+/// Byte-array reference: write the store into a word image, read the load
+/// back out.
+fn reference_forward(
+    store_addr: u32,
+    sw: MemWidth,
+    store_val: u32,
+    load_addr: u32,
+    lw: MemWidth,
+    signed: bool,
+) -> u32 {
+    let mut bytes = [0u8; 4];
+    for i in 0..sw.bytes() {
+        bytes[((store_addr & 3) + i) as usize] = (store_val >> (8 * i)) as u8;
+    }
+    let mut raw: u32 = 0;
+    for i in 0..lw.bytes() {
+        raw |= (bytes[((load_addr & 3) + i) as usize] as u32) << (8 * i);
+    }
+    match (lw, signed) {
+        (MemWidth::Byte, true) => raw as u8 as i8 as i32 as u32,
+        (MemWidth::Half, true) => raw as u16 as i16 as i32 as u32,
+        _ => raw,
+    }
+}
+
+proptest! {
+    #[test]
+    fn forward_matches_byte_array_reference(
+        sw in widths(),
+        lw in widths(),
+        s_lane in 0u32..4,
+        l_lane in 0u32..4,
+        value in any::<u32>(),
+        signed in any::<bool>(),
+    ) {
+        let base = 0x1000u32;
+        let store_addr = aligned_addr(base, sw, s_lane);
+        let load_addr = aligned_addr(base, lw, l_lane);
+        let got = bab::forward(store_addr, sw, value, load_addr, lw, signed);
+        let store_bab = bab::bab(store_addr, sw);
+        let load_bab = bab::bab(load_addr, lw);
+        if bab::covers(store_bab, load_bab) {
+            let want = reference_forward(store_addr, sw, value, load_addr, lw, signed);
+            prop_assert_eq!(got, Some(want));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn predicate_encoding_round_trips(
+        matches in any::<bool>(),
+        s in 0u8..4,
+        l in 0u8..4,
+    ) {
+        let p = Predicate { matches, store_lo2: s, load_lo2: l };
+        prop_assert_eq!(Predicate::decode(p.encode()), p);
+        // The guard bit is bit zero, as the CMOV expects.
+        prop_assert_eq!(p.encode() & 1, matches as u32);
+    }
+
+    #[test]
+    fn cmp_and_cmov_agree_with_forward(
+        sw in widths(),
+        lw in widths(),
+        s_lane in 0u32..4,
+        l_lane in 0u32..4,
+        value in any::<u32>(),
+        signed in any::<bool>(),
+    ) {
+        let base = 0x2000u32;
+        let store_addr = aligned_addr(base, sw, s_lane);
+        let load_addr = aligned_addr(base, lw, l_lane);
+        let p = Predicate::compare(store_addr, sw, load_addr, lw);
+        match bab::forward(store_addr, sw, value, load_addr, lw, signed) {
+            Some(want) => {
+                // The CMP must accept exactly the forwardable geometries,
+                // and the true-path CMOV must produce the forwarded value.
+                prop_assert!(p.matches);
+                prop_assert_eq!(p.apply_forward(sw, value, lw, signed), want);
+            }
+            None => prop_assert!(!p.matches),
+        }
+    }
+
+    #[test]
+    fn covers_is_subset_relation(a in 0u8..16, b in 0u8..16) {
+        prop_assert_eq!(bab::covers(a, b), a & b == b);
+        // Reflexive and monotone under union.
+        prop_assert!(bab::covers(a | b, b));
+    }
+}

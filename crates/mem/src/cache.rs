@@ -1,0 +1,243 @@
+use dmdp_isa::Addr;
+
+/// Geometry and access time of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Access latency in cycles (hit time).
+    pub latency: u64,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes as usize
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Address of a dirty line evicted by this access (must be written
+    /// back to the next level), if any.
+    pub writeback: Option<Addr>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU
+/// replacement. Purely a tag store: data lives in the architectural
+/// memory image.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_mem::{Cache, CacheGeometry};
+/// let mut c = Cache::new(CacheGeometry { sets: 2, ways: 1, line_bytes: 64, latency: 4 });
+/// assert!(!c.access(0x000, false).hit); // cold miss
+/// assert!(c.access(0x004, false).hit);  // same line
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    lines: Vec<Line>,
+    stamp: u64,
+    set_shift: u32,
+    set_mask: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `line_bytes` are powers of two and `ways`
+    /// is nonzero.
+    pub fn new(geometry: CacheGeometry) -> Cache {
+        assert!(geometry.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(geometry.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(geometry.ways > 0, "associativity must be nonzero");
+        Cache {
+            lines: vec![Line::default(); geometry.sets * geometry.ways],
+            stamp: 0,
+            set_shift: geometry.line_bytes.trailing_zeros(),
+            set_mask: geometry.sets as u32 - 1,
+            geometry,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    #[inline]
+    fn index(&self, addr: Addr) -> (usize, u32) {
+        let block = addr >> self.set_shift;
+        ((block & self.set_mask) as usize, block >> self.geometry.sets.trailing_zeros())
+    }
+
+    /// Performs an access, allocating the line on a miss and evicting LRU.
+    /// `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> CacheAccess {
+        self.stamp += 1;
+        let (set, tag) = self.index(addr);
+        let ways = self.geometry.ways;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_write;
+            return CacheAccess { hit: true, writeback: None };
+        }
+        // Miss: pick invalid way, else LRU.
+        let victim = match set_lines.iter_mut().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let mut min = 0;
+                for (i, l) in set_lines.iter().enumerate() {
+                    if l.lru < set_lines[min].lru {
+                        min = i;
+                    }
+                }
+                min
+            }
+        };
+        let old = set_lines[victim];
+        set_lines[victim] = Line { tag, valid: true, dirty: is_write, lru: self.stamp };
+        let writeback = (old.valid && old.dirty).then(|| self.rebuild_addr(set, old.tag));
+        CacheAccess { hit: false, writeback }
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.geometry.ways;
+        self.lines[base..base + self.geometry.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` (coherence traffic from
+    /// another core, §IV-F); returns whether it was present and dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.geometry.ways;
+        for l in &mut self.lines[base..base + self.geometry.ways] {
+            if l.valid && l.tag == tag {
+                let dirty = l.dirty;
+                *l = Line::default();
+                return dirty;
+            }
+        }
+        false
+    }
+
+    fn rebuild_addr(&self, set: usize, tag: u32) -> Addr {
+        let block = (tag << self.geometry.sets.trailing_zeros()) | set as u32;
+        block << self.set_shift
+    }
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache").field("geometry", &self.geometry).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheGeometry { sets: 2, ways: 2, line_bytes: 16, latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x10F, false).hit); // same 16B line
+        assert!(!c.access(0x110, false).hit); // next line, other set
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with (addr >> 4) even.
+        c.access(0x000, false);
+        c.access(0x020, false);
+        c.access(0x000, false); // touch line 0 -> line 0x020 is LRU
+        let r = c.access(0x040, false); // evicts 0x020 (clean)
+        assert!(!r.hit);
+        assert_eq!(r.writeback, None);
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x020));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x020, false);
+        let r = c.access(0x040, false); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // now dirty
+        c.access(0x020, false);
+        let r = c.access(0x040, false);
+        assert_eq!(r.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        assert!(c.invalidate(0x000));
+        assert!(!c.probe(0x000));
+        assert!(!c.invalidate(0x000));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x020, false);
+        // Probing 0x000 must not make it MRU.
+        assert!(c.probe(0x000));
+        let r = c.access(0x040, false);
+        assert!(!r.hit);
+        assert!(!c.probe(0x000)); // 0x000 was still LRU and got evicted
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(tiny().geometry().capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheGeometry { sets: 3, ways: 1, line_bytes: 16, latency: 1 });
+    }
+}

@@ -1,0 +1,101 @@
+use crate::cache::CacheGeometry;
+
+/// DRAM timing parameters (a compact DRAMSim2-style bank/row model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (power of two).
+    pub banks: u32,
+    /// Cycles for an access that hits the open row.
+    pub row_hit_latency: u64,
+    /// Extra cycles to activate a row in a precharged bank.
+    pub row_miss_penalty: u64,
+    /// Extra cycles to precharge + activate when a different row is open.
+    pub row_conflict_penalty: u64,
+    /// Cycles a bank stays busy per access (occupancy; queueing delay).
+    pub bank_busy: u64,
+    /// Row size in bytes (power of two).
+    pub row_bytes: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig {
+            banks: 8,
+            row_hit_latency: 180,
+            row_miss_penalty: 40,
+            row_conflict_penalty: 80,
+            bank_busy: 24,
+            row_bytes: 2048,
+        }
+    }
+}
+
+/// TLB parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u32,
+    /// Page-walk penalty on a miss, in cycles.
+    pub miss_penalty: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> TlbConfig {
+        TlbConfig { entries: 64, page_bytes: 4096, miss_penalty: 20 }
+    }
+}
+
+/// Full memory-system configuration.
+///
+/// The defaults reproduce the simulation parameters used throughout the
+/// evaluation (4-cycle L1D access as stated in §VI-b; see DESIGN.md for
+/// the full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// First-level data cache (VIPT in the paper; translation latency is
+    /// hidden for loads).
+    pub l1d: CacheGeometry,
+    /// Unified second-level cache.
+    pub l2: CacheGeometry,
+    /// DRAM behind the L2.
+    pub dram: DramConfig,
+    /// Data TLB consulted by `AGI` µops.
+    pub tlb: TlbConfig,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            l1d: CacheGeometry { sets: 64, ways: 8, line_bytes: 64, latency: 4 },
+            l2: CacheGeometry { sets: 1024, ways: 16, line_bytes: 64, latency: 12 },
+            dram: DramConfig::default(),
+            tlb: TlbConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_l1_is_32k_4cycle() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1d.sets * c.l1d.ways * c.l1d.line_bytes as usize, 32 * 1024);
+        assert_eq!(c.l1d.latency, 4);
+    }
+
+    #[test]
+    fn default_l2_is_1m() {
+        let c = MemConfig::default();
+        assert_eq!(c.l2.sets * c.l2.ways * c.l2.line_bytes as usize, 1024 * 1024);
+    }
+
+    #[test]
+    fn dram_penalties_ordered() {
+        let d = DramConfig::default();
+        assert!(d.row_conflict_penalty > d.row_miss_penalty);
+    }
+}

@@ -1,0 +1,148 @@
+use dmdp_isa::Addr;
+
+use crate::config::DramConfig;
+
+#[derive(Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u32>,
+    busy_until: u64,
+}
+
+/// A compact DRAM timing model: per-bank open-row tracking plus bank
+/// occupancy, in the spirit of DRAMSim2 but reduced to what the paper's
+/// experiments exercise (row hit / miss / conflict latency and the
+/// serialization of accesses to a busy bank).
+///
+/// # Example
+///
+/// ```
+/// use dmdp_mem::{Dram, DramConfig};
+/// let cfg = DramConfig::default();
+/// let mut d = Dram::new(cfg);
+/// let first = d.access(0x0, 0);               // row miss (cold)
+/// let second = d.access(0x40, first);          // same row, open
+/// assert_eq!(second, cfg.row_hit_latency);
+/// assert!(first > second);
+/// ```
+#[derive(Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    accesses: u64,
+    row_hits: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks` and `row_bytes` are powers of two.
+    pub fn new(cfg: DramConfig) -> Dram {
+        assert!(cfg.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(cfg.row_bytes.is_power_of_two(), "row size must be a power of two");
+        Dram { banks: vec![Bank::default(); cfg.banks as usize], cfg, accesses: 0, row_hits: 0 }
+    }
+
+    /// Performs one access beginning no earlier than `cycle`; returns the
+    /// total latency from `cycle` until data is available (including any
+    /// queueing for a busy bank).
+    pub fn access(&mut self, addr: Addr, cycle: u64) -> u64 {
+        self.accesses += 1;
+        let row = addr / self.cfg.row_bytes;
+        let bank_idx = (row & (self.cfg.banks - 1)) as usize;
+        let row_id = row / self.cfg.banks;
+        let bank = &mut self.banks[bank_idx];
+
+        let start = cycle.max(bank.busy_until);
+        let queue = start - cycle;
+        let service = match bank.open_row {
+            Some(open) if open == row_id => {
+                self.row_hits += 1;
+                self.cfg.row_hit_latency
+            }
+            Some(_) => self.cfg.row_hit_latency + self.cfg.row_conflict_penalty,
+            None => self.cfg.row_hit_latency + self.cfg.row_miss_penalty,
+        };
+        bank.open_row = Some(row_id);
+        bank.busy_until = start + self.cfg.bank_busy;
+        queue + service
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that hit an open row.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+}
+
+impl std::fmt::Debug for Dram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dram")
+            .field("banks", &self.banks.len())
+            .field("accesses", &self.accesses)
+            .field("row_hits", &self.row_hits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::default()
+    }
+
+    #[test]
+    fn cold_access_is_row_miss() {
+        let mut d = Dram::new(cfg());
+        let lat = d.access(0, 0);
+        assert_eq!(lat, cfg().row_hit_latency + cfg().row_miss_penalty);
+        assert_eq!(d.row_hits(), 0);
+    }
+
+    #[test]
+    fn open_row_hit() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        let t = d.access(0, 0);
+        let lat = d.access(64, t + 100); // same row, bank idle again
+        assert_eq!(lat, c.row_hit_latency);
+        assert_eq!(d.row_hits(), 1);
+    }
+
+    #[test]
+    fn row_conflict_costs_more() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        d.access(0, 0);
+        // Same bank, different row: banks stride by row_bytes, so the next
+        // row in the same bank is banks * row_bytes away.
+        let conflict_addr = c.banks * c.row_bytes;
+        let lat = d.access(conflict_addr, 10_000);
+        assert_eq!(lat, c.row_hit_latency + c.row_conflict_penalty);
+    }
+
+    #[test]
+    fn busy_bank_queues() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        d.access(0, 0); // bank 0 busy until bank_busy
+        let lat = d.access(64, 1); // back-to-back same bank
+        assert_eq!(lat, (c.bank_busy - 1) + c.row_hit_latency);
+    }
+
+    #[test]
+    fn different_banks_in_parallel() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        d.access(0, 0);
+        let lat = d.access(c.row_bytes, 1); // next bank
+        assert_eq!(lat, c.row_hit_latency + c.row_miss_penalty); // no queueing
+    }
+}

@@ -1,0 +1,176 @@
+use dmdp_isa::Addr;
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+use crate::dram::Dram;
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1D accesses.
+    pub l1_accesses: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Dirty-line writebacks between levels.
+    pub writebacks: u64,
+}
+
+/// The two-level data cache hierarchy over DRAM.
+///
+/// A timing model: [`MemHierarchy::read`] and [`MemHierarchy::write`]
+/// return the access latency (in cycles, starting at the supplied current
+/// cycle) while updating tag and row-buffer state. Values come from the
+/// architectural memory image held by the core.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    cfg: MemConfig,
+    l1d: Cache,
+    l2: Cache,
+    dram: Dram,
+    stats: MemStats,
+}
+
+impl MemHierarchy {
+    /// Creates a cold hierarchy.
+    pub fn new(cfg: MemConfig) -> MemHierarchy {
+        MemHierarchy {
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.dram),
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn access(&mut self, addr: Addr, cycle: u64, is_write: bool) -> u64 {
+        self.stats.l1_accesses += 1;
+        let l1 = self.l1d.access(addr, is_write);
+        if l1.hit {
+            return self.cfg.l1d.latency;
+        }
+        self.stats.l1_misses += 1;
+        let mut latency = self.cfg.l1d.latency;
+        if let Some(wb) = l1.writeback {
+            self.stats.writebacks += 1;
+            // Dirty L1 victim is absorbed by the L2 (not on the critical
+            // path of this access, but it updates L2 state).
+            let _ = self.l2.access(wb, true);
+        }
+        self.stats.l2_accesses += 1;
+        let l2 = self.l2.access(addr, false);
+        latency += self.cfg.l2.latency;
+        if l2.hit {
+            return latency;
+        }
+        self.stats.l2_misses += 1;
+        if let Some(wb) = l2.writeback {
+            self.stats.writebacks += 1;
+            let _ = self.dram.access(wb, cycle + latency);
+        }
+        latency + self.dram.access(addr, cycle + latency)
+    }
+
+    /// A demand read (load or load re-execution) at `cycle`; returns the
+    /// latency until the value is available.
+    pub fn read(&mut self, addr: Addr, cycle: u64) -> u64 {
+        self.access(addr, cycle, false)
+    }
+
+    /// A committing store's cache write at `cycle`; returns the latency
+    /// until the write completes (write-allocate, so a miss fetches the
+    /// line first).
+    pub fn write(&mut self, addr: Addr, cycle: u64) -> u64 {
+        self.access(addr, cycle, true)
+    }
+
+    /// Whether `addr` currently hits in the L1D (no state disturbance).
+    pub fn probe_l1(&self, addr: Addr) -> bool {
+        self.l1d.probe(addr)
+    }
+
+    /// Invalidates a line in both levels (external coherence, §IV-F).
+    pub fn invalidate(&mut self, addr: Addr) {
+        self.l1d.invalidate(addr);
+        self.l2.invalidate(addr);
+    }
+
+    /// Read access to the DRAM model (for tests and reporting).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemHierarchy {
+        MemHierarchy::new(MemConfig::default())
+    }
+
+    #[test]
+    fn hit_latency_is_l1_time() {
+        let mut m = mem();
+        let cold = m.read(0x4000, 0);
+        assert!(cold > m.cfg.l1d.latency + m.cfg.l2.latency);
+        let warm = m.read(0x4000, cold);
+        assert_eq!(warm, m.cfg.l1d.latency);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = mem();
+        m.read(0x4000, 0);
+        // Evict 0x4000 from L1 by filling its set (same L1 set every
+        // 64 sets * 64 B = 4 KiB stride), L2 keeps it (bigger).
+        for i in 1..=8u32 {
+            m.read(0x4000 + i * 4096, 0);
+        }
+        let lat = m.read(0x4000, 100_000);
+        assert_eq!(lat, m.cfg.l1d.latency + m.cfg.l2.latency);
+    }
+
+    #[test]
+    fn stats_track_misses() {
+        let mut m = mem();
+        m.read(0x0, 0);
+        m.read(0x0, 50);
+        let s = m.stats();
+        assert_eq!(s.l1_accesses, 2);
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l2_misses, 1);
+    }
+
+    #[test]
+    fn writes_allocate_and_dirty() {
+        let mut m = mem();
+        m.write(0x8000, 0);
+        assert!(m.probe_l1(0x8000));
+        let s = m.stats();
+        assert_eq!(s.l1_misses, 1);
+    }
+
+    #[test]
+    fn invalidate_forces_remiss() {
+        let mut m = mem();
+        m.read(0x4000, 0);
+        m.invalidate(0x4000);
+        assert!(!m.probe_l1(0x4000));
+        let lat = m.read(0x4000, 1000);
+        assert!(lat > m.cfg.l1d.latency);
+    }
+}

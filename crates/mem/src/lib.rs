@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # dmdp-mem
+//!
+//! The timed memory subsystem for the DMDP reproduction: a two-level
+//! write-back cache hierarchy over a bank/row DRAM model, a TLB, and the
+//! retired-store buffer with TSO and RMO commit policies (paper §IV-F).
+//!
+//! The hierarchy is a *timing* model: it answers "how many cycles does
+//! this access take at this point in time" and keeps tag/row state, while
+//! architectural data lives in the core's [`dmdp_isa::SparseMem`]. This
+//! mirrors the paper's structure, where loads always read architecturally
+//! committed state (stores update the cache only at commit) and the
+//! interesting dynamics are purely about *when* values become available.
+//!
+//! # Example
+//!
+//! ```
+//! use dmdp_mem::{MemConfig, MemHierarchy};
+//! let mut mem = MemHierarchy::new(MemConfig::default());
+//! let cold = mem.read(0x1_0000, 0);
+//! let warm = mem.read(0x1_0000, cold as u64);
+//! assert!(cold > warm);                      // miss vs hit
+//! assert_eq!(warm, mem.config().l1d.latency); // L1 hit time (4 cycles)
+//! ```
+
+mod cache;
+mod config;
+mod dram;
+mod hierarchy;
+mod store_buffer;
+mod tlb;
+
+pub use cache::{Cache, CacheAccess, CacheGeometry};
+pub use config::{DramConfig, MemConfig, TlbConfig};
+pub use dram::Dram;
+pub use hierarchy::{MemHierarchy, MemStats};
+pub use store_buffer::{Consistency, SbEntry, StoreBuffer};
+pub use tlb::Tlb;

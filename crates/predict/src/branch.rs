@@ -1,0 +1,256 @@
+use dmdp_isa::Pc;
+
+/// Branch predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// log2 of the gshare pattern table size (2-bit counters).
+    pub gshare_bits: u32,
+    /// Number of direct-mapped BTB entries (power of two).
+    pub btb_entries: usize,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+    /// History bits kept (also feeds the path-sensitive store distance
+    /// predictor, which XORs 8 of them with the load PC).
+    pub history_bits: u32,
+}
+
+impl Default for BranchConfig {
+    fn default() -> BranchConfig {
+        BranchConfig { gshare_bits: 15, btb_entries: 4096, ras_depth: 32, history_bits: 16 }
+    }
+}
+
+/// A gshare direction predictor with a direct-mapped BTB and a return
+/// address stack.
+///
+/// The fetch stage consults [`BranchPredictor::predict_cond`]; execute resolves
+/// branches and calls [`BranchPredictor::resolve`]. Global history is
+/// updated speculatively at predict and repaired on a misprediction via
+/// the snapshot carried in the prediction.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_predict::BranchPredictor;
+/// let mut bp = BranchPredictor::default();
+/// // Train a branch at pc 10 to be always taken to 42.
+/// for _ in 0..64 {
+///     let p = bp.predict_cond(10);
+///     if !p.taken {
+///         bp.mispredicted(p.history, true); // repair speculative history
+///     }
+///     bp.resolve(10, true, 42, p.history);
+/// }
+/// let p = bp.predict_cond(10);
+/// assert!(p.taken);
+/// assert_eq!(p.target, Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BranchConfig,
+    pht: Vec<u8>,
+    btb: Vec<Option<(Pc, Pc)>>, // (branch pc, target)
+    ras: Vec<Pc>,
+    history: u32,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+/// A conditional-branch prediction plus the state needed to repair the
+/// predictor on a misprediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Predicted target from the BTB (None on a BTB miss).
+    pub target: Option<Pc>,
+    /// The global history *before* this prediction, passed back to
+    /// [`BranchPredictor::resolve`].
+    pub history: u32,
+}
+
+impl Default for BranchPredictor {
+    fn default() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig::default())
+    }
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-not-taken counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `btb_entries` is a power of two.
+    pub fn new(cfg: BranchConfig) -> BranchPredictor {
+        assert!(cfg.btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        BranchPredictor {
+            pht: vec![1; 1 << cfg.gshare_bits],
+            btb: vec![None; cfg.btb_entries],
+            ras: Vec::with_capacity(cfg.ras_depth),
+            history: 0,
+            lookups: 0,
+            mispredicts: 0,
+            cfg,
+        }
+    }
+
+    /// The low `history_bits` of global branch history (consumed by the
+    /// path-sensitive store distance predictor).
+    pub fn history(&self) -> u32 {
+        self.history & ((1 << self.cfg.history_bits) - 1)
+    }
+
+    #[inline]
+    fn pht_index(&self, pc: Pc) -> usize {
+        ((pc ^ self.history) & ((1 << self.cfg.gshare_bits) - 1)) as usize
+    }
+
+    /// Predicts a conditional branch at `pc`, speculatively updating
+    /// global history.
+    pub fn predict_cond(&mut self, pc: Pc) -> CondPrediction {
+        self.lookups += 1;
+        let before = self.history;
+        let counter = self.pht[self.pht_index(pc)];
+        let taken = counter >= 2;
+        let target = self.btb_lookup(pc);
+        self.history = (self.history << 1) | taken as u32;
+        CondPrediction { taken, target, history: before }
+    }
+
+    /// Looks up the BTB for any control instruction at `pc`.
+    pub fn btb_lookup(&self, pc: Pc) -> Option<Pc> {
+        let slot = (pc as usize) & (self.cfg.btb_entries - 1);
+        match self.btb[slot] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs a target in the BTB (done when a control µop resolves).
+    pub fn btb_install(&mut self, pc: Pc, target: Pc) {
+        let slot = (pc as usize) & (self.cfg.btb_entries - 1);
+        self.btb[slot] = Some((pc, target));
+    }
+
+    /// Resolves a conditional branch: trains the counter (indexed with the
+    /// pre-prediction history), installs the target, and on a wrong
+    /// direction repairs the speculative history.
+    pub fn resolve(&mut self, pc: Pc, taken: bool, target: Pc, history_before: u32) {
+        let idx = ((pc ^ history_before) & ((1 << self.cfg.gshare_bits) - 1)) as usize;
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        if taken {
+            self.btb_install(pc, target);
+        }
+    }
+
+    /// Reports a misprediction: repairs global history to the resolved
+    /// outcome (`history_before << 1 | actual`).
+    pub fn mispredicted(&mut self, history_before: u32, actual_taken: bool) {
+        self.mispredicts += 1;
+        self.history = (history_before << 1) | actual_taken as u32;
+    }
+
+    /// Restores global history to a snapshot (used when a non-branch
+    /// recovery squashes speculatively-predicted branches).
+    pub fn set_history(&mut self, history: u32) {
+        self.history = history;
+    }
+
+    /// Pushes a return address (on `jal`/`jalr`).
+    pub fn ras_push(&mut self, return_pc: Pc) {
+        if self.ras.len() == self.cfg.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    /// Pops a predicted return target (on `jr`).
+    pub fn ras_pop(&mut self) -> Option<Pc> {
+        self.ras.pop()
+    }
+
+    /// Direction lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Mispredictions reported.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_bias() {
+        let mut bp = BranchPredictor::default();
+        for _ in 0..64 {
+            let p = bp.predict_cond(100);
+            if !p.taken {
+                bp.mispredicted(p.history, true);
+            }
+            bp.resolve(100, true, 7, p.history);
+        }
+        assert!(bp.predict_cond(100).taken);
+    }
+
+    #[test]
+    fn btb_miss_then_hit() {
+        let mut bp = BranchPredictor::default();
+        assert_eq!(bp.btb_lookup(5), None);
+        bp.btb_install(5, 99);
+        assert_eq!(bp.btb_lookup(5), Some(99));
+        // Aliased slot with wrong tag misses.
+        assert_eq!(bp.btb_lookup(5 + 4096), None);
+    }
+
+    #[test]
+    fn history_repair_on_mispredict() {
+        let mut bp = BranchPredictor::default();
+        let p = bp.predict_cond(3);
+        // Speculative history appended the predicted bit.
+        bp.mispredicted(p.history, !p.taken);
+        assert_eq!(bp.history() & 1, (!p.taken) as u32);
+        assert_eq!(bp.mispredicts(), 1);
+    }
+
+    #[test]
+    fn ras_round_trip_and_depth() {
+        let mut bp = BranchPredictor::new(BranchConfig { ras_depth: 2, ..BranchConfig::default() });
+        bp.ras_push(1);
+        bp.ras_push(2);
+        bp.ras_push(3); // evicts 1
+        assert_eq!(bp.ras_pop(), Some(3));
+        assert_eq!(bp.ras_pop(), Some(2));
+        assert_eq!(bp.ras_pop(), None);
+    }
+
+    #[test]
+    fn alternating_pattern_with_history() {
+        // With history, gshare learns alternation after warmup.
+        let mut bp = BranchPredictor::default();
+        let mut correct = 0;
+        let mut outcome = false;
+        for i in 0..200 {
+            outcome = !outcome;
+            let p = bp.predict_cond(50);
+            if p.taken == outcome {
+                if i >= 100 {
+                    correct += 1;
+                }
+            } else {
+                bp.mispredicted(p.history, outcome);
+            }
+            bp.resolve(50, outcome, 9, p.history);
+        }
+        assert!(correct > 90, "gshare should learn alternation, got {correct}/100");
+    }
+}

@@ -1,0 +1,465 @@
+use dmdp_isa::Pc;
+
+/// How the confidence counter reacts to a misprediction (paper §IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfidencePolicy {
+    /// NoSQ's balanced update: −1 on a misprediction.
+    #[default]
+    Balanced,
+    /// DMDP's biased update: divide by two on a misprediction. "Because
+    /// the cost is biased, the confidence counter update should be biased
+    /// as well" — predication is cheap, a dependence misprediction is a
+    /// full recovery.
+    Biased,
+}
+
+/// Store distance predictor configuration. The paper's instance: two
+/// 4-way set-associative 1K-entry tables (path-insensitive indexed by
+/// load PC, path-sensitive by PC ⊕ 8-bit branch history), each entry a
+/// 7-bit confidence counter, tag, and 6-bit distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceConfig {
+    /// Sets per table (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Bits of branch history XORed into the path-sensitive index.
+    pub history_bits: u32,
+    /// Confidence counter ceiling (7 bits → 127).
+    pub max_confidence: u8,
+    /// Cloaking threshold: "if the value is greater than 63, memory
+    /// cloaking is used".
+    pub threshold: u8,
+    /// Confidence assigned on allocation ("set to 64 by default").
+    pub initial_confidence: u8,
+    /// Maximum representable distance (6 bits → 63).
+    pub max_distance: u32,
+    /// Misprediction reaction.
+    pub policy: ConfidencePolicy,
+}
+
+impl Default for DistanceConfig {
+    fn default() -> DistanceConfig {
+        DistanceConfig {
+            sets: 256,
+            ways: 4,
+            history_bits: 8,
+            max_confidence: 127,
+            threshold: 63,
+            initial_confidence: 64,
+            max_distance: 63,
+            policy: ConfidencePolicy::Balanced,
+        }
+    }
+}
+
+/// A store-distance prediction for a load being renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted number of stores between the colliding store and the
+    /// load: `SSN_byp = SSN_rename - distance`.
+    pub distance: u32,
+    /// Whether confidence exceeds the cloaking threshold.
+    pub confident: bool,
+    /// Whether the path-sensitive table provided the prediction.
+    pub path_sensitive: bool,
+    /// Byte Access Bits observed for the colliding store last time —
+    /// NoSQ predicts partial-word shift amounts from these (§IV-D).
+    pub store_bab: u8,
+    /// The load's low address bits observed last time.
+    pub load_lo2: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u32,
+    distance: u32,
+    confidence: u8,
+    store_bab: u8,
+    load_lo2: u8,
+    lru: u64,
+    valid: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Entry>,
+    stamp: u64,
+}
+
+impl Table {
+    fn new(sets: usize, ways: usize) -> Table {
+        Table {
+            sets,
+            ways,
+            entries: vec![
+                Entry {
+                    tag: 0,
+                    distance: 0,
+                    confidence: 0,
+                    store_bab: 0,
+                    load_lo2: 0,
+                    lru: 0,
+                    valid: false
+                };
+                sets * ways
+            ],
+            stamp: 0,
+        }
+    }
+
+    /// The set is chosen by the (possibly history-XORed) index key; the
+    /// tag is the load PC itself — the paper's 22-bit entry tag — so
+    /// different loads hashing to one set never alias.
+    fn set_of(&self, index_key: u32) -> usize {
+        (index_key as usize) & (self.sets - 1)
+    }
+
+    fn get(&self, index_key: u32, tag: u32) -> Option<&Entry> {
+        let set = self.set_of(index_key);
+        self.entries[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+    }
+
+    fn get_mut(&mut self, index_key: u32, tag: u32) -> Option<&mut Entry> {
+        let set = self.set_of(index_key);
+        let ways = self.ways;
+        self.entries[set * ways..(set + 1) * ways]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+    }
+
+    fn touch(&mut self, index_key: u32, tag: u32) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self.get_mut(index_key, tag) {
+            e.lru = stamp;
+        }
+    }
+
+    fn allocate(
+        &mut self,
+        index_key: u32,
+        tag: u32,
+        distance: u32,
+        confidence: u8,
+        store_bab: u8,
+        load_lo2: u8,
+    ) {
+        self.stamp += 1;
+        let set = self.set_of(index_key);
+        let ways = self.ways;
+        let slice = &mut self.entries[set * ways..(set + 1) * ways];
+        let victim = slice
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                slice
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonempty set")
+            });
+        slice[victim] =
+            Entry { tag, distance, confidence, store_bab, load_lo2, lru: self.stamp, valid: true };
+    }
+}
+
+/// The path-sensitive store distance predictor (paper §IV-A d).
+///
+/// Both tables are read at prediction time; the path-sensitive result is
+/// preferred when present. Missing both tables predicts the load
+/// independent. Confidence is embedded in each entry and obeys the
+/// configured [`ConfidencePolicy`].
+///
+/// # Example
+///
+/// ```
+/// use dmdp_predict::{ConfidencePolicy, DistanceConfig, DistancePredictor};
+/// let mut p = DistancePredictor::new(DistanceConfig {
+///     policy: ConfidencePolicy::Biased,
+///     ..DistanceConfig::default()
+/// });
+/// assert!(p.predict(100, 0).is_none());     // unknown load: independent
+/// p.train(100, 0, 3);                        // a collision at distance 3
+/// let pr = p.predict(100, 0).unwrap();
+/// assert_eq!(pr.distance, 3);
+/// assert!(pr.confident);                     // allocated at 64 > 63
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistancePredictor {
+    cfg: DistanceConfig,
+    insensitive: Table,
+    sensitive: Table,
+    predictions: u64,
+    trainings: u64,
+}
+
+impl DistancePredictor {
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` is a power of two, `ways` is nonzero, and
+    /// `threshold < max_confidence`.
+    pub fn new(cfg: DistanceConfig) -> DistancePredictor {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be nonzero");
+        assert!(cfg.threshold < cfg.max_confidence, "threshold must be below the ceiling");
+        DistancePredictor {
+            insensitive: Table::new(cfg.sets, cfg.ways),
+            sensitive: Table::new(cfg.sets, cfg.ways),
+            cfg,
+            predictions: 0,
+            trainings: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DistanceConfig {
+        &self.cfg
+    }
+
+    fn sensitive_key(&self, pc: Pc, history: u32) -> u32 {
+        pc ^ (history & ((1 << self.cfg.history_bits) - 1))
+    }
+
+    /// A side-effect-free lookup (no LRU/statistics update) — the rename
+    /// stage uses this to size an instruction's µop group before
+    /// committing rename bandwidth to it.
+    pub fn peek(&self, pc: Pc, history: u32) -> Option<Prediction> {
+        let skey = self.sensitive_key(pc, history);
+        let entry = self.sensitive.get(skey, pc).or_else(|| self.insensitive.get(pc, pc))?;
+        Some(Prediction {
+            distance: entry.distance,
+            confident: entry.confidence > self.cfg.threshold,
+            path_sensitive: false,
+            store_bab: entry.store_bab,
+            load_lo2: entry.load_lo2,
+        })
+    }
+
+    /// Predicts the store distance for the load at `pc` with the current
+    /// branch `history`. `None` ⇒ predicted independent.
+    pub fn predict(&mut self, pc: Pc, history: u32) -> Option<Prediction> {
+        self.predictions += 1;
+        let skey = self.sensitive_key(pc, history);
+        if let Some(e) = self.sensitive.get(skey, pc) {
+            let p = Prediction {
+                distance: e.distance,
+                confident: e.confidence > self.cfg.threshold,
+                path_sensitive: true,
+                store_bab: e.store_bab,
+                load_lo2: e.load_lo2,
+            };
+            self.sensitive.touch(skey, pc);
+            return Some(p);
+        }
+        if let Some(e) = self.insensitive.get(pc, pc) {
+            let p = Prediction {
+                distance: e.distance,
+                confident: e.confidence > self.cfg.threshold,
+                path_sensitive: false,
+                store_bab: e.store_bab,
+                load_lo2: e.load_lo2,
+            };
+            self.insensitive.touch(pc, pc);
+            return Some(p);
+        }
+        None
+    }
+
+    /// Trains both tables with an observed collision at `actual_distance`
+    /// (clamped to the representable range). Called at retire whenever a
+    /// dependence is verified or a load re-execution reveals one — the
+    /// silent-store-aware policy updates on *every* re-execution
+    /// (paper §IV-C a).
+    pub fn train(&mut self, pc: Pc, history: u32, actual_distance: u32) {
+        self.train_with_geometry(pc, history, actual_distance, 0b1111, 0);
+    }
+
+    /// [`DistancePredictor::train`] that also records the collision's
+    /// byte geometry (the store's BAB and the load's low address bits),
+    /// which NoSQ's shift-and-mask prediction replays (§IV-D).
+    pub fn train_with_geometry(
+        &mut self,
+        pc: Pc,
+        history: u32,
+        actual_distance: u32,
+        store_bab: u8,
+        load_lo2: u8,
+    ) {
+        self.trainings += 1;
+        let d = actual_distance.min(self.cfg.max_distance);
+        let skey = self.sensitive_key(pc, history);
+        for (table, key) in [(&mut self.insensitive, pc), (&mut self.sensitive, skey)] {
+            match table.get_mut(key, pc) {
+                Some(e) => {
+                    if e.distance == d {
+                        e.confidence = (e.confidence + 1).min(self.cfg.max_confidence);
+                    } else {
+                        e.confidence = match self.cfg.policy {
+                            ConfidencePolicy::Balanced => e.confidence.saturating_sub(1),
+                            ConfidencePolicy::Biased => e.confidence >> 1,
+                        };
+                        e.distance = d;
+                    }
+                    e.store_bab = store_bab;
+                    e.load_lo2 = load_lo2;
+                }
+                None => {
+                    table.allocate(key, pc, d, self.cfg.initial_confidence, store_bab, load_lo2)
+                }
+            }
+        }
+    }
+
+    /// Records a *correct* prediction outcome for a load predicted
+    /// dependent (confidence strengthens; distance already matches).
+    pub fn reward(&mut self, pc: Pc, history: u32) {
+        let skey = self.sensitive_key(pc, history);
+        for (table, key) in [(&mut self.insensitive, pc), (&mut self.sensitive, skey)] {
+            if let Some(e) = table.get_mut(key, pc) {
+                e.confidence = (e.confidence + 1).min(self.cfg.max_confidence);
+            }
+        }
+    }
+
+    /// Records a misprediction where the load turned out to be
+    /// *independent* of any in-flight store: confidence drops per policy
+    /// but the distance is kept (there is no new distance to learn).
+    pub fn punish(&mut self, pc: Pc, history: u32) {
+        let skey = self.sensitive_key(pc, history);
+        for (table, key) in [(&mut self.insensitive, pc), (&mut self.sensitive, skey)] {
+            if let Some(e) = table.get_mut(key, pc) {
+                e.confidence = match self.cfg.policy {
+                    ConfidencePolicy::Balanced => e.confidence.saturating_sub(1),
+                    ConfidencePolicy::Biased => e.confidence >> 1,
+                };
+            }
+        }
+    }
+
+    /// Total predictions issued.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total training events.
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(policy: ConfidencePolicy) -> DistancePredictor {
+        DistancePredictor::new(DistanceConfig { policy, ..DistanceConfig::default() })
+    }
+
+    #[test]
+    fn unknown_load_predicts_independent() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        assert!(pr.predict(42, 0).is_none());
+    }
+
+    #[test]
+    fn allocation_starts_confident() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0, 5);
+        let pred = pr.predict(42, 0).unwrap();
+        assert_eq!(pred.distance, 5);
+        assert!(pred.confident, "initial confidence 64 exceeds threshold 63");
+    }
+
+    #[test]
+    fn balanced_single_miss_drops_below_threshold() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0, 5);
+        pr.punish(42, 0); // 64 -> 63, no longer > 63
+        assert!(!pr.predict(42, 0).unwrap().confident);
+        pr.reward(42, 0); // 64 again
+        assert!(pr.predict(42, 0).unwrap().confident);
+    }
+
+    #[test]
+    fn biased_miss_halves_confidence() {
+        let mut pr = p(ConfidencePolicy::Biased);
+        pr.train(42, 0, 5);
+        pr.punish(42, 0); // 64 -> 32
+        assert!(!pr.predict(42, 0).unwrap().confident);
+        // Takes ~32 corrects to recover past the threshold.
+        for _ in 0..31 {
+            pr.reward(42, 0);
+        }
+        assert!(!pr.predict(42, 0).unwrap().confident);
+        pr.reward(42, 0);
+        assert!(pr.predict(42, 0).unwrap().confident);
+    }
+
+    #[test]
+    fn distance_change_retrains() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0, 5);
+        pr.train(42, 0, 7); // distance changed
+        let pred = pr.predict(42, 0).unwrap();
+        assert_eq!(pred.distance, 7);
+        assert!(!pred.confident, "confidence 63 after the mismatch");
+    }
+
+    #[test]
+    fn path_sensitive_preferred() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0xAA, 3);
+        // Same PC, different history: the sensitive table misses but the
+        // insensitive one hits.
+        let by_path = pr.predict(42, 0xAA).unwrap();
+        assert!(by_path.path_sensitive);
+        let fallback = pr.predict(42, 0x55).unwrap();
+        assert!(!fallback.path_sensitive);
+        assert_eq!(fallback.distance, 3);
+    }
+
+    #[test]
+    fn distinct_paths_learn_distinct_distances() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0x01, 2);
+        pr.train(42, 0x02, 9);
+        assert_eq!(pr.predict(42, 0x01).unwrap().distance, 2);
+        assert_eq!(pr.predict(42, 0x02).unwrap().distance, 9);
+    }
+
+    #[test]
+    fn distance_clamps_to_six_bits() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0, 1000);
+        assert_eq!(pr.predict(42, 0).unwrap().distance, 63);
+    }
+
+    #[test]
+    fn confidence_saturates_at_ceiling() {
+        let mut pr = p(ConfidencePolicy::Balanced);
+        pr.train(42, 0, 5);
+        for _ in 0..200 {
+            pr.reward(42, 0);
+        }
+        // One balanced punish cannot unconfident a saturated entry.
+        pr.punish(42, 0);
+        assert!(pr.predict(42, 0).unwrap().confident);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_config_panics() {
+        let _ = DistancePredictor::new(DistanceConfig {
+            threshold: 127,
+            ..DistanceConfig::default()
+        });
+    }
+}

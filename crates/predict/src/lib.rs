@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # dmdp-predict
+//!
+//! The prediction and verification structures of the DMDP machine:
+//!
+//! * [`BranchPredictor`] — gshare + BTB + return-address stack, shared by
+//!   every pipeline model,
+//! * [`Tssbf`] — the Tagged Store Sequence Bloom Filter used at retire to
+//!   find a load's actual colliding store (paper §IV-A b),
+//! * [`DistancePredictor`] — the path-sensitive store distance predictor
+//!   with embedded confidence, including the paper's biased
+//!   divide-by-two confidence update (§IV-A d, §IV-E),
+//! * [`svw`] — the Store Vulnerability Window re-execution filter rules
+//!   (paper Table II and the partial-word decision tree of Fig. 11),
+//! * [`StoreSets`] — the Store Sets dependence predictor used by the
+//!   baseline store-queue machine (§V).
+
+mod branch;
+mod distance;
+mod store_sets;
+pub mod svw;
+mod tssbf;
+
+pub use branch::{BranchConfig, BranchPredictor};
+pub use distance::{ConfidencePolicy, DistanceConfig, DistancePredictor, Prediction};
+pub use store_sets::{StoreSets, StoreSetsConfig};
+pub use tssbf::{Tssbf, TssbfConfig, TssbfHit};
+
+/// Store sequence number: stores are numbered from 1 in rename order
+/// (paper §IV). `0` means "before any store".
+pub type Ssn = u32;

@@ -1,0 +1,208 @@
+use dmdp_isa::Pc;
+
+/// Store Sets configuration (Chrysos & Emer, ISCA '98), used by the
+/// baseline store-queue machine (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSetsConfig {
+    /// Store Set ID Table entries (power of two), indexed by PC.
+    pub ssit_entries: usize,
+    /// Last Fetched Store Table entries (one per store set ID).
+    pub lfst_entries: usize,
+}
+
+impl Default for StoreSetsConfig {
+    fn default() -> StoreSetsConfig {
+        StoreSetsConfig { ssit_entries: 2048, lfst_entries: 128 }
+    }
+}
+
+/// The Store Sets memory dependence predictor.
+///
+/// Loads and stores that have collided in the past are placed in the same
+/// *store set*. At dispatch a load (or store) looks up its set and, if the
+/// Last Fetched Store Table names an in-flight store of the same set, must
+/// wait for it. Violations merge sets toward the smaller set ID.
+///
+/// Store instances are identified by caller-supplied tokens (dynamic
+/// sequence numbers) so that squashes can be handled precisely.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_predict::StoreSets;
+/// let mut ss = StoreSets::default();
+/// assert_eq!(ss.load_dispatched(40), None); // never collided
+/// ss.violation(40, 10);                     // load pc 40 hit store pc 10
+/// ss.store_dispatched(10, 77);              // store instance 77 in flight
+/// assert_eq!(ss.load_dispatched(40), Some(77));
+/// ss.store_completed(10, 77);
+/// assert_eq!(ss.load_dispatched(40), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreSets {
+    cfg: StoreSetsConfig,
+    ssit: Vec<Option<u16>>,
+    lfst: Vec<Option<u64>>,
+    next_ssid: u16,
+    violations: u64,
+}
+
+impl Default for StoreSets {
+    fn default() -> StoreSets {
+        StoreSets::new(StoreSetsConfig::default())
+    }
+}
+
+impl StoreSets {
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ssit_entries` is a power of two and `lfst_entries`
+    /// is nonzero.
+    pub fn new(cfg: StoreSetsConfig) -> StoreSets {
+        assert!(cfg.ssit_entries.is_power_of_two(), "SSIT entries must be a power of two");
+        assert!(cfg.lfst_entries > 0, "LFST needs entries");
+        StoreSets {
+            ssit: vec![None; cfg.ssit_entries],
+            lfst: vec![None; cfg.lfst_entries],
+            cfg,
+            next_ssid: 0,
+            violations: 0,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: Pc) -> usize {
+        (pc as usize) & (self.cfg.ssit_entries - 1)
+    }
+
+    fn ssid(&self, pc: Pc) -> Option<u16> {
+        self.ssit[self.ssit_index(pc)]
+    }
+
+    /// A store at `pc` (instance `token`) dispatches: returns the token of
+    /// an older in-flight store it must order behind (store–store
+    /// ordering within a set) and becomes its set's last fetched store.
+    pub fn store_dispatched(&mut self, pc: Pc, token: u64) -> Option<u64> {
+        let ssid = self.ssid(pc)?;
+        let slot = ssid as usize % self.cfg.lfst_entries;
+        let prior = self.lfst[slot];
+        self.lfst[slot] = Some(token);
+        prior
+    }
+
+    /// A load at `pc` dispatches: returns the in-flight store token it
+    /// must wait for, if its set currently has one.
+    pub fn load_dispatched(&mut self, pc: Pc) -> Option<u64> {
+        let ssid = self.ssid(pc)?;
+        self.lfst[ssid as usize % self.cfg.lfst_entries]
+    }
+
+    /// A store instance finished (executed at commit in this machine):
+    /// clears the LFST slot if it still names this instance.
+    pub fn store_completed(&mut self, pc: Pc, token: u64) {
+        if let Some(ssid) = self.ssid(pc) {
+            let slot = ssid as usize % self.cfg.lfst_entries;
+            if self.lfst[slot] == Some(token) {
+                self.lfst[slot] = None;
+            }
+        }
+    }
+
+    /// A store instance was squashed; identical cleanup to completion.
+    pub fn store_squashed(&mut self, pc: Pc, token: u64) {
+        self.store_completed(pc, token);
+    }
+
+    /// A memory-ordering violation between a load and a store: both PCs
+    /// are placed in the same set (merging toward the smaller SSID, the
+    /// usual simplification of the paper's set merge).
+    pub fn violation(&mut self, load_pc: Pc, store_pc: Pc) {
+        self.violations += 1;
+        let li = self.ssit_index(load_pc);
+        let si = self.ssit_index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let ssid = self.next_ssid;
+                self.next_ssid = self.next_ssid.wrapping_add(1);
+                self.ssit[li] = Some(ssid);
+                self.ssit[si] = Some(ssid);
+            }
+            (Some(a), None) => self.ssit[si] = Some(a),
+            (None, Some(b)) => self.ssit[li] = Some(b),
+            (Some(a), Some(b)) => {
+                let winner = a.min(b);
+                self.ssit[li] = Some(winner);
+                self.ssit[si] = Some(winner);
+            }
+        }
+    }
+
+    /// Violations observed (baseline memory-ordering mispredictions).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_pcs_predict_no_dependence() {
+        let mut ss = StoreSets::default();
+        assert_eq!(ss.load_dispatched(1), None);
+        assert_eq!(ss.store_dispatched(2, 10), None);
+    }
+
+    #[test]
+    fn violation_creates_dependence() {
+        let mut ss = StoreSets::default();
+        ss.violation(100, 200);
+        ss.store_dispatched(200, 1);
+        assert_eq!(ss.load_dispatched(100), Some(1));
+    }
+
+    #[test]
+    fn store_store_ordering_within_set() {
+        let mut ss = StoreSets::default();
+        ss.violation(100, 200);
+        ss.violation(100, 300); // both stores now share the load's set
+        assert_eq!(ss.store_dispatched(200, 1), None);
+        assert_eq!(ss.store_dispatched(300, 2), Some(1));
+        assert_eq!(ss.load_dispatched(100), Some(2)); // youngest of set
+    }
+
+    #[test]
+    fn completion_clears_only_matching_token() {
+        let mut ss = StoreSets::default();
+        ss.violation(100, 200);
+        ss.store_dispatched(200, 1);
+        ss.store_dispatched(200, 2); // newer instance of the same store
+        ss.store_completed(200, 1); // stale clear: must not wipe token 2
+        assert_eq!(ss.load_dispatched(100), Some(2));
+        ss.store_completed(200, 2);
+        assert_eq!(ss.load_dispatched(100), None);
+    }
+
+    #[test]
+    fn merge_prefers_smaller_ssid() {
+        let mut ss = StoreSets::default();
+        ss.violation(1, 2); // ssid 0
+        ss.violation(3, 4); // ssid 1
+        ss.violation(1, 4); // merge: both end up in ssid 0
+        assert_eq!(ss.ssid(1), Some(0));
+        assert_eq!(ss.ssid(4), Some(0));
+        assert_eq!(ss.violations(), 3);
+    }
+
+    #[test]
+    fn squash_behaves_like_completion() {
+        let mut ss = StoreSets::default();
+        ss.violation(10, 20);
+        ss.store_dispatched(20, 5);
+        ss.store_squashed(20, 5);
+        assert_eq!(ss.load_dispatched(10), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Store Vulnerability Window re-execution filtering (paper §IV-A a,
+//! Table II, and the partial-word decision tree of Fig. 11).
+//!
+//! At retire, a speculative load's value must be verified. Re-executing
+//! every load would double cache bandwidth; SVW re-executes only when the
+//! T-SSBF says a colliding store committed *after* the load read the
+//! cache, or when a forwarded value cannot be proven to have come from
+//! the right store.
+
+use dmdp_isa::bab::covers;
+
+use crate::tssbf::TssbfHit;
+use crate::Ssn;
+
+/// Where a retiring load's value came from (paper Table II's two rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// The load read the cache; `ssn_nvul` is the `SSN_commit` captured at
+    /// execution time — the youngest store the load is *not* vulnerable
+    /// to.
+    Cache {
+        /// Captured `SSN_commit`.
+        ssn_nvul: Ssn,
+    },
+    /// The value was forwarded from a predicted in-flight store (memory
+    /// cloaking, or a predication pair whose predicate was true).
+    Forwarded {
+        /// The predicted colliding store's SSN (`SSN_byp`).
+        predicted_ssn: Ssn,
+    },
+}
+
+/// Decides whether a retiring load must re-execute.
+///
+/// * **Cache-sourced** loads re-execute iff the actual colliding store's
+///   SSN exceeds `ssn_nvul` (it committed after the load read the cache).
+///   The conservative set-minimum returned on a T-SSBF tag miss applies
+///   unchanged: if even the smallest SSN in the set is newer than
+///   `ssn_nvul`, an evicted colliding entry could be too.
+/// * **Forwarded** loads re-execute unless the T-SSBF confirms the actual
+///   colliding store is exactly the predicted one *and* its bytes cover
+///   the load's (Fig. 11: a partially-covering store means the value is
+///   assembled from multiple stores, which forwarding cannot produce).
+///
+/// # Example
+///
+/// ```
+/// use dmdp_predict::svw::{needs_reexecution, DataSource};
+/// use dmdp_predict::TssbfHit;
+/// // Load read the cache at SSN_commit = 10; a store with SSN 12
+/// // committed afterwards: re-execute.
+/// let hit = TssbfHit { ssn: 12, store_bab: Some(0b1111) };
+/// assert!(needs_reexecution(DataSource::Cache { ssn_nvul: 10 }, hit, 0b1111));
+/// // Same store but the load was already safe:
+/// let hit = TssbfHit { ssn: 9, store_bab: Some(0b1111) };
+/// assert!(!needs_reexecution(DataSource::Cache { ssn_nvul: 10 }, hit, 0b1111));
+/// ```
+pub fn needs_reexecution(source: DataSource, actual: TssbfHit, load_bab: u8) -> bool {
+    match source {
+        DataSource::Cache { ssn_nvul } => actual.ssn > ssn_nvul,
+        DataSource::Forwarded { predicted_ssn } => match actual.store_bab {
+            Some(store_bab) => actual.ssn != predicted_ssn || !covers(store_bab, load_bab),
+            // Tag miss: the predicted store cannot be confirmed.
+            None => true,
+        },
+    }
+}
+
+/// Whether a confirmed collision constitutes *partial-word* forwarding
+/// that must fall back to re-execution (Fig. 11's right branch): the
+/// store overlaps the load but does not cover every byte it needs.
+pub fn partial_word_hazard(store_bab: u8, load_bab: u8) -> bool {
+    store_bab & load_bab != 0 && !covers(store_bab, load_bab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: u8 = 0b1111;
+
+    #[test]
+    fn cache_load_safe_when_store_older() {
+        let hit = TssbfHit { ssn: 5, store_bab: Some(FULL) };
+        assert!(!needs_reexecution(DataSource::Cache { ssn_nvul: 5 }, hit, FULL));
+    }
+
+    #[test]
+    fn cache_load_reexecutes_when_store_newer() {
+        let hit = TssbfHit { ssn: 6, store_bab: Some(FULL) };
+        assert!(needs_reexecution(DataSource::Cache { ssn_nvul: 5 }, hit, FULL));
+    }
+
+    #[test]
+    fn cache_load_conservative_on_tag_miss() {
+        // Set minimum newer than nvul: an evicted entry could collide.
+        let hit = TssbfHit { ssn: 9, store_bab: None };
+        assert!(needs_reexecution(DataSource::Cache { ssn_nvul: 5 }, hit, FULL));
+        let hit = TssbfHit { ssn: 3, store_bab: None };
+        assert!(!needs_reexecution(DataSource::Cache { ssn_nvul: 5 }, hit, FULL));
+    }
+
+    #[test]
+    fn forwarded_load_verified_by_exact_match() {
+        let hit = TssbfHit { ssn: 7, store_bab: Some(FULL) };
+        assert!(!needs_reexecution(DataSource::Forwarded { predicted_ssn: 7 }, hit, FULL));
+        assert!(needs_reexecution(DataSource::Forwarded { predicted_ssn: 6 }, hit, FULL));
+    }
+
+    #[test]
+    fn forwarded_load_reexecutes_on_tag_miss() {
+        let hit = TssbfHit { ssn: 0, store_bab: None };
+        assert!(needs_reexecution(DataSource::Forwarded { predicted_ssn: 7 }, hit, FULL));
+    }
+
+    #[test]
+    fn forwarded_partial_cover_reexecutes() {
+        // Store wrote only the low half; load reads the full word.
+        let hit = TssbfHit { ssn: 7, store_bab: Some(0b0011) };
+        assert!(needs_reexecution(DataSource::Forwarded { predicted_ssn: 7 }, hit, FULL));
+        // Store covers exactly what the load reads: fine.
+        let hit = TssbfHit { ssn: 7, store_bab: Some(0b0011) };
+        assert!(!needs_reexecution(DataSource::Forwarded { predicted_ssn: 7 }, hit, 0b0011));
+    }
+
+    #[test]
+    fn partial_word_hazard_cases() {
+        assert!(partial_word_hazard(0b0011, 0b1111)); // overlap, no cover
+        assert!(!partial_word_hazard(0b1111, 0b0011)); // covered
+        assert!(!partial_word_hazard(0b0011, 0b1100)); // disjoint
+    }
+}

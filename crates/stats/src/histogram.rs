@@ -1,0 +1,141 @@
+/// A bounded integer histogram: samples above the bound accumulate in an
+/// overflow bucket.
+///
+/// Used for load-latency distributions and store-buffer occupancy.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_stats::Histogram;
+/// let mut h = Histogram::new(16);
+/// for v in [1, 1, 2, 100] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket(1), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.percentile(50.0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering values `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn new(bound: usize) -> Histogram {
+        assert!(bound > 0, "histogram bound must be positive");
+        Histogram { buckets: vec![0; bound], overflow: 0, count: 0, sum: 0 }
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn add(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in an exact-value bucket (0 for values past the bound).
+    pub fn bucket(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Samples at or above the bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (overflow samples contribute their true value).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The smallest value `v` such that at least `p` percent of samples are
+    /// `<= v`; overflow samples report the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0` or the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(self.count > 0, "percentile of empty histogram");
+        let threshold = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (v, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return v as u64;
+            }
+        }
+        self.buckets.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let mut h = Histogram::new(4);
+        h.add(0);
+        h.add(3);
+        h.add(3);
+        h.add(4); // overflow
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(3), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=10 {
+            h.add(v);
+        }
+        assert_eq!(h.percentile(10.0), 1);
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(100.0), 10);
+    }
+
+    #[test]
+    fn percentile_of_overflow_reports_bound() {
+        let mut h = Histogram::new(4);
+        h.add(1000);
+        assert_eq!(h.percentile(50.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        Histogram::new(4).percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        let _ = Histogram::new(0);
+    }
+}

@@ -1,0 +1,182 @@
+use crate::Mean;
+
+/// How a load obtained its value — the classification of paper Figure 2,
+/// extended with the predicated class DMDP introduces.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LoadSource {
+    /// Read straight from the cache ("Direct access").
+    Direct,
+    /// Value obtained through memory cloaking ("Bypassing").
+    Bypassed,
+    /// Execution was delayed until the predicted colliding store committed
+    /// ("Delayed access", NoSQ only).
+    Delayed,
+    /// Value selected by a CMP/CMOV predication pair (DMDP only).
+    Predicated,
+}
+
+impl LoadSource {
+    /// All classes, in the paper's reporting order.
+    pub const ALL: [LoadSource; 4] =
+        [LoadSource::Direct, LoadSource::Bypassed, LoadSource::Delayed, LoadSource::Predicated];
+
+    /// The paper's label for the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadSource::Direct => "Direct access",
+            LoadSource::Bypassed => "Bypassing",
+            LoadSource::Delayed => "Delayed access",
+            LoadSource::Predicated => "Predicated",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LoadSource::Direct => 0,
+            LoadSource::Bypassed => 1,
+            LoadSource::Delayed => 2,
+            LoadSource::Predicated => 3,
+        }
+    }
+}
+
+/// Per-class load counts and execution times.
+///
+/// *Execution time* follows the paper's definition: "the number of cycles
+/// spent between renaming of the load and the load result becoming
+/// available", clamped at zero for bypassing loads whose store data was
+/// ready before the load renamed (§II).
+///
+/// # Example
+///
+/// ```
+/// use dmdp_stats::{LoadLatencyStats, LoadSource};
+/// let mut s = LoadLatencyStats::new();
+/// s.record(LoadSource::Direct, 100, 104);
+/// s.record(LoadSource::Bypassed, 100, 90); // ready before rename -> 0
+/// assert_eq!(s.count(LoadSource::Direct), 1);
+/// assert_eq!(s.mean_latency(LoadSource::Bypassed), 0.0);
+/// assert_eq!(s.overall_mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadLatencyStats {
+    classes: [Mean; 4],
+}
+
+impl LoadLatencyStats {
+    /// Creates empty statistics.
+    pub fn new() -> LoadLatencyStats {
+        LoadLatencyStats::default()
+    }
+
+    /// Records one load: renamed at `rename_cycle`, result available at
+    /// `ready_cycle`. A ready time earlier than rename counts as zero.
+    pub fn record(&mut self, source: LoadSource, rename_cycle: u64, ready_cycle: u64) {
+        let latency = ready_cycle.saturating_sub(rename_cycle);
+        self.classes[source.index()].add(latency);
+    }
+
+    /// Number of loads in a class.
+    pub fn count(&self, source: LoadSource) -> u64 {
+        self.classes[source.index()].count()
+    }
+
+    /// Total loads across all classes.
+    pub fn total(&self) -> u64 {
+        self.classes.iter().map(Mean::count).sum()
+    }
+
+    /// Fraction of loads in a class (0.0 when there are no loads).
+    pub fn fraction(&self, source: LoadSource) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(source) as f64 / total as f64
+        }
+    }
+
+    /// Mean execution time of a class.
+    pub fn mean_latency(&self, source: LoadSource) -> f64 {
+        self.classes[source.index()].mean()
+    }
+
+    /// Mean execution time over every load (Table IV's quantity).
+    pub fn overall_mean(&self) -> f64 {
+        let mut all = Mean::new();
+        for c in &self.classes {
+            all.merge(*c);
+        }
+        all.mean()
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &LoadLatencyStats) {
+        for (a, b) in self.classes.iter_mut().zip(other.classes.iter()) {
+            a.merge(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = LoadLatencyStats::new();
+        s.record(LoadSource::Direct, 0, 4);
+        s.record(LoadSource::Bypassed, 0, 0);
+        s.record(LoadSource::Delayed, 0, 40);
+        s.record(LoadSource::Delayed, 0, 60);
+        let total: f64 = LoadSource::ALL.iter().map(|&c| s.fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(s.fraction(LoadSource::Delayed), 0.5);
+    }
+
+    #[test]
+    fn negative_latency_clamps_to_zero() {
+        let mut s = LoadLatencyStats::new();
+        s.record(LoadSource::Bypassed, 50, 10);
+        assert_eq!(s.mean_latency(LoadSource::Bypassed), 0.0);
+    }
+
+    #[test]
+    fn per_class_and_overall_means() {
+        let mut s = LoadLatencyStats::new();
+        s.record(LoadSource::Direct, 0, 4);
+        s.record(LoadSource::Direct, 0, 8);
+        s.record(LoadSource::Delayed, 0, 42);
+        assert_eq!(s.mean_latency(LoadSource::Direct), 6.0);
+        assert_eq!(s.mean_latency(LoadSource::Delayed), 42.0);
+        assert_eq!(s.overall_mean(), 18.0);
+    }
+
+    #[test]
+    fn merge_combines_classes() {
+        let mut a = LoadLatencyStats::new();
+        a.record(LoadSource::Direct, 0, 2);
+        let mut b = LoadLatencyStats::new();
+        b.record(LoadSource::Direct, 0, 4);
+        b.record(LoadSource::Predicated, 0, 6);
+        a.merge(&b);
+        assert_eq!(a.count(LoadSource::Direct), 2);
+        assert_eq!(a.mean_latency(LoadSource::Direct), 3.0);
+        assert_eq!(a.count(LoadSource::Predicated), 1);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(LoadSource::Direct.label(), "Direct access");
+        assert_eq!(LoadSource::Bypassed.label(), "Bypassing");
+        assert_eq!(LoadSource::Delayed.label(), "Delayed access");
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LoadLatencyStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.fraction(LoadSource::Direct), 0.0);
+        assert_eq!(s.overall_mean(), 0.0);
+    }
+}

@@ -1,0 +1,525 @@
+//! SPECfp 2006 analogues (paper §V). The ISA has no floating-point unit;
+//! long-latency integer `mul`/`div` chains stand in for FP arithmetic —
+//! the memory-dependence behaviour, which is what DMDP responds to, is
+//! preserved (see DESIGN.md's substitution table).
+
+use dmdp_isa::asm;
+
+use crate::gen::{permutation_ring, words_mod};
+use crate::{Suite, Workload};
+
+fn build(name: &'static str, character: &'static str, src: &str) -> Workload {
+    let program = asm::assemble_named(name, src)
+        .unwrap_or_else(|e| panic!("kernel {name} failed to assemble: {e}"));
+    Workload { name, suite: Suite::Fp, character, program }
+}
+
+/// bwaves: 1-D stencil sweep — the `[i-1]` load collides with the
+/// previous iteration's store at a perfectly stable distance (cloakable).
+pub(crate) fn bwaves(n: u32) -> Workload {
+    let iters = n * 5;
+    let grid = words_mod(0xb3a7_0001, 1024, 1000);
+    build(
+        "bwaves",
+        "stencil with stable-distance AC collisions",
+        &format!(
+            r#"
+            .data
+    grid:   .word {grid}
+            .text
+            lui  $8, %hi(grid)
+            ori  $8, $8, %lo(grid)
+            li   $4, 1
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 1023
+            bne  $6, $0, mid
+            addi $6, $6, 512        # skip index 0 so u[i-1] stays in range
+    mid:
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, -4($6)         # u[i-1]: collides with last iteration
+            lw   $10, 0($6)         # u[i]
+            lw   $11, 4($6)         # u[i+1]
+            add  $13, $7, $11
+            mul  $13, $13, $10      # "FP" work
+            sra  $13, $13, 4
+            sw   $13, 0($6)         # u[i] =
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $13, grid($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// milc: strided gather over a large lattice — misses dominate, and the
+/// few predicted dependences are usually wrong (the paper's 23.5 %
+/// naive-misprediction example).
+pub(crate) fn milc(n: u32) -> Workload {
+    let iters = n * 4;
+    let lat = words_mod(0x317c_0001, 4096, 97);
+    build(
+        "milc",
+        "strided large-lattice gather; unreliable dependence predictions",
+        &format!(
+            r#"
+            .data
+    lat:    .word {lat}
+    out:    .space 64
+            .text
+            lui  $8, %hi(lat)
+            ori  $8, $8, %lo(lat)
+            lui  $9, %hi(out)
+            ori  $9, $9, %lo(out)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            muli $6, $4, 257        # stride through the lattice
+            andi $6, $6, 4095
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # su3 element (often a miss)
+            mul  $7, $7, $7
+            andi $10, $4, 15
+            sll  $10, $10, 2
+            add  $10, $10, $9
+            lw   $11, 0($10)        # out[i%16] (OC at varying distance)
+            add  $11, $11, $7
+            sw   $11, 0($10)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $11, out($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// zeusmp: plane-by-plane 2-D sweep; a row's stores are reread one full
+/// row later — a long, fairly stable distance.
+pub(crate) fn zeusmp(n: u32) -> Workload {
+    let iters = n * 4;
+    let grid = words_mod(0x2e05_0001, 1024, 500);
+    build(
+        "zeusmp",
+        "row-sweep; stable column recurrence; occasional scattered OC updates",
+        &format!(
+            r#"
+            .data
+    grid:   .word {grid}
+    cols:   .space 128
+            .text
+            lui  $8, %hi(grid)
+            ori  $8, $8, %lo(grid)
+            lui  $9, %hi(cols)
+            ori  $9, $9, %lo(cols)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 1023
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            andi $10, $4, 31        # column recurrence: written 32 stores ago
+            sll  $10, $10, 2
+            add  $10, $10, $9
+            lw   $7, 0($10)
+            muli $7, $7, 3
+            sra  $7, $7, 1
+            sw   $7, 0($10)
+            lw   $11, 0($6)         # streaming read of the grid
+            add  $12, $12, $11
+            andi $13, $4, 7
+            bne  $13, $0, skip
+            muli $14, $4, 7
+            andi $14, $14, 1023
+            sll  $14, $14, 2
+            add  $14, $14, $8
+            sw   $12, 0($14)        # scattered update: occasional OC with
+    skip:                           # the streaming read at varying distance
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, cols($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// gromacs: pairwise forces — indexed gather of positions and scatter-add
+/// of forces through a repeating neighbour list (OC scatter).
+pub(crate) fn gromacs(n: u32) -> Workload {
+    let iters = n * 4;
+    let nbr = words_mod(0x6206_0001, 512, 128);
+    let pos = words_mod(0x6207_0001, 128, 2048);
+    build(
+        "gromacs",
+        "neighbour-list gather + OC force scatter-add",
+        &format!(
+            r#"
+            .data
+    nbr:    .word {nbr}
+    pos:    .word {pos}
+    force:  .space 512
+            .text
+            lui  $8, %hi(nbr)
+            ori  $8, $8, %lo(nbr)
+            lui  $9, %hi(pos)
+            ori  $9, $9, %lo(pos)
+            lui  $13, %hi(force)
+            ori  $13, $13, %lo(force)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # j = nbr[i]
+            sll  $10, $7, 2
+            add  $11, $10, $9
+            lw   $11, 0($11)        # pos[j]
+            mul  $11, $11, $11      # "LJ" force
+            sra  $11, $11, 6
+            add  $10, $10, $13
+            lw   $14, 0($10)        # force[j] (OC: repeats in the list)
+            add  $14, $14, $11
+            sw   $14, 0($10)        # scatter-add
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $14, force($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// leslie3d: two-array ping-pong stencil — reads from one array, writes
+/// the other, swapping roles; collisions only across phases.
+pub(crate) fn leslie3d(n: u32) -> Workload {
+    let iters = n * 4;
+    let a = words_mod(0x1e51_0001, 512, 300);
+    build(
+        "leslie3d",
+        "ping-pong stencil; phase-boundary collisions",
+        &format!(
+            r#"
+            .data
+    a:      .word {a}
+    b:      .space 2048
+            .text
+            lui  $8, %hi(a)
+            ori  $8, $8, %lo(a)
+            lui  $9, %hi(b)
+            ori  $9, $9, %lo(b)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 510
+            sll  $6, $6, 2
+            add  $10, $6, $8
+            add  $11, $6, $9
+            andi $13, $4, 512       # phase bit
+            beq  $13, $0, fwd
+            # reverse phase: read b, write a
+            lw   $7, 0($11)
+            lw   $14, 4($11)
+            add  $7, $7, $14
+            muli $7, $7, 5
+            sra  $7, $7, 3
+            sw   $7, 0($10)
+            j    cont
+    fwd:    # forward phase: read a, write b
+            lw   $7, 0($10)
+            lw   $14, 4($10)
+            add  $7, $7, $14
+            muli $7, $7, 5
+            sra  $7, $7, 3
+            sw   $7, 0($11)
+    cont:
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $7, b($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// namd: per-atom accumulation into registers, rare memory collisions;
+/// mostly NC loads feeding long multiply chains.
+pub(crate) fn namd(n: u32) -> Workload {
+    let iters = n * 4;
+    let atoms = words_mod(0xa3d0_0001, 1024, 4096);
+    build(
+        "namd",
+        "NC gather + compute; few collisions",
+        &format!(
+            r#"
+            .data
+    atoms:  .word {atoms}
+    acc:    .space 16
+            .text
+            lui  $8, %hi(atoms)
+            ori  $8, $8, %lo(atoms)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 1023
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)
+            mul  $10, $7, $7
+            muli $10, $10, 3
+            sra  $10, $10, 8
+            add  $12, $12, $10
+            andi $11, $4, 15
+            bne  $11, $0, skip
+            sw   $12, acc($0)       # periodic energy checkpoint
+    skip:
+            lw   $14, acc($0)       # read every iteration: predicted
+            add  $12, $12, $14      # dependent, usually independent
+            sra  $12, $12, 1
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, acc($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// GemsFDTD: field update with random-ish scatter writes reread much
+/// later — long, unstable collision distances.
+pub(crate) fn gems(n: u32) -> Workload {
+    let iters = n * 4;
+    let perm = permutation_ring(0x6e35_0001, 1024, 4);
+    build(
+        "Gems",
+        "scatter writes reread at long unstable distances",
+        &format!(
+            r#"
+            .data
+    perm:   .word {perm}
+    field:  .space 4096
+            .text
+            lui  $8, %hi(perm)
+            ori  $8, $8, %lo(perm)
+            lui  $9, %hi(field)
+            ori  $9, $9, %lo(field)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+            li   $7, 0
+    loop:
+            add  $6, $8, $7
+            lw   $7, 0($6)          # next scatter target (permutation)
+            add  $10, $7, $9
+            lw   $11, 0($10)        # field[p]
+            muli $11, $11, 7
+            sra  $11, $11, 2
+            addi $11, $11, 1
+            sw   $11, 0($10)        # update field[p]
+            add  $12, $12, $11
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, field($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// tonto: blocked inner products — streams two operand arrays, writes a
+/// small C block at stable distances (cloakable).
+pub(crate) fn tonto(n: u32) -> Workload {
+    let iters = n * 4;
+    let a = words_mod(0x7037_0001, 512, 100);
+    let b = words_mod(0x7038_0001, 512, 100);
+    build(
+        "tonto",
+        "blocked inner products; stable-distance C updates",
+        &format!(
+            r#"
+            .data
+    a:      .word {a}
+    b:      .word {b}
+    c:      .space 64
+            .text
+            lui  $8, %hi(a)
+            ori  $8, $8, %lo(a)
+            lui  $9, %hi(b)
+            ori  $9, $9, %lo(b)
+            lui  $13, %hi(c)
+            ori  $13, $13, %lo(c)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 2
+            add  $10, $6, $8
+            lw   $7, 0($10)         # a[k] (NC)
+            add  $10, $6, $9
+            lw   $11, 0($10)        # b[k] (NC)
+            mul  $7, $7, $11
+            andi $10, $4, 15
+            sll  $10, $10, 2
+            add  $10, $10, $13
+            lw   $14, 0($10)        # c[i%16]: collides 16 stores back
+            add  $14, $14, $7
+            sw   $14, 0($10)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $14, c($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// lbm: store-dominated streaming over a large lattice — maximal store
+/// buffer pressure (the paper's biggest store-buffer-size winner and
+/// re-execution staller).
+pub(crate) fn lbm(n: u32) -> Workload {
+    let iters = n * 4;
+    build(
+        "lbm",
+        "store-heavy streaming; store-buffer pressure; reexec stalls",
+        &format!(
+            r#"
+            .data
+    cells:  .space 16384
+            .text
+            lui  $8, %hi(cells)
+            ori  $8, $8, %lo(cells)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 1023
+            sll  $6, $6, 4          # 16-byte cells over 16 KiB
+            add  $6, $6, $8
+            lw   $7, 0($6)          # cell density
+            addi $7, $7, 1
+            sw   $7, 0($6)          # five distribution stores per site
+            sw   $7, 4($6)
+            sw   $7, 8($6)
+            sw   $7, 12($6)
+            lw   $10, 4($6)         # immediate reread of a fresh store
+            add  $12, $12, $10
+            sw   $12, 0($8)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#
+        ),
+    )
+}
+
+/// wrf: physics mix — an OC conditional update whose predicted store
+/// almost never matches (IndepStore-dominant), the case where NoSQ's
+/// delaying is most wasteful and DMDP gains its 34 % (paper §VI-c).
+pub(crate) fn wrf(n: u32) -> Workload {
+    let iters = n * 5;
+    let flags = words_mod(0x3f20_0001, 512, 16);
+    let grid = words_mod(0x3f21_0001, 512, 700);
+    build(
+        "wrf",
+        "IndepStore-dominant OC: rare collisions, frequent low-confidence loads",
+        &format!(
+            r#"
+            .data
+    flags:  .word {flags}
+    grid:   .word {grid}
+    wet:    .space 64
+            .text
+            lui  $8, %hi(flags)
+            ori  $8, $8, %lo(flags)
+            lui  $9, %hi(grid)
+            ori  $9, $9, %lo(grid)
+            lui  $13, %hi(wet)
+            ori  $13, $13, %lo(wet)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 2
+            add  $10, $6, $8
+            lw   $7, 0($10)         # condensation flag (0..15)
+            andi $11, $4, 15
+            sll  $11, $11, 2
+            add  $11, $11, $13
+            bne  $7, $0, dry        # 1/16 of iterations store...
+            sw   $4, 0($11)         # ...to wet[i%16]
+    dry:
+            lw   $14, 0($11)        # usually independent, sometimes not:
+                                    # the predicted store is in flight but
+                                    # almost never matches (IndepStore)
+            add  $10, $6, $9
+            lw   $15, 0($10)
+            muli $15, $15, 3
+            sra  $15, $15, 2
+            add  $16, $14, $15
+            sw   $16, 4($10)        # streaming physics write-back keeps
+            add  $12, $12, $16      # the in-flight store window populated
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, wet($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// sphinx3: acoustic scoring — gathers feature vectors, accumulates
+/// scores, stores rarely; load-dominated with moderate misses.
+pub(crate) fn sphinx3(n: u32) -> Workload {
+    let iters = n * 4;
+    let feat = words_mod(0x5f19_0001, 2048, 255);
+    build(
+        "sphinx3",
+        "load-dominated gather scoring; sparse stores",
+        &format!(
+            r#"
+            .data
+    feat:   .word {feat}
+    best:   .space 32
+            .text
+            lui  $8, %hi(feat)
+            ori  $8, $8, %lo(feat)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            muli $6, $4, 131
+            andi $6, $6, 2047
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # feature
+            lw   $10, 4($6)
+            sub  $11, $7, $10
+            mul  $11, $11, $11      # squared distance
+            add  $12, $12, $11
+            andi $13, $4, 15
+            bne  $13, $0, skip
+            sw   $12, best($0)      # occasional best-score update
+    skip:
+            lw   $14, best($0)      # read every iteration: predicted
+            add  $12, $12, $14      # dependent, usually independent
+            sra  $12, $12, 1
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, best($0)
+            halt
+        "#
+        ),
+    )
+}

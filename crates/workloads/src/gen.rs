@@ -1,0 +1,81 @@
+//! Deterministic data generation for the kernels.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG shared by all kernels; same seed -> same program.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` random words in `0..bound`, rendered as a `.word` directive body.
+pub(crate) fn words_mod(seed: u64, n: usize, bound: u32) -> String {
+    let mut r = rng(seed);
+    (0..n).map(|_| (r.gen::<u32>() % bound).to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// A random permutation of `0..n` scaled by `stride`, as `.word` body —
+/// the classic pointer-chasing ring.
+pub(crate) fn permutation_ring(seed: u64, n: usize, stride: u32) -> String {
+    let mut r = rng(seed);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = (r.gen::<u32>() as usize) % (i + 1);
+        idx.swap(i, j);
+    }
+    // next[idx[i]] = idx[(i+1) % n] builds one big cycle.
+    let mut next = vec![0u32; n];
+    for i in 0..n {
+        next[idx[i] as usize] = idx[(i + 1) % n] * stride;
+    }
+    next.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// `n` half-word indices in `0..bound` where values recur in short
+/// irregular runs — the paper's Figure 13 pattern: repeated pointers make
+/// the increment collide with itself at a *drifting* store distance.
+pub(crate) fn halves_with_repeats(seed: u64, n: usize, bound: u32, max_run: u32) -> String {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut current = r.gen::<u32>() % bound;
+    let mut run = 0u32;
+    for _ in 0..n {
+        if run == 0 {
+            current = r.gen::<u32>() % bound;
+            run = 1 + r.gen::<u32>() % max_run;
+        }
+        out.push(current.to_string());
+        run -= 1;
+        // Occasionally interleave a different index inside a run so the
+        // collision distance varies.
+        if r.gen::<u32>() % 4 == 0 && run > 0 {
+            out.push((r.gen::<u32>() % bound).to_string());
+            run = run.saturating_sub(1);
+        }
+    }
+    out.truncate(n);
+    out.join(", ")
+}
+
+/// `n` word indices in `0..bound` where values recur in short irregular
+/// runs (word-sized variant of [`halves_with_repeats`]).
+pub(crate) fn words_with_repeats(seed: u64, n: usize, bound: u32, max_run: u32) -> String {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut current = r.gen::<u32>() % bound;
+    let mut run = 0u32;
+    for _ in 0..n {
+        if run == 0 {
+            current = r.gen::<u32>() % bound;
+            run = 1 + r.gen::<u32>() % max_run;
+        }
+        out.push(current.to_string());
+        run -= 1;
+        if r.gen::<u32>() % 3 == 0 && run > 0 {
+            out.push((r.gen::<u32>() % bound).to_string());
+            run = run.saturating_sub(1);
+        }
+    }
+    out.truncate(n);
+    out.join(", ")
+}

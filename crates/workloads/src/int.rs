@@ -1,0 +1,565 @@
+//! SPECint 2006 analogues (paper §V). Each kernel reproduces the
+//! memory-dependence character the paper attributes to (or that is well
+//! known of) its namesake; DESIGN.md documents the substitution.
+
+use dmdp_isa::asm;
+
+use crate::gen::{halves_with_repeats, permutation_ring, words_mod, words_with_repeats};
+use crate::{Suite, Workload};
+
+fn build(name: &'static str, character: &'static str, src: &str) -> Workload {
+    let program = asm::assemble_named(name, src)
+        .unwrap_or_else(|e| panic!("kernel {name} failed to assemble: {e}"));
+    Workload { name, suite: Suite::Int, character, program }
+}
+
+/// perl: interpreter dispatch — heavy branching, always-colliding global
+/// variable updates, and a small hash table with occasional collisions.
+pub(crate) fn perl(n: u32) -> Workload {
+    let iters = n * 6;
+    let ops = words_with_repeats(0x9e37_0001, 256, 4, 4);
+    build(
+        "perl",
+        "branchy dispatch; AC globals; small-OC hash updates",
+        &format!(
+            r#"
+            .data
+    ops:    .word {ops}
+    g1:     .word 0
+    g2:     .word 0
+    hash:   .space 256
+            .text
+            lui  $8, %hi(ops)
+            ori  $8, $8, %lo(ops)
+            lui  $9, %hi(hash)
+            ori  $9, $9, %lo(hash)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 255
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # op = ops[i % 256]
+            beq  $7, $0, case0
+            addi $10, $7, -1
+            beq  $10, $0, case1
+            addi $10, $7, -2
+            beq  $10, $0, case2
+            # case3: hash update (occasionally colliding)
+            mul  $10, $4, $7
+            andi $10, $10, 63
+            sll  $10, $10, 2
+            add  $10, $10, $9
+            lw   $11, 0($10)
+            addi $11, $11, 1
+            sw   $11, 0($10)
+            j    next
+    case0:  # global accumulate (always colliding)
+            lw   $11, g1($0)
+            add  $11, $11, $4
+            sw   $11, g1($0)
+            j    next
+    case1:  # second global
+            lw   $11, g2($0)
+            xor  $11, $11, $4
+            sw   $11, g2($0)
+            j    next
+    case2:  # pure compute path (varies store distances for other cases)
+            mul  $11, $4, $4
+            add  $12, $12, $11
+    next:
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            lw   $1, g1($0)
+            lw   $2, g2($0)
+            add  $1, $1, $2
+            sw   $1, g1($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// bzip2: the paper's Figure 13 loop — `LHU` reads a half-word pointer
+/// array with repeated values, and the pointed-to counter is incremented.
+/// The collision distance keeps drifting, defeating the distance
+/// predictor exactly as §VI-d describes.
+pub(crate) fn bzip2(n: u32) -> Workload {
+    let iters = n * 8;
+    let halves = halves_with_repeats(0x1234_5678, 512, 80, 3);
+    build(
+        "bzip2",
+        "Fig.13: LHU pointer array, OC histogram increments with drifting distance",
+        &format!(
+            r#"
+            .data
+    idx:    .half {halves}
+    hist:   .space 256
+            .text
+            lui  $8, %hi(idx)
+            ori  $8, $8, %lo(idx)
+            lui  $9, %hi(hist)
+            ori  $9, $9, %lo(hist)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 1
+            add  $6, $6, $8
+            lhu  $7, 0($6)          # ptr = idx[i % 512]  (partial-word load)
+            sll  $7, $7, 2
+            add  $7, $7, $9
+            # "a series of computation" between load and increment
+            muli $10, $4, 3
+            andi $10, $10, 7
+            xor  $13, $10, $4
+            sll  $14, $13, 1
+            add  $14, $14, $10
+            andi $14, $14, 1023
+            lhu  $16, 0($6)         # re-read of the index stream (NC)
+            add  $12, $12, $16
+            lw   $11, 0($7)         # x[ptr]
+            addi $11, $11, 1
+            sw   $11, 0($7)         # x[ptr]++  (OC, drifting distance)
+            # data-dependent hammock on the histogram value
+            andi $17, $11, 1
+            beq  $17, $0, even
+            add  $12, $12, $10
+            j    join
+    even:
+            sub  $12, $12, $10
+    join:
+            add  $12, $12, $14
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, hist($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// gcc: symbol-table-like pointer graph — short pointer chains, field
+/// reads/writes, and register spilling to a hot stack frame.
+pub(crate) fn gcc(n: u32) -> Workload {
+    let iters = n * 6;
+    let ring = permutation_ring(0x6cc0_0001, 256, 16);
+    build(
+        "gcc",
+        "pointer-graph field updates; AC spill slots; moderate OC",
+        &format!(
+            r#"
+            .data
+    nodes:  .word {ring}
+    frame:  .space 64
+            .text
+            lui  $8, %hi(nodes)
+            ori  $8, $8, %lo(nodes)
+            lui  $29, %hi(frame)
+            ori  $29, $29, %lo(frame)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+            li   $7, 0              # cursor offset into nodes
+    loop:
+            sw   $4, 0($29)         # spill i (AC)
+            add  $6, $8, $7
+            lw   $7, 0($6)          # next = node->next (chase)
+            lw   $10, 4($6)         # field read
+            addi $10, $10, 1
+            sw   $10, 4($6)         # field write (OC across revisits)
+            muli $13, $4, 13        # symbol-table slot: same slot recurs
+            andi $13, $13, 7        # within the window at drifting distance
+            sll  $13, $13, 2
+            add  $13, $13, $29
+            lw   $14, 8($13)        # symtab load: inconsistent dependence
+            xor  $14, $14, $4
+            sw   $14, 8($13)
+            lw   $11, 0($29)        # reload i (AC, cloakable)
+            add  $12, $12, $11
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, 0($29)
+            halt
+        "#
+        ),
+    )
+}
+
+/// mcf: cache-miss-dominated pointer chasing over a large ring; the
+/// colliding stores depend on miss loads, so cloaking helps little
+/// (paper §II's mcf discussion).
+pub(crate) fn mcf(n: u32) -> Workload {
+    let iters = n * 4;
+    let ring = permutation_ring(0x0c0f_0001, 4096, 16);
+    build(
+        "mcf",
+        "large-footprint pointer chase; miss-dependent OC stores",
+        &format!(
+            r#"
+            .data
+    nodes:  .word {ring}
+    bkt:    .space 32
+            .text
+            lui  $8, %hi(nodes)
+            ori  $8, $8, %lo(nodes)
+            lui  $9, %hi(bkt)
+            ori  $9, $9, %lo(bkt)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+            li   $7, 0
+    loop:
+            add  $6, $8, $7
+            lw   $7, 0($6)          # chase (likely L2/DRAM miss)
+            lw   $10, 4($6)         # node cost
+            addi $10, $10, 1
+            sw   $10, 4($6)         # update cost (depends on miss load)
+            lw   $11, 4($6)         # immediate reload (AC)
+            andi $15, $11, 1
+            beq  $15, $0, nobkt     # half the arcs update a cost bucket
+            andi $13, $11, 12       # bucket recurs at drifting in-window
+            add  $13, $13, $9       # distances (path-dependent gap)
+            lw   $14, 0($13)
+            addi $14, $14, 1
+            sw   $14, 0($13)
+    nobkt:
+            add  $12, $12, $11
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, nodes($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// gobmk: data-dependent branching over a board; the number of stores
+/// between a store and its reload depends on the path — the
+/// path-sensitive distance predictor's case.
+pub(crate) fn gobmk(n: u32) -> Workload {
+    let iters = n * 6;
+    let board = words_mod(0x60b0_0001, 512, 3);
+    build(
+        "gobmk",
+        "path-dependent store distances; branchy evaluation",
+        &format!(
+            r#"
+            .data
+    board:  .word {board}
+    tmp:    .space 16
+            .text
+            lui  $8, %hi(board)
+            ori  $8, $8, %lo(board)
+            lui  $9, %hi(tmp)
+            ori  $9, $9, %lo(tmp)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # stone = board[i%512]
+            sw   $4, 0($9)          # liberty scratch
+            beq  $7, $0, empty
+            addi $10, $7, -1
+            beq  $10, $0, black
+            # white: two extra stores before the reload
+            sw   $7, 4($9)
+            sw   $4, 8($9)
+            j    merge
+    black:  # one extra store
+            sw   $7, 4($9)
+            j    merge
+    empty:  # no extra stores
+    merge:
+            lw   $11, 0($9)         # distance to this store depends on path
+            add  $12, $12, $11
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, 0($9)
+            halt
+        "#
+        ),
+    )
+}
+
+/// hmmer: dynamic-programming row updates with many *silent stores*
+/// (writes of unchanged scores) — the benchmark where the
+/// silent-store-aware update policy matters most (§VI-a).
+pub(crate) fn hmmer(n: u32) -> Workload {
+    let iters = n * 5;
+    let scores = words_mod(0x4a33_0001, 128, 4);
+    build(
+        "hmmer",
+        "DP rows: stable j-1 cloaks; prior-row reads delayed; silent max() stores",
+        &format!(
+            r#"
+            .data
+    row:    .space 256
+    sc:     .word {scores}
+            .text
+            lui  $8, %hi(row)
+            ori  $8, $8, %lo(row)
+            lui  $9, %hi(sc)
+            ori  $9, $9, %lo(sc)
+            li   $4, 1
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 31
+            bne  $6, $0, mid
+            addi $6, $6, 16         # keep j-1 in range
+    mid:
+            sll  $6, $6, 2
+            add  $10, $6, $8
+            lw   $11, -4($10)       # row[j-1]: distance 1, cloakable
+            lw   $18, 0($10)        # row[j] from the previous sweep: the
+                                    # in-window distance drifts with the
+                                    # conditional store below -> delayed
+            add  $13, $6, $9
+            lw   $14, 0($13)        # score (NC)
+            add  $14, $14, $11
+            slt  $15, $18, $14
+            beq  $15, $0, keep
+            or   $18, $14, $0       # max()
+            sw   $18, 128($8)       # new-best bookkeeping store: makes
+                                    # the sweep's store count vary
+    keep:
+            sw   $18, 0($10)        # usually silent (value converges)
+            add  $12, $12, $18
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, row($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// sjeng: recursive tree search — call/return with stack push/pop traffic
+/// whose collision distances vary with depth.
+pub(crate) fn sjeng(n: u32) -> Workload {
+    let iters = n * 2;
+    let moves = words_mod(0x57e4_0001, 256, 256);
+    build(
+        "sjeng",
+        "recursive search; depth-varying stack AC traffic",
+        &format!(
+            r#"
+            .data
+    moves:  .word {moves}
+    stk:    .space 1024
+            .text
+            lui  $8, %hi(moves)
+            ori  $8, $8, %lo(moves)
+            lui  $29, %hi(stk)
+            ori  $29, $29, %lo(stk)
+            addi $29, $29, 1000
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            # board evaluation between searches (NC gather + compute)
+            andi $6, $4, 255
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $13, 0($6)
+            muli $13, $13, 5
+            sra  $13, $13, 3
+            add  $12, $12, $13
+            andi $2, $4, 255        # node index
+            li   $3, 2              # depth
+            jal  search
+            add  $12, $12, $2
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, stk($0)
+            halt
+    search: # $2 = node, $3 = depth -> $2 = score
+            blez $3, leaf
+            addi $29, $29, -12
+            sw   $31, 0($29)        # push ra
+            sw   $2, 4($29)         # push node
+            sw   $3, 8($29)         # push depth
+            # board evaluation: non-colliding gather work
+            sll  $6, $2, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)
+            addi $10, $2, 1
+            andi $10, $10, 255
+            sll  $10, $10, 2
+            add  $10, $10, $8
+            lw   $11, 0($10)
+            add  $7, $7, $11
+            muli $7, $7, 3
+            sra  $7, $7, 4
+            lw   $2, 0($6)          # child = moves[node]
+            andi $2, $2, 255
+            addi $3, $3, -1
+            jal  search
+            # depth-parity branch: gives each recursion level a distinct
+            # branch-history signature, which the path-sensitive distance
+            # predictor needs to separate the per-depth pop distances
+            andi $10, $3, 1
+            beq  $10, $0, evn
+            addi $2, $2, 1
+    evn:
+            lw   $31, 0($29)        # pop (collides with pushes, depth-dependent)
+            lw   $6, 4($29)
+            lw   $3, 8($29)
+            addi $29, $29, 12
+            add  $2, $2, $6
+            jr   $31
+    leaf:
+            andi $2, $2, 15
+            jr   $31
+        "#
+        ),
+    )
+}
+
+/// libquantum ("lib"): pure streaming over a gate array — loads almost
+/// never collide in-flight (NC): the rewrite of an element is reread only
+/// 2048 stores later, far outside the window.
+pub(crate) fn lib(n: u32) -> Workload {
+    let iters = n * 8;
+    build(
+        "lib",
+        "streaming NC sweep; near-zero low-confidence loads",
+        &format!(
+            r#"
+            .data
+    amp:    .space 8192
+            .text
+            lui  $8, %hi(amp)
+            ori  $8, $8, %lo(amp)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 2047
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # amp[i]
+            xor  $7, $7, $4         # apply "gate"
+            sw   $7, 0($6)          # write back, reread 2048 stores later
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            lw   $1, 0($8)
+            sw   $1, 4($8)
+            halt
+        "#
+        ),
+    )
+}
+
+/// h264ref: motion-compensation-style byte/half copies — partial-word
+/// stores forwarded to byte, half and word loads (paper §IV-D's case).
+pub(crate) fn h264ref(n: u32) -> Workload {
+    let iters = n * 5;
+    let pix = words_mod(0x2640_0001, 256, 256);
+    build(
+        "h264ref",
+        "byte/half store-load traffic; partial-word forwarding",
+        &format!(
+            r#"
+            .data
+    refp:   .word {pix}
+    cur:    .space 1024
+            .text
+            lui  $8, %hi(refp)
+            ori  $8, $8, %lo(refp)
+            lui  $9, %hi(cur)
+            ori  $9, $9, %lo(cur)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 255
+            sll  $7, $6, 2
+            add  $10, $7, $8
+            lw   $11, 0($10)        # reference pixel word (NC)
+            add  $13, $7, $9
+            srl  $20, $4, 6
+            andi $20, $20, 3        # byte lane changes every 64 iters:
+            add  $21, $13, $20      # NoSQ's predicted shift is right in
+            sb   $11, 0($21)        # the run, wrong at run boundaries;
+            lbu  $15, 0($21)        # DMDP's CMP computes it exactly
+            srl  $14, $11, 8
+            srl  $22, $4, 7
+            andi $22, $22, 1
+            sll  $22, $22, 1
+            add  $23, $13, $22      # half lane alternates 0/2 per 128 iters
+            sh   $14, 0($23)
+            lhu  $17, 0($23)        # half reload at the moving lane
+            lb   $16, 0($21)        # signed byte reload
+            add  $12, $12, $15
+            add  $12, $12, $16
+            add  $12, $12, $17
+            # read a block written ~64 iterations ago: out of the window
+            addi $18, $6, -64
+            andi $18, $18, 255
+            sll  $18, $18, 2
+            add  $18, $18, $9
+            lw   $19, 0($18)
+            add  $12, $12, $19
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, cur($0)
+            halt
+        "#
+        ),
+    )
+}
+
+/// astar: open-set grid search — random-access visited map with
+/// conditional, poorly-predictable updates (OC).
+pub(crate) fn astar(n: u32) -> Workload {
+    let iters = n * 5;
+    let steps = words_with_repeats(0xa57a_0001, 512, 512, 3);
+    build(
+        "astar",
+        "clustered cell revisits at drifting distances; path-dependent updates",
+        &format!(
+            r#"
+            .data
+    steps:  .word {steps}
+    vmap:   .space 2048
+            .text
+            lui  $8, %hi(steps)
+            ori  $8, $8, %lo(steps)
+            lui  $9, %hi(vmap)
+            ori  $9, $9, %lo(vmap)
+            li   $4, 0
+            lui  $5, %hi({iters})
+            ori  $5, $5, %lo({iters})
+    loop:
+            andi $6, $4, 511
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            lw   $7, 0($6)          # cell = steps[i%512]; repeats cluster
+            sll  $7, $7, 2
+            add  $7, $7, $9
+            lw   $10, 0($7)         # visited cost (OC, drifting distance)
+            andi $11, $10, 1
+            beq  $11, $0, even
+            addi $10, $10, 3        # odd path
+            j    upd
+    even:
+            addi $10, $10, 1        # even path
+    upd:
+            andi $10, $10, 255
+            sw   $10, 0($7)         # update cell
+            add  $12, $12, $10
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            sw   $12, vmap($0)
+            halt
+        "#
+        ),
+    )
+}

@@ -1,0 +1,76 @@
+//! §IV-F / §VI-g: how the memory consistency model interacts with the
+//! store-queue-free designs. Under TSO the store buffer commits strictly
+//! in order, so one store miss blocks everything behind it; RMO lets the
+//! writes overlap. NoSQ's delayed loads wait on store *commit*, so they
+//! feel this directly — DMDP's predicated loads do not.
+//!
+//! ```text
+//! cargo run --release -p dmdp-core --example consistency_models
+//! ```
+
+use dmdp_core::{CommModel, CoreConfig, Simulator};
+use dmdp_isa::asm;
+use dmdp_mem::Consistency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stores scattered over a large footprint (cache misses at commit)
+    // followed by an occasionally-colliding reload: the commit backlog is
+    // what delayed loads must wait behind.
+    let program = asm::assemble_named(
+        "consistency",
+        r#"
+            .data
+    big:    .space 65536
+    hot:    .space 32
+            .text
+            lui  $8, %hi(big)
+            ori  $8, $8, %lo(big)
+            lui  $9, %hi(hot)
+            ori  $9, $9, %lo(hot)
+            li   $4, 0
+            li   $5, 2000
+    loop:
+            muli $6, $4, 509        # scatter store (commit misses)
+            andi $6, $6, 16383
+            sll  $6, $6, 2
+            add  $6, $6, $8
+            sw   $4, 0($6)
+            andi $7, $4, 7          # hot cell read-modify-write
+            sll  $7, $7, 2
+            add  $7, $7, $9
+            lw   $10, 0($7)
+            addi $10, $10, 1
+            sw   $10, 0($7)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#,
+    )?;
+
+    println!(
+        "{:10} {:6} {:>8} {:>8} {:>12} {:>14}",
+        "model", "order", "cycles", "IPC", "sb-stalls", "reexec-stalls"
+    );
+    for model in [CommModel::NoSq, CommModel::Dmdp] {
+        for consistency in [Consistency::Tso, Consistency::Rmo] {
+            let cfg = CoreConfig { consistency, ..CoreConfig::new(model) };
+            let r = Simulator::with_config(cfg).run(&program)?;
+            println!(
+                "{:10} {:6} {:>8} {:>8.3} {:>12} {:>14}",
+                model.name(),
+                match consistency {
+                    Consistency::Tso => "tso",
+                    Consistency::Rmo => "rmo",
+                },
+                r.stats.cycles,
+                r.ipc(),
+                r.stats.sb_full_stall_cycles,
+                r.stats.reexec_stall_cycles,
+            );
+        }
+    }
+    println!("\nRMO drains the store buffer faster (overlapped commits), which");
+    println!("shrinks both the full-buffer stalls and the drain time every load");
+    println!("re-execution must wait out.");
+    Ok(())
+}

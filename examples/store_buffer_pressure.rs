@@ -1,0 +1,59 @@
+//! §VI-e: store buffer sizing. Because loads never search the store
+//! buffer in a store-queue-free machine, it can be made large cheaply —
+//! and a larger buffer hides more store misses. This example sweeps the
+//! buffer size on an lbm-like store-dominated kernel (the paper's
+//! biggest winner, Figure 14).
+//!
+//! ```text
+//! cargo run --release -p dmdp-core --example store_buffer_pressure
+//! ```
+
+use dmdp_core::{CommModel, CoreConfig, Simulator};
+use dmdp_isa::asm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bursts of stores separated by compute-only stretches: a larger
+    // buffer absorbs each burst so retirement never blocks, while a
+    // small one fills and stalls the retire stage mid-burst. The
+    // footprint is L1-resident so the drain rate can keep up on average.
+    let mut body = String::from(
+        "        .data\ncells:  .space 8192\n        .text\n\
+         lui  $8, %hi(cells)\nori  $8, $8, %lo(cells)\n\
+         li   $4, 0\nli   $5, 1500\nloop:\n\
+         andi $6, $4, 63\nsll  $6, $6, 7\nadd  $6, $6, $8\n",
+    );
+    for k in 0..24 {
+        body.push_str(&format!("sw   $4, {}($6)\n", 4 * k));
+    }
+    body.push_str(
+        // A serial multiply chain: long enough for any reasonably sized
+        // buffer to drain the burst before the next one arrives.
+        "li   $7, 40\ncalc:\nmuli $11, $11, 3\nxor  $11, $11, $7\n\
+         addi $7, $7, -1\nbgtz $7, calc\naddi $4, $4, 1\n\
+         bne  $4, $5, loop\nhalt\n",
+    );
+    let program = asm::assemble_named("sb-pressure", &body)?;
+
+    println!("{:>8} {:>10} {:>8} {:>16} {:>10}", "sb-size", "cycles", "IPC", "sb-full-stalls", "vs-16");
+    let mut base_ipc = None;
+    for sb in [8usize, 16, 32, 64, 128] {
+        let cfg = CoreConfig { store_buffer_entries: sb, ..CoreConfig::new(CommModel::Dmdp) };
+        let r = Simulator::with_config(cfg).run(&program)?;
+        if sb == 16 {
+            base_ipc = Some(r.ipc());
+        }
+        let rel = base_ipc.map(|b| format!("{:+.1}%", 100.0 * (r.ipc() / b - 1.0)));
+        println!(
+            "{:>8} {:>10} {:>8.3} {:>16} {:>10}",
+            sb,
+            r.stats.cycles,
+            r.ipc(),
+            r.stats.sb_full_stall_cycles,
+            rel.unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    println!("\npaper: a 64-entry buffer beats 16 entries by 2.77% (Int) / 5.01% (FP),");
+    println!("with lbm improving the most; the full-buffer stall counts shrink from");
+    println!("503.1 to 75.0 cycles per kilo-instruction.");
+    Ok(())
+}

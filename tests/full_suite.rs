@@ -1,0 +1,95 @@
+//! Workspace-level integration: every SPEC-analogue workload runs under
+//! every store-load communication model, checked instruction-by-
+//! instruction against the functional emulator.
+
+use dmdp_core::{CommModel, Simulator};
+use dmdp_stats::LoadSource;
+use dmdp_workloads::{all, Scale, Suite};
+
+#[test]
+fn every_workload_under_every_model_is_architecturally_exact() {
+    for w in all(Scale::Test) {
+        for m in CommModel::ALL {
+            let r = Simulator::new(m)
+                .run_checked(&w.program)
+                .unwrap_or_else(|e| panic!("{} under {:?}: {e}", w.name, m));
+            assert!(r.stats.retired_insns > 500, "{} too small under {:?}", w.name, m);
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_agree_across_models() {
+    for w in all(Scale::Test) {
+        let counts: Vec<u64> = CommModel::ALL
+            .iter()
+            .map(|&m| Simulator::new(m).run(&w.program).unwrap().stats.retired_insns)
+            .collect();
+        assert!(
+            counts.windows(2).all(|c| c[0] == c[1]),
+            "{}: models disagree on instruction count: {counts:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn dmdp_uses_predication_where_nosq_delays() {
+    // Across the whole suite: NoSQ must produce delayed loads, DMDP must
+    // produce predicated loads, and neither uses the other's mechanism.
+    let mut nosq_delayed = 0;
+    let mut dmdp_predicated = 0;
+    for w in all(Scale::Test) {
+        let nosq = Simulator::new(CommModel::NoSq).run(&w.program).unwrap();
+        let dmdp = Simulator::new(CommModel::Dmdp).run(&w.program).unwrap();
+        nosq_delayed += nosq.stats.load_latency.count(LoadSource::Delayed);
+        dmdp_predicated += dmdp.stats.load_latency.count(LoadSource::Predicated);
+        assert_eq!(nosq.stats.load_latency.count(LoadSource::Predicated), 0, "{}", w.name);
+        assert_eq!(dmdp.stats.load_latency.count(LoadSource::Delayed), 0, "{}", w.name);
+        assert_eq!(nosq.stats.predication_uops, 0, "{}", w.name);
+    }
+    assert!(nosq_delayed > 0, "the suite must exercise NoSQ's delayed loads");
+    assert!(dmdp_predicated > 0, "the suite must exercise DMDP's predication");
+}
+
+#[test]
+fn suite_split_matches_paper() {
+    let ws = all(Scale::Test);
+    let int: Vec<&str> =
+        ws.iter().filter(|w| w.suite == Suite::Int).map(|w| w.name).collect();
+    let fp: Vec<&str> = ws.iter().filter(|w| w.suite == Suite::Fp).map(|w| w.name).collect();
+    assert_eq!(
+        int,
+        ["perl", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng", "lib", "h264ref", "astar"]
+    );
+    assert_eq!(
+        fp,
+        [
+            "bwaves", "milc", "zeusmp", "gromacs", "leslie3d", "namd", "Gems", "tonto", "lbm",
+            "wrf", "sphinx3"
+        ]
+    );
+}
+
+#[test]
+fn perfect_upper_bounds_the_suite() {
+    // The Perfect model is a limit study: it must dominate DMDP in
+    // aggregate, and per workload up to small timing artifacts (cloaking
+    // is a zero-µop bypass while the oracle forward is a µop, and store
+    // commit times shift between models).
+    let mut ratios = Vec::new();
+    for w in all(Scale::Test) {
+        let dmdp = Simulator::new(CommModel::Dmdp).run(&w.program).unwrap();
+        let perfect = Simulator::new(CommModel::Perfect).run(&w.program).unwrap();
+        assert!(
+            perfect.ipc() >= dmdp.ipc() * 0.80,
+            "{}: perfect {} far below dmdp {}",
+            w.name,
+            perfect.ipc(),
+            dmdp.ipc()
+        );
+        ratios.push(perfect.ipc() / dmdp.ipc());
+    }
+    let geo = dmdp_stats::geomean(ratios);
+    assert!(geo >= 1.0, "perfect must dominate dmdp in geomean, got {geo}");
+}
