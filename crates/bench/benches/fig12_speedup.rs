@@ -1,37 +1,36 @@
 //! Figure 12: IPC of NoSQ, DMDP and Perfect normalized to the baseline
 //! store-queue machine. Paper geomeans: Int 0.975 / 1.045 / 1.068,
 //! FP 1.008 / 1.053 / 1.066.
+//!
+//! Rows come from a parallel campaign run through `dmdp-harness` — all
+//! 21 kernels × 4 models fan out across the host's cores, and repeated
+//! runs reuse the digest-cached artifact in `bench-results/`.
 
-use dmdp_bench::{header, run, suite_geomeans, workloads};
+use dmdp_bench::{campaign_all_models, header};
 use dmdp_core::CommModel;
 use dmdp_stats::Table;
+use dmdp_workloads::Suite;
 
 fn main() {
     header("fig12", "Figure 12 — SPEC 2006 speedup over the baseline");
+    let campaign = campaign_all_models("fig12");
     let mut t = Table::new(["bench", "base-IPC", "nosq", "dmdp", "perfect"]);
-    let mut rows = [Vec::new(), Vec::new(), Vec::new()];
-    for w in workloads() {
-        let base = run(CommModel::Baseline, &w).ipc();
-        let vals = [
-            run(CommModel::NoSq, &w).ipc() / base,
-            run(CommModel::Dmdp, &w).ipc() / base,
-            run(CommModel::Perfect, &w).ipc() / base,
-        ];
-        for (i, v) in vals.iter().enumerate() {
-            rows[i].push((w.name.to_string(), w.suite, *v));
-        }
+    for w in dmdp_bench::workloads() {
+        let base = campaign.get(w.name, CommModel::Baseline).expect("baseline row").ipc;
+        let rel = |m| campaign.get(w.name, m).expect("model row").ipc / base;
         t.row([
             w.name.to_string(),
             format!("{base:.3}"),
-            format!("{:.3}", vals[0]),
-            format!("{:.3}", vals[1]),
-            format!("{:.3}", vals[2]),
+            format!("{:.3}", rel(CommModel::NoSq)),
+            format!("{:.3}", rel(CommModel::Dmdp)),
+            format!("{:.3}", rel(CommModel::Perfect)),
         ]);
     }
     println!("{t}");
-    for (label, r) in [("nosq", &rows[0]), ("dmdp", &rows[1]), ("perfect", &rows[2])] {
-        let (int, fp) = suite_geomeans(r);
-        println!("{label:8} geomean: Int {int:.3}  FP {fp:.3}");
+    for model in [CommModel::NoSq, CommModel::Dmdp, CommModel::Perfect] {
+        let int = campaign.geomean_speedup(CommModel::Baseline, model, Suite::Int).unwrap();
+        let fp = campaign.geomean_speedup(CommModel::Baseline, model, Suite::Fp).unwrap();
+        println!("{:8} geomean: Int {int:.3}  FP {fp:.3}", model.name());
     }
     println!("paper    geomean: Int 0.975/1.045/1.068  FP 1.008/1.053/1.066 (nosq/dmdp/perfect)");
 }

@@ -1,25 +1,40 @@
-//! Criterion benchmark of the simulator itself: simulated instructions
-//! per second for each communication model (not a paper artifact).
+//! Benchmark of the simulator itself: simulated instructions per second
+//! for each communication model (not a paper artifact). Hand-rolled
+//! timing harness — the repository builds fully offline, so no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use dmdp_core::{CommModel, Simulator};
 use dmdp_workloads::{by_name, Scale};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let w = by_name("gcc", Scale::Test).expect("gcc workload");
     let insns = {
         let mut emu = dmdp_isa::Emulator::new(&w.program);
         emu.run(100_000_000).expect("halts").retired
     };
-    let mut group = c.benchmark_group("simulate-gcc");
-    group.throughput(Throughput::Elements(insns));
+    println!("=== sim_throughput: simulator speed on gcc/{:?} ({insns} insns) ===", Scale::Test);
     for model in CommModel::ALL {
-        group.bench_function(model.name(), |b| {
-            b.iter(|| Simulator::new(model).run(&w.program).expect("runs"))
-        });
+        let sim = Simulator::new(model);
+        // Warm up, then measure enough iterations for a stable number.
+        for _ in 0..3 {
+            black_box(sim.run(&w.program).expect("runs"));
+        }
+        let mut iters = 0u32;
+        let start = Instant::now();
+        while iters < 10 || start.elapsed().as_millis() < 500 {
+            black_box(sim.run(&w.program).expect("runs"));
+            iters += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let per_run = secs / iters as f64;
+        let mips = insns as f64 / per_run / 1e6;
+        println!(
+            "{:9} {:>8.3} ms/run   {:>8.2} simulated MIPS   ({iters} iters)",
+            model.name(),
+            per_run * 1e3,
+            mips
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

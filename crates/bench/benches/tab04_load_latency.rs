@@ -1,20 +1,24 @@
 //! Table IV: average execution time of all loads (cycles between rename
 //! and the result becoming available), baseline vs DMDP.
 //! Paper average: 39.31 -> 31.15 cycles (DMDP saves >20%).
+//!
+//! Rows come from a parallel `dmdp-harness` campaign (digest-cached in
+//! `bench-results/`) instead of a private serial loop.
 
-use dmdp_bench::{header, run, workloads};
+use dmdp_bench::{campaign_models, header, workloads};
 use dmdp_core::CommModel;
 use dmdp_stats::Table;
 
 fn main() {
     header("tab04", "Table IV — average execution time of all loads");
+    let campaign = campaign_models("tab04", [CommModel::Baseline, CommModel::Dmdp]);
     let mut t = Table::new(["bench", "baseline(cyc)", "dmdp(cyc)", "saved%"]);
     let mut b_sum = 0.0;
     let mut d_sum = 0.0;
     let mut n = 0.0;
     for w in workloads() {
-        let b = run(CommModel::Baseline, &w).stats.load_latency.overall_mean();
-        let d = run(CommModel::Dmdp, &w).stats.load_latency.overall_mean();
+        let b = campaign.get(w.name, CommModel::Baseline).expect("baseline row").load_mean_latency;
+        let d = campaign.get(w.name, CommModel::Dmdp).expect("dmdp row").load_mean_latency;
         b_sum += b;
         d_sum += d;
         n += 1.0;

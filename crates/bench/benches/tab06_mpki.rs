@@ -2,17 +2,21 @@
 //! NoSQ vs DMDP. Paper shape: DMDP usually lower (biased confidence),
 //! except drifting-distance kernels like bzip2 where NoSQ's delaying
 //! covers older-store mispredictions.
+//!
+//! Rows come from a parallel `dmdp-harness` campaign (digest-cached in
+//! `bench-results/`) instead of a private serial loop.
 
-use dmdp_bench::{header, run, workloads};
+use dmdp_bench::{campaign_models, header, workloads};
 use dmdp_core::CommModel;
 use dmdp_stats::Table;
 
 fn main() {
     header("tab06", "Table VI — memory dependence mispredictions (MPKI)");
+    let campaign = campaign_models("tab06", [CommModel::NoSq, CommModel::Dmdp]);
     let mut t = Table::new(["bench", "nosq", "dmdp"]);
     for w in workloads() {
-        let n = run(CommModel::NoSq, &w).stats.mem_dep_mpki();
-        let d = run(CommModel::Dmdp, &w).stats.mem_dep_mpki();
+        let n = campaign.get(w.name, CommModel::NoSq).expect("nosq row").mem_dep_mpki;
+        let d = campaign.get(w.name, CommModel::Dmdp).expect("dmdp row").mem_dep_mpki;
         t.row([w.name.to_string(), format!("{n:.2}"), format!("{d:.2}")]);
     }
     println!("{t}");

@@ -1,37 +1,117 @@
-//! `dmdp` — command-line driver for the simulator.
-//!
-//! ```text
-//! dmdp workloads
-//!     List the 21 SPEC-2006 analogue kernels.
-//!
-//! dmdp run [--model baseline|nosq|dmdp|perfect|all] [--scale test|small|full]
-//!          [--workload NAME | --asm FILE.s | --image FILE.img]
-//!          [--width N] [--rob N] [--prf N] [--sb N] [--rmo] [--energy]
-//!     Simulate a workload (or an assembly/image file) and print a report.
-//!
-//! dmdp asm FILE.s -o FILE.img
-//!     Assemble a source file into a binary program image.
-//!
-//! dmdp disasm FILE.img
-//!     Print the disassembly listing of a program image.
-//! ```
+//! `dmdp` — command-line driver for the simulator. Run `dmdp --help`
+//! (or `dmdp <subcommand> --help`) for usage.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dmdp_core::{CommModel, CoreConfig, SimReport, Simulator};
+use dmdp_harness::{CampaignSpec, CfgPatch, RunOptions};
 use dmdp_isa::{asm, Program};
-use dmdp_mem::Consistency;
 use dmdp_workloads::Scale;
+
+const TOP_HELP: &str = "\
+dmdp — cycle-level simulator of Dynamic Memory Dependence Predication (ISCA 2018)
+
+USAGE:
+    dmdp <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    workloads    List the 21 SPEC-2006 analogue kernels
+    run          Simulate one workload (or an .s/.img file) and print a report
+    campaign     Run a parallel experiment campaign, write a JSON artifact
+    asm          Assemble a source file into a binary program image
+    disasm       Print the disassembly listing of a program image
+
+Run `dmdp <SUBCOMMAND> --help` for that subcommand's options.
+";
+
+const RUN_HELP: &str = "\
+dmdp run — simulate a workload and print a report
+
+USAGE:
+    dmdp run [OPTIONS]
+
+OPTIONS:
+    --model <M>      baseline | nosq | dmdp | perfect | all   [default: dmdp]
+    --scale <S>      test | small | full                      [default: small]
+    --workload <W>   kernel name (see `dmdp workloads`)       [default: bzip2]
+    --asm <FILE.s>   simulate an assembly source file instead
+    --image <FILE>   simulate a binary program image instead
+    --width <N>      pipeline width override
+    --rob <N>        ROB capacity override
+    --prf <N>        physical register file size override
+    --sb <N>         store buffer capacity override
+    --rmo            release consistency instead of TSO
+    --energy         print the dynamic-energy breakdown
+    -h, --help       print this help
+";
+
+const CAMPAIGN_HELP: &str = "\
+dmdp campaign — run a (workload × model) sweep in parallel and write a
+JSON result artifact with per-job wall-clock, MIPS and suite geomeans
+
+USAGE:
+    dmdp campaign [OPTIONS]
+
+OPTIONS:
+    --name <NAME>     campaign name                      [default: campaign]
+    --model <M>       baseline | nosq | dmdp | perfect | all  [default: all]
+    --scale <S>       test | small | full                [default: small]
+    --kernel <W>      restrict to one kernel (repeatable)
+    --jobs <N>        worker threads                     [default: all cores]
+    --out <FILE>      artifact path   [default: bench-results/<name>.json]
+    --force           ignore the digest cache; re-run every job
+    --quiet           suppress per-job progress lines
+    --width/--rob/--prf/--sb <N>, --rmo
+                      configuration overrides, as in `dmdp run`
+    -h, --help        print this help
+
+Unchanged jobs (same simulator version, config and workload content) are
+reused from the existing artifact at --out: a repeated campaign executes
+zero jobs and still rewrites a complete artifact.
+";
+
+const ASM_HELP: &str = "\
+dmdp asm — assemble a source file into a binary program image
+
+USAGE:
+    dmdp asm FILE.s [-o FILE.img]     (default output: FILE.s.img)
+    dmdp asm -h | --help
+";
+
+const DISASM_HELP: &str = "\
+dmdp disasm — print the disassembly listing of a program image
+
+USAGE:
+    dmdp disasm FILE.img
+    dmdp disasm -h | --help
+";
+
+const WORKLOADS_HELP: &str = "\
+dmdp workloads — list the 21 SPEC-2006 analogue kernels
+
+USAGE:
+    dmdp workloads
+";
+
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("workloads") => cmd_workloads(),
-        Some("run") => cmd_run(&args[1..]),
-        Some("asm") => cmd_asm(&args[1..]),
-        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("workloads") => helped(&args[1..], WORKLOADS_HELP, |_| cmd_workloads()),
+        Some("run") => helped(&args[1..], RUN_HELP, cmd_run),
+        Some("campaign") => helped(&args[1..], CAMPAIGN_HELP, cmd_campaign),
+        Some("asm") => helped(&args[1..], ASM_HELP, cmd_asm),
+        Some("disasm") => helped(&args[1..], DISASM_HELP, cmd_disasm),
+        Some("--help" | "-h") => {
+            print!("{TOP_HELP}");
+            return ExitCode::SUCCESS;
+        }
         _ => {
-            eprintln!("usage: dmdp <workloads|run|asm|disasm> [options]  (see --help in the doc comment)");
+            eprint!("{TOP_HELP}");
             return ExitCode::FAILURE;
         }
     };
@@ -46,12 +126,32 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+fn helped(args: &[String], help: &str, f: impl FnOnce(&[String]) -> CliResult) -> CliResult {
+    if wants_help(args) {
+        print!("{help}");
+        Ok(())
+    } else {
+        f(args)
+    }
+}
+
 fn cmd_workloads() -> CliResult {
     println!("{:10} {:5} character", "name", "suite");
     for w in dmdp_workloads::all(Scale::Test) {
-        println!("{:10} {:5?} {}", w.name, w.suite, w.character);
+        println!("{:10} {:5} {}", w.name, w.suite.name(), w.character);
     }
     Ok(())
+}
+
+fn parse_models(v: &str) -> Result<Vec<CommModel>, String> {
+    if v == "all" {
+        return Ok(CommModel::ALL.to_vec());
+    }
+    CommModel::from_name(v).map(|m| vec![m]).ok_or_else(|| format!("unknown model `{v}`"))
+}
+
+fn parse_scale(v: &str) -> Result<Scale, String> {
+    Scale::from_name(v).ok_or_else(|| format!("unknown scale `{v}`"))
 }
 
 struct RunOpts {
@@ -60,11 +160,7 @@ struct RunOpts {
     workload: Option<String>,
     asm_file: Option<String>,
     image_file: Option<String>,
-    width: Option<usize>,
-    rob: Option<usize>,
-    prf: Option<usize>,
-    sb: Option<usize>,
-    rmo: bool,
+    patch: CfgPatch,
     energy: bool,
 }
 
@@ -75,46 +171,25 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         workload: None,
         asm_file: None,
         image_file: None,
-        width: None,
-        rob: None,
-        prf: None,
-        sb: None,
-        rmo: false,
+        patch: CfgPatch::default(),
         energy: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
         match a.as_str() {
-            "--model" => {
-                let v = val()?;
-                o.models = match v.as_str() {
-                    "baseline" => vec![CommModel::Baseline],
-                    "nosq" => vec![CommModel::NoSq],
-                    "dmdp" => vec![CommModel::Dmdp],
-                    "perfect" => vec![CommModel::Perfect],
-                    "all" => CommModel::ALL.to_vec(),
-                    other => return Err(format!("unknown model `{other}`")),
-                };
-            }
-            "--scale" => {
-                o.scale = match val()?.as_str() {
-                    "test" => Scale::Test,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => return Err(format!("unknown scale `{other}`")),
-                };
-            }
+            "--model" => o.models = parse_models(&val()?)?,
+            "--scale" => o.scale = parse_scale(&val()?)?,
             "--workload" => o.workload = Some(val()?),
             "--asm" => o.asm_file = Some(val()?),
             "--image" => o.image_file = Some(val()?),
-            "--width" => o.width = Some(val()?.parse().map_err(|e| format!("--width: {e}"))?),
-            "--rob" => o.rob = Some(val()?.parse().map_err(|e| format!("--rob: {e}"))?),
-            "--prf" => o.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
-            "--sb" => o.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
-            "--rmo" => o.rmo = true,
+            "--width" => o.patch.width = Some(val()?.parse().map_err(|e| format!("--width: {e}"))?),
+            "--rob" => o.patch.rob = Some(val()?.parse().map_err(|e| format!("--rob: {e}"))?),
+            "--prf" => o.patch.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
+            "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
+            "--rmo" => o.patch.rmo = true,
             "--energy" => o.energy = true,
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}` (see `dmdp run --help`)")),
         }
     }
     Ok(o)
@@ -141,23 +216,110 @@ fn cmd_run(args: &[String]) -> CliResult {
     println!("program: {} ({} static instructions)", program.name(), program.len());
     for model in &o.models {
         let mut cfg = CoreConfig::new(*model);
-        if let Some(w) = o.width {
-            cfg.width = w;
-        }
-        if let Some(r) = o.rob {
-            cfg.rob_entries = r;
-        }
-        if let Some(p) = o.prf {
-            cfg.phys_regs = p;
-        }
-        if let Some(s) = o.sb {
-            cfg.store_buffer_entries = s;
-        }
-        if o.rmo {
-            cfg.consistency = Consistency::Rmo;
-        }
+        o.patch.apply(&mut cfg);
         let report = Simulator::with_config(cfg).run(&program)?;
         print_report(&report, o.energy);
+    }
+    Ok(())
+}
+
+struct CampaignOpts {
+    name: String,
+    models: Vec<CommModel>,
+    scale: Scale,
+    kernels: Vec<String>,
+    jobs: usize,
+    out: Option<PathBuf>,
+    force: bool,
+    quiet: bool,
+    patch: CfgPatch,
+}
+
+fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
+    let mut o = CampaignOpts {
+        name: "campaign".to_string(),
+        models: CommModel::ALL.to_vec(),
+        scale: Scale::Small,
+        kernels: Vec::new(),
+        jobs: dmdp_harness::default_workers(),
+        out: None,
+        force: false,
+        quiet: false,
+        patch: CfgPatch::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--name" => o.name = val()?,
+            "--model" => o.models = parse_models(&val()?)?,
+            "--scale" => o.scale = parse_scale(&val()?)?,
+            "--kernel" => o.kernels.push(val()?),
+            "--jobs" => {
+                o.jobs = val()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--out" => o.out = Some(PathBuf::from(val()?)),
+            "--force" => o.force = true,
+            "--quiet" => o.quiet = true,
+            "--width" => o.patch.width = Some(val()?.parse().map_err(|e| format!("--width: {e}"))?),
+            "--rob" => o.patch.rob = Some(val()?.parse().map_err(|e| format!("--rob: {e}"))?),
+            "--prf" => o.patch.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
+            "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
+            "--rmo" => o.patch.rmo = true,
+            other => return Err(format!("unknown option `{other}` (see `dmdp campaign --help`)")),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_campaign(args: &[String]) -> CliResult {
+    let o = parse_campaign(args)?;
+    let out = o.out.clone().unwrap_or_else(|| PathBuf::from(format!("bench-results/{}.json", o.name)));
+    let mut spec = CampaignSpec::new(&o.name, o.scale).models(o.models.clone());
+    if !o.kernels.is_empty() {
+        spec = spec.kernels(o.kernels.clone());
+    }
+    if !o.patch.is_empty() {
+        spec = spec.variants([("custom".to_string(), o.patch.clone())]);
+    }
+    let n_jobs = spec.jobs()?.len();
+    println!(
+        "campaign `{}`: {} jobs ({} kernels × {} models), scale {}, {} workers -> {}",
+        o.name,
+        n_jobs,
+        n_jobs / o.models.len().max(1),
+        o.models.len(),
+        o.scale.name(),
+        o.jobs,
+        out.display()
+    );
+    let opts = RunOptions {
+        jobs: o.jobs,
+        cache: (!o.force).then(|| out.clone()),
+        progress: !o.quiet,
+    };
+    let campaign = spec.run(&opts)?;
+    campaign.save(&out)?;
+    println!(
+        "\n{}: {} executed, {} cached, {:.2}s wall",
+        out.display(),
+        campaign.executed,
+        campaign.cached,
+        campaign.wall_s
+    );
+    for model in campaign.models() {
+        let int = campaign.geomean_ipc(model, dmdp_workloads::Suite::Int);
+        let fp = campaign.geomean_ipc(model, dmdp_workloads::Suite::Fp);
+        if let (Some(int), Some(fp)) = (int, fp) {
+            let speedup = campaign
+                .geomean_speedup(CommModel::Baseline, model, dmdp_workloads::Suite::Int)
+                .map(|s| format!("  Int speedup {s:.3}"))
+                .unwrap_or_default();
+            println!("{:9} geomean IPC: Int {int:.3}  FP {fp:.3}{speedup}", model.name());
+        }
     }
     Ok(())
 }

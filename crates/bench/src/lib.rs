@@ -25,6 +25,7 @@
 //! (default `small`) to trade runtime for fidelity.
 
 use dmdp_core::{CommModel, CoreConfig, SimReport, Simulator};
+use dmdp_harness::{Campaign, CampaignSpec, RunOptions};
 use dmdp_stats::geomean;
 use dmdp_workloads::{Scale, Suite, Workload};
 
@@ -54,6 +55,25 @@ pub fn run_cfg(cfg: CoreConfig, w: &Workload) -> SimReport {
     Simulator::with_config(cfg)
         .run(&w.program)
         .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+/// Runs (or cache-resumes) a campaign over all workloads at the selected
+/// scale under `models`, fanned out across every core. The artifact
+/// lands in `bench-results/<name>-<scale>.json`; digest-matched jobs are
+/// reused from it, so a repeated bench run simulates nothing.
+pub fn campaign_models(name: &str, models: impl IntoIterator<Item = CommModel>) -> Campaign {
+    let scale = scale();
+    let out = std::path::PathBuf::from(format!("bench-results/{name}-{}.json", scale.name()));
+    let spec = CampaignSpec::new(name, scale).models(models);
+    let opts = RunOptions { cache: Some(out.clone()), ..RunOptions::default() };
+    let campaign = spec.run(&opts).unwrap_or_else(|e| panic!("campaign {name}: {e}"));
+    campaign.save(&out).unwrap_or_else(|e| panic!("campaign {name}: {e}"));
+    campaign
+}
+
+/// [`campaign_models`] over all four communication models.
+pub fn campaign_all_models(name: &str) -> Campaign {
+    campaign_models(name, CommModel::ALL)
 }
 
 /// Per-suite geometric means of `(name, suite, value)` rows, returned as

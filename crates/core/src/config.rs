@@ -36,6 +36,11 @@ impl CommModel {
         }
     }
 
+    /// Inverse of [`CommModel::name`].
+    pub fn from_name(name: &str) -> Option<CommModel> {
+        CommModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// The confidence policy the model's distance predictor uses (§V:
     /// "the only difference is that NoSQ decreases the confidence counter
     /// by one ... DMDP divides the counter by two").
@@ -108,6 +113,12 @@ pub struct CoreConfig {
     pub max_cycles: u64,
 }
 
+/// Version tag of the simulator's *timing semantics*. Bump whenever a
+/// change alters simulated cycle counts or statistics for an unchanged
+/// (config, workload) pair — campaign digest caches key on it, so a bump
+/// invalidates every cached experiment result.
+pub const SIM_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+timing1");
+
 impl CoreConfig {
     /// The paper's main configuration for the given model.
     pub fn new(comm: CommModel) -> CoreConfig {
@@ -134,6 +145,18 @@ impl CoreConfig {
             coherence_invalidate_every: None,
             max_cycles: 2_000_000_000,
         }
+    }
+
+    /// A stable identity string covering *every* configuration field,
+    /// including the nested memory/predictor sub-configs. Two configs
+    /// with equal identities run identical simulations; the campaign
+    /// harness hashes this (together with the workload image and
+    /// [`SIM_VERSION`]) to decide whether a cached result is reusable.
+    pub fn identity(&self) -> String {
+        // The derived Debug representation enumerates all fields by name
+        // and recurses into the sub-configs, so it changes whenever any
+        // knob (or a field's meaning, via renames) changes.
+        format!("{self:?}")
     }
 
     /// Validates internal consistency.
@@ -179,6 +202,16 @@ mod tests {
     fn model_names() {
         assert_eq!(CommModel::Dmdp.name(), "dmdp");
         assert_eq!(CommModel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn identity_distinguishes_configs() {
+        let a = CoreConfig::new(CommModel::Dmdp);
+        let b = CoreConfig::new(CommModel::Dmdp);
+        assert_eq!(a.identity(), b.identity());
+        let narrow = CoreConfig { width: 4, ..CoreConfig::new(CommModel::Dmdp) };
+        assert_ne!(a.identity(), narrow.identity());
+        assert_ne!(a.identity(), CoreConfig::new(CommModel::NoSq).identity());
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod sim;
 pub mod srb;
 mod stats;
 
-pub use config::{CommModel, CoreConfig};
+pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
 pub use sim::{SimReport, Simulator};
 pub use stats::{LowConfBreakdown, SimStats};

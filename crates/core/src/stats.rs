@@ -22,7 +22,10 @@ impl LowConfBreakdown {
 }
 
 /// Everything one simulation run measures.
-#[derive(Debug, Clone, Default)]
+///
+/// Implements `PartialEq`/`Eq` so the campaign harness can assert that
+/// parallel and serial executions of the same job are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles until `halt` retired.
     pub cycles: u64,

@@ -4,10 +4,14 @@
 //! all four communication models with lock-step functional checking.
 //! Any renaming, forwarding, predication, verification or recovery bug
 //! shows up as an architectural divergence here.
+//!
+//! Program shapes are drawn from the deterministic
+//! [`dmdp_prng::Prng`] stream, so a failing case reproduces exactly
+//! from its printed listing.
 
 use dmdp_core::{CommModel, CoreConfig, Simulator};
 use dmdp_isa::{Insn, MemWidth, Program, ProgramBuilder, Reg};
-use proptest::prelude::*;
+use dmdp_prng::Prng;
 
 const ARENA: u32 = 0x0001_0000;
 const ARENA_WORDS: u32 = 32;
@@ -24,18 +28,30 @@ enum OpG {
     Hammock { rs: u8 },
 }
 
-fn arb_op() -> impl Strategy<Value = OpG> {
-    prop_oneof![
-        3 => (1u8..12, 1u8..12, 1u8..12, 0u8..6)
-            .prop_map(|(rd, rs, rt, kind)| OpG::Alu { rd, rs, rt, kind }),
-        3 => (1u8..12, 1u8..12, any::<i16>(), 0u8..4)
-            .prop_map(|(rd, rs, imm, kind)| OpG::AluImm { rd, rs, imm, kind }),
-        3 => (1u8..12, 0u8..ARENA_WORDS as u8, 0u8..3, any::<bool>())
-            .prop_map(|(rd, slot, width, signed)| OpG::Load { rd, slot, width, signed }),
-        3 => (1u8..12, 0u8..ARENA_WORDS as u8, 0u8..3)
-            .prop_map(|(rs, slot, width)| OpG::Store { rs, slot, width }),
-        1 => (1u8..12).prop_map(|rs| OpG::Hammock { rs }),
-    ]
+fn arb_op(r: &mut Prng) -> OpG {
+    let reg = |r: &mut Prng| 1 + r.below(11) as u8;
+    // Weights 3:3:3:3:1, matching the original generator's distribution.
+    match r.below(13) {
+        0..=2 => OpG::Alu { rd: reg(r), rs: reg(r), rt: reg(r), kind: r.below(6) as u8 },
+        3..=5 => OpG::AluImm {
+            rd: reg(r),
+            rs: reg(r),
+            imm: r.range_i32(i16::MIN as i32, i16::MAX as i32) as i16,
+            kind: r.below(4) as u8,
+        },
+        6..=8 => OpG::Load {
+            rd: reg(r),
+            slot: r.below(ARENA_WORDS) as u8,
+            width: r.below(3) as u8,
+            signed: r.flip(),
+        },
+        9..=11 => OpG::Store {
+            rs: reg(r),
+            slot: r.below(ARENA_WORDS) as u8,
+            width: r.below(3) as u8,
+        },
+        _ => OpG::Hammock { rs: reg(r) },
+    }
 }
 
 fn emit(b: &mut ProgramBuilder, op: &OpG) {
@@ -119,17 +135,17 @@ fn build_program(body: &[OpG], trips: u8) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+fn arb_body(r: &mut Prng, min: usize, max: usize) -> Vec<OpG> {
+    let n = min + r.index(max - min);
+    (0..n).map(|_| arb_op(r)).collect()
+}
 
-    #[test]
-    fn random_programs_are_architecturally_exact_under_every_model(
-        body in prop::collection::vec(arb_op(), 4..40),
-        trips in 3u8..24,
-    ) {
+#[test]
+fn random_programs_are_architecturally_exact_under_every_model() {
+    let mut r = Prng::new(0xC0DE_0001);
+    for _ in 0..24 {
+        let body = arb_body(&mut r, 4, 40);
+        let trips = 3 + r.below(21) as u8;
         let program = build_program(&body, trips);
         for model in CommModel::ALL {
             let mut cfg = CoreConfig::new(model);
@@ -139,12 +155,14 @@ proptest! {
                 .unwrap_or_else(|e| panic!("{model:?}: {e}\n{}", program.listing()));
         }
     }
+}
 
-    #[test]
-    fn random_programs_survive_stressed_geometries(
-        body in prop::collection::vec(arb_op(), 4..24),
-        trips in 3u8..16,
-    ) {
+#[test]
+fn random_programs_survive_stressed_geometries() {
+    let mut r = Prng::new(0xC0DE_0002);
+    for _ in 0..24 {
+        let body = arb_body(&mut r, 4, 24);
+        let trips = 3 + r.below(13) as u8;
         // Tiny structures force every backpressure path: ROB/PRF/IQ
         // stalls, store-buffer-full retire stalls, predication width
         // overflow handling.

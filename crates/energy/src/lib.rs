@@ -171,7 +171,7 @@ impl Event {
 }
 
 /// Accumulates event counts and prices them.
-#[derive(Clone, Default)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct EnergyModel {
     counts: [u64; Event::ALL.len()],
 }

@@ -1,0 +1,449 @@
+//! Campaign construction, parallel execution, aggregation, artifact I/O
+//! and the content-digest cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dmdp_core::{CommModel, CoreConfig, SIM_VERSION};
+use dmdp_stats::geomean;
+use dmdp_workloads::{Scale, Suite};
+
+use crate::job::{CfgPatch, JobResult, JobSpec};
+use crate::json::{obj, Json};
+use crate::pool;
+
+/// Declarative description of an experiment campaign: which workloads,
+/// under which communication models, at which scale, with which
+/// configuration variants. The job list is the cross product.
+///
+/// # Example
+///
+/// ```
+/// use dmdp_harness::{CampaignSpec, RunOptions};
+/// use dmdp_core::CommModel;
+/// use dmdp_workloads::Scale;
+///
+/// let campaign = CampaignSpec::new("doc", Scale::Test)
+///     .models([CommModel::Baseline, CommModel::Dmdp])
+///     .kernels(["lib", "mcf"])
+///     .run(&RunOptions { jobs: 2, ..RunOptions::default() })
+///     .unwrap();
+/// assert_eq!(campaign.jobs.len(), 4);
+/// assert!(campaign.get("mcf", CommModel::Dmdp).unwrap().ipc > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (also the default artifact stem).
+    pub name: String,
+    /// Workload scale for every job.
+    pub scale: Scale,
+    /// Communication models to sweep.
+    pub models: Vec<CommModel>,
+    /// Workload-name filter; `None` means all 21 kernels.
+    pub kernels: Option<Vec<String>>,
+    /// Configuration variants as `(label, patch)`; the default is the
+    /// single unpatched variant `"main"`.
+    pub variants: Vec<(String, CfgPatch)>,
+}
+
+impl CampaignSpec {
+    /// A campaign over all 21 kernels under every model, main config.
+    pub fn new(name: &str, scale: Scale) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            scale,
+            models: CommModel::ALL.to_vec(),
+            kernels: None,
+            variants: vec![("main".to_string(), CfgPatch::default())],
+        }
+    }
+
+    /// Restricts the model sweep.
+    pub fn models(mut self, models: impl IntoIterator<Item = CommModel>) -> CampaignSpec {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Restricts the workload set by name.
+    pub fn kernels<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> CampaignSpec {
+        self.kernels = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Replaces the variant list.
+    pub fn variants(
+        mut self,
+        variants: impl IntoIterator<Item = (String, CfgPatch)>,
+    ) -> CampaignSpec {
+        self.variants = variants.into_iter().collect();
+        self
+    }
+
+    /// Materializes the job list: builds each selected workload once and
+    /// crosses it with the models and variants.
+    ///
+    /// # Errors
+    ///
+    /// If a kernel filter names an unknown workload.
+    pub fn jobs(&self) -> Result<Vec<JobSpec>, String> {
+        let all = dmdp_workloads::all(self.scale);
+        if let Some(filter) = &self.kernels {
+            for name in filter {
+                if !all.iter().any(|w| w.name == name) {
+                    return Err(format!("unknown workload `{name}` (try `dmdp workloads`)"));
+                }
+            }
+        }
+        let mut jobs = Vec::new();
+        for w in all {
+            if let Some(filter) = &self.kernels {
+                if !filter.iter().any(|n| n == w.name) {
+                    continue;
+                }
+            }
+            let program = Arc::new(w.program);
+            for &model in &self.models {
+                for (label, patch) in &self.variants {
+                    let mut cfg = CoreConfig::new(model);
+                    patch.apply(&mut cfg);
+                    jobs.push(JobSpec::new(
+                        w.name,
+                        w.suite,
+                        model,
+                        self.scale,
+                        label,
+                        cfg,
+                        Arc::clone(&program),
+                    ));
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Runs the campaign: fans the job list out over a work-stealing
+    /// thread pool, reusing digest-matched results from `opts.cache`.
+    ///
+    /// # Errors
+    ///
+    /// The first job error (cycle-limit abort), an invalid kernel
+    /// filter, or an unreadable cache artifact.
+    pub fn run(&self, opts: &RunOptions) -> Result<Campaign, String> {
+        let specs = self.jobs()?;
+        let cached: Vec<Option<JobResult>> = match &opts.cache {
+            Some(path) if path.exists() => {
+                let prior = Campaign::load(path)?;
+                specs
+                    .iter()
+                    .map(|s| {
+                        prior.jobs.iter().find(|r| r.digest == s.digest).map(|r| JobResult {
+                            cached: true,
+                            stats: None,
+                            ..r.clone()
+                        })
+                    })
+                    .collect()
+            }
+            _ => specs.iter().map(|_| None).collect(),
+        };
+        let to_run = cached.iter().filter(|c| c.is_none()).count();
+        let done = AtomicUsize::new(0);
+        let start = Instant::now();
+        let outcomes: Vec<Result<JobResult, String>> =
+            pool::map_ordered(&specs, opts.jobs, |i, spec| match &cached[i] {
+                Some(hit) => Ok(hit.clone()),
+                None => {
+                    let result = spec.execute();
+                    if opts.progress {
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        match &result {
+                            Ok(r) => println!(
+                                "[{n}/{to_run}] {:>9} × {:<8} [{}]  IPC {:.3}  {:.2}s  {:.2} MIPS",
+                                r.workload, r.model.name(), r.variant, r.ipc, r.wall_s, r.mips
+                            ),
+                            Err(e) => println!("[{n}/{to_run}] FAILED: {e}"),
+                        }
+                    }
+                    result
+                }
+            });
+        let mut jobs = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            jobs.push(outcome?);
+        }
+        let cached_hits = jobs.iter().filter(|j| j.cached).count();
+        Ok(Campaign {
+            name: self.name.clone(),
+            scale: self.scale,
+            sim_version: SIM_VERSION.to_string(),
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            wall_s: start.elapsed().as_secs_f64(),
+            executed: jobs.len() - cached_hits,
+            cached: cached_hits,
+            jobs,
+        })
+    }
+}
+
+/// Execution options for [`CampaignSpec::run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (1 = serial on the calling thread).
+    pub jobs: usize,
+    /// A previous artifact to reuse digest-matched results from
+    /// (typically the output path itself).
+    pub cache: Option<PathBuf>,
+    /// Print one line per finished job.
+    pub progress: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions { jobs: pool::default_workers(), cache: None, progress: false }
+    }
+}
+
+/// A completed campaign: every job's result plus run-level metadata.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name.
+    pub name: String,
+    /// Workload scale all jobs ran at.
+    pub scale: Scale,
+    /// [`SIM_VERSION`] of the producing simulator.
+    pub sim_version: String,
+    /// Creation time (unix seconds; 0 if the clock was unavailable).
+    pub created_unix: u64,
+    /// Wall-clock seconds for the whole campaign (this run only).
+    pub wall_s: f64,
+    /// Jobs actually executed in this run.
+    pub executed: usize,
+    /// Jobs satisfied from the digest cache.
+    pub cached: usize,
+    /// Per-job results, in job-list order.
+    pub jobs: Vec<JobResult>,
+}
+
+impl Campaign {
+    /// The result for (workload, model) under the `"main"` variant.
+    pub fn get(&self, workload: &str, model: CommModel) -> Option<&JobResult> {
+        self.get_variant(workload, model, "main")
+    }
+
+    /// The result for (workload, model, variant).
+    pub fn get_variant(
+        &self,
+        workload: &str,
+        model: CommModel,
+        variant: &str,
+    ) -> Option<&JobResult> {
+        self.jobs
+            .iter()
+            .find(|r| r.workload == workload && r.model == model && r.variant == variant)
+    }
+
+    /// Geometric-mean IPC of a model over one suite (`"main"` variant);
+    /// `None` if the campaign has no such jobs.
+    pub fn geomean_ipc(&self, model: CommModel, suite: Suite) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|r| r.model == model && r.suite == suite && r.variant == "main")
+            .map(|r| r.ipc)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(geomean(vals))
+        }
+    }
+
+    /// Geometric-mean speedup of `model` over `baseline` across one
+    /// suite, pairing jobs by workload (`"main"` variant).
+    pub fn geomean_speedup(
+        &self,
+        baseline: CommModel,
+        model: CommModel,
+        suite: Suite,
+    ) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|r| r.model == model && r.suite == suite && r.variant == "main")
+            .filter_map(|r| {
+                let base = self.get(&r.workload, baseline)?;
+                (base.ipc > 0.0).then(|| r.ipc / base.ipc)
+            })
+            .collect();
+        if ratios.is_empty() {
+            None
+        } else {
+            Some(geomean(ratios))
+        }
+    }
+
+    /// The models present in this campaign, in reporting order.
+    pub fn models(&self) -> Vec<CommModel> {
+        CommModel::ALL
+            .into_iter()
+            .filter(|&m| self.jobs.iter().any(|r| r.model == m))
+            .collect()
+    }
+
+    /// Serializes the campaign, including derived per-suite aggregates
+    /// (informational — the reader recomputes nothing from them).
+    pub fn to_json(&self) -> Json {
+        let mut aggregates = Vec::new();
+        for model in self.models() {
+            for suite in [Suite::Int, Suite::Fp] {
+                if let Some(g) = self.geomean_ipc(model, suite) {
+                    let mut entry = vec![
+                        ("model".to_string(), Json::Str(model.name().to_string())),
+                        ("suite".to_string(), Json::Str(suite.name().to_string())),
+                        ("geomean_ipc".to_string(), Json::Num(g)),
+                    ];
+                    if model != CommModel::Baseline {
+                        if let Some(s) = self.geomean_speedup(CommModel::Baseline, model, suite) {
+                            entry.push(("geomean_speedup".to_string(), Json::Num(s)));
+                        }
+                    }
+                    aggregates.push(Json::Obj(entry));
+                }
+            }
+        }
+        obj([
+            ("schema", Json::Num(1.0)),
+            ("campaign", Json::Str(self.name.clone())),
+            ("sim_version", Json::Str(self.sim_version.clone())),
+            ("scale", Json::Str(self.scale.name().to_string())),
+            ("created_unix", Json::Num(self.created_unix as f64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("executed", Json::Num(self.executed as f64)),
+            ("cached", Json::Num(self.cached as f64)),
+            ("jobs", Json::Arr(self.jobs.iter().map(JobResult::to_json).collect())),
+            ("aggregates", Json::Arr(aggregates)),
+        ])
+    }
+
+    /// Deserializes a campaign artifact.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Campaign, String> {
+        let schema = v.get("schema").and_then(Json::as_u64).unwrap_or(0);
+        if schema != 1 {
+            return Err(format!("unsupported campaign schema {schema}"));
+        }
+        let scale_name = v
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("campaign: missing `scale`")?
+            .to_string();
+        let jobs = v
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("campaign: missing `jobs` array")?
+            .iter()
+            .map(JobResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Campaign {
+            name: v
+                .get("campaign")
+                .and_then(Json::as_str)
+                .ok_or("campaign: missing `campaign`")?
+                .to_string(),
+            scale: Scale::from_name(&scale_name)
+                .ok_or_else(|| format!("campaign: unknown scale `{scale_name}`"))?,
+            sim_version: v
+                .get("sim_version")
+                .and_then(Json::as_str)
+                .ok_or("campaign: missing `sim_version`")?
+                .to_string(),
+            created_unix: v.get("created_unix").and_then(Json::as_u64).unwrap_or(0),
+            wall_s: v.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+            executed: v.get("executed").and_then(Json::as_u64).unwrap_or(0) as usize,
+            cached: v.get("cached").and_then(Json::as_u64).unwrap_or(0) as usize,
+            jobs,
+        })
+    }
+
+    /// Writes the artifact, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, stringified.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, self.to_json().pretty())
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Reads an artifact back.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or parse errors, stringified.
+    pub fn load(path: &Path) -> Result<Campaign, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Campaign::from_json(&Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_list_is_the_cross_product() {
+        let spec = CampaignSpec::new("x", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "mcf", "gcc"])
+            .variants([
+                ("main".to_string(), CfgPatch::default()),
+                ("rob128".to_string(), CfgPatch { rob: Some(128), ..CfgPatch::default() }),
+            ]);
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 3 * 2 * 2);
+        // Workload program built once per workload, shared by its jobs.
+        let lib_jobs: Vec<_> = jobs.iter().filter(|j| j.workload == "lib").collect();
+        assert_eq!(lib_jobs.len(), 4);
+        assert!(lib_jobs.windows(2).all(|w| Arc::ptr_eq(&w[0].program, &w[1].program)));
+        // All digests distinct.
+        let mut digests: Vec<&str> = jobs.iter().map(|j| j.digest.as_str()).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), jobs.len());
+    }
+
+    #[test]
+    fn unknown_kernel_is_rejected() {
+        let err = CampaignSpec::new("x", Scale::Test).kernels(["nope"]).jobs().unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn geomeans_cover_models_and_speedups() {
+        let campaign = CampaignSpec::new("g", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "bwaves"])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        assert_eq!(campaign.jobs.len(), 4);
+        assert!(campaign.geomean_ipc(CommModel::Dmdp, Suite::Int).unwrap() > 0.0);
+        assert!(campaign.geomean_ipc(CommModel::Dmdp, Suite::Fp).unwrap() > 0.0);
+        assert!(campaign.geomean_speedup(CommModel::Baseline, CommModel::Dmdp, Suite::Int).is_some());
+        assert!(campaign.geomean_ipc(CommModel::Perfect, Suite::Int).is_none());
+        assert_eq!(campaign.models(), vec![CommModel::Baseline, CommModel::Dmdp]);
+    }
+}

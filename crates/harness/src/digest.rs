@@ -1,0 +1,90 @@
+//! Content digests for the campaign cache.
+//!
+//! A job's digest is a 64-bit FNV-1a hash over everything that
+//! determines its result: the simulator's timing-semantics version, the
+//! full core configuration identity, and the workload's assembled
+//! program image (which itself captures the scale and the generator
+//! seeds). Two jobs with equal digests produce bit-identical
+//! [`dmdp_core::SimStats`], so a cached result can stand in for a re-run.
+
+/// Streaming FNV-1a (64-bit). Not cryptographic — it only needs to make
+/// accidental digest collisions between *different experiment setups*
+/// vanishingly unlikely, and to be stable across platforms and builds.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Digest64 {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Digest64 {
+        Digest64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string, length-prefixed so field boundaries cannot
+    /// alias (`"ab" + "c"` digests differently from `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes())
+    }
+
+    /// The final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The final digest as a fixed-width hex string (JSON-friendly).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Digest64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(Digest64::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_answer() {
+        // FNV-1a("a") — the published test vector.
+        let mut d = Digest64::new();
+        d.write(b"a");
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_aliasing() {
+        let mut a = Digest64::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Digest64::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_sixteen_chars() {
+        assert_eq!(Digest64::new().hex().len(), 16);
+    }
+}

@@ -1,0 +1,345 @@
+//! Job specifications and per-job results.
+//!
+//! A campaign is a list of jobs, one per (workload × communication model
+//! × configuration variant). Each job is self-contained — it owns its
+//! full [`CoreConfig`] and a shared handle to the assembled program — so
+//! any worker thread can execute it independently and deterministically.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dmdp_core::{CommModel, CoreConfig, SimStats, Simulator, SIM_VERSION};
+use dmdp_isa::Program;
+use dmdp_workloads::{Scale, Suite};
+
+use crate::digest::Digest64;
+use crate::json::{obj, Json};
+
+/// A sparse configuration override — the §VI-f/g alternative-machine
+/// knobs a campaign can sweep. Fields left `None`/`false` keep the
+/// paper's main configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfgPatch {
+    /// Pipeline width override.
+    pub width: Option<usize>,
+    /// ROB capacity override.
+    pub rob: Option<usize>,
+    /// Physical register file size override.
+    pub prf: Option<usize>,
+    /// Store buffer capacity override.
+    pub sb: Option<usize>,
+    /// Switch the store buffer to release consistency (RMO).
+    pub rmo: bool,
+}
+
+impl CfgPatch {
+    /// True if the patch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == CfgPatch::default()
+    }
+
+    /// Applies the overrides to a base configuration.
+    pub fn apply(&self, cfg: &mut CoreConfig) {
+        if let Some(w) = self.width {
+            cfg.width = w;
+        }
+        if let Some(r) = self.rob {
+            cfg.rob_entries = r;
+        }
+        if let Some(p) = self.prf {
+            cfg.phys_regs = p;
+        }
+        if let Some(s) = self.sb {
+            cfg.store_buffer_entries = s;
+        }
+        if self.rmo {
+            cfg.consistency = dmdp_mem::Consistency::Rmo;
+        }
+    }
+}
+
+/// One runnable experiment: a workload under a model and configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload (SPEC analogue) name.
+    pub workload: String,
+    /// The suite the paper reports the workload under.
+    pub suite: Suite,
+    /// Communication model under test.
+    pub model: CommModel,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Configuration-variant label (`"main"` for the paper's default).
+    pub variant: String,
+    /// The full, patched core configuration.
+    pub cfg: CoreConfig,
+    /// The assembled program, shared across the jobs of one workload.
+    pub program: Arc<Program>,
+    /// Content digest identifying this job's result (hex).
+    pub digest: String,
+}
+
+impl JobSpec {
+    /// Builds a spec, computing its content digest from everything that
+    /// determines the result: simulator timing version, full config
+    /// identity, workload name and the assembled program image (which
+    /// captures scale and generator seeds).
+    pub fn new(
+        workload: &str,
+        suite: Suite,
+        model: CommModel,
+        scale: Scale,
+        variant: &str,
+        cfg: CoreConfig,
+        program: Arc<Program>,
+    ) -> JobSpec {
+        let mut d = Digest64::new();
+        d.write_str(SIM_VERSION)
+            .write_str(&cfg.identity())
+            .write_str(workload)
+            .write(&program.to_image());
+        JobSpec {
+            workload: workload.to_string(),
+            suite,
+            model,
+            scale,
+            variant: variant.to_string(),
+            cfg,
+            program,
+            digest: d.hex(),
+        }
+    }
+
+    /// Runs the simulation, timing it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the simulator aborts (cycle limit).
+    pub fn execute(&self) -> Result<JobResult, String> {
+        let start = Instant::now();
+        let report = Simulator::with_config(self.cfg.clone())
+            .run(&self.program)
+            .map_err(|e| format!("{} × {} [{}]: {e}", self.workload, self.model.name(), self.variant))?;
+        let wall = start.elapsed().as_secs_f64();
+        Ok(JobResult::from_stats(self, report.stats, wall))
+    }
+}
+
+/// The measured outcome of one job: timing-simulation statistics plus
+/// harness-side wall-clock and throughput.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Workload name.
+    pub workload: String,
+    /// Reporting suite.
+    pub suite: Suite,
+    /// Communication model.
+    pub model: CommModel,
+    /// Configuration-variant label.
+    pub variant: String,
+    /// Content digest of the producing job (hex).
+    pub digest: String,
+    /// Host wall-clock seconds the simulation took.
+    pub wall_s: f64,
+    /// Host throughput: simulated (retired) instructions per second, in
+    /// millions.
+    pub mips: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired architectural instructions.
+    pub retired_insns: u64,
+    /// Retired µops.
+    pub retired_uops: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Memory dependence mispredictions per kilo-instruction.
+    pub mem_dep_mpki: f64,
+    /// Mean load execution latency in cycles.
+    pub load_mean_latency: f64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Memory dependence mispredictions (Table VI numerator).
+    pub mem_dep_mispredicts: u64,
+    /// Load re-executions.
+    pub reexecutions: u64,
+    /// Re-execution retire-stall cycles per kilo-instruction.
+    pub reexec_stalls_per_ki: f64,
+    /// True if this row was satisfied from a previous artifact instead
+    /// of being executed.
+    pub cached: bool,
+    /// The complete statistics of a *live* run. `None` when the row was
+    /// loaded from a JSON artifact (artifacts keep only the summary).
+    pub stats: Option<SimStats>,
+}
+
+impl JobResult {
+    /// Summarizes a finished simulation.
+    pub fn from_stats(spec: &JobSpec, stats: SimStats, wall_s: f64) -> JobResult {
+        JobResult {
+            workload: spec.workload.clone(),
+            suite: spec.suite,
+            model: spec.model,
+            variant: spec.variant.clone(),
+            digest: spec.digest.clone(),
+            wall_s,
+            mips: if wall_s > 0.0 { stats.retired_insns as f64 / wall_s / 1e6 } else { 0.0 },
+            cycles: stats.cycles,
+            retired_insns: stats.retired_insns,
+            retired_uops: stats.retired_uops,
+            ipc: stats.ipc(),
+            mem_dep_mpki: stats.mem_dep_mpki(),
+            load_mean_latency: stats.load_latency.overall_mean(),
+            branch_mispredicts: stats.branch_mispredicts,
+            mem_dep_mispredicts: stats.mem_dep_mispredicts,
+            reexecutions: stats.reexecutions,
+            reexec_stalls_per_ki: stats.reexec_stalls_per_ki(),
+            cached: false,
+            stats: Some(stats),
+        }
+    }
+
+    /// Serializes the summary row (full `stats` are not persisted).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("suite", Json::Str(self.suite.name().to_string())),
+            ("model", Json::Str(self.model.name().to_string())),
+            ("variant", Json::Str(self.variant.clone())),
+            ("digest", Json::Str(self.digest.clone())),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("mips", Json::Num(self.mips)),
+            ("cycles", Json::Num(self.cycles as f64)),
+            ("retired_insns", Json::Num(self.retired_insns as f64)),
+            ("retired_uops", Json::Num(self.retired_uops as f64)),
+            ("ipc", Json::Num(self.ipc)),
+            ("mem_dep_mpki", Json::Num(self.mem_dep_mpki)),
+            ("load_mean_latency", Json::Num(self.load_mean_latency)),
+            ("branch_mispredicts", Json::Num(self.branch_mispredicts as f64)),
+            ("mem_dep_mispredicts", Json::Num(self.mem_dep_mispredicts as f64)),
+            ("reexecutions", Json::Num(self.reexecutions as f64)),
+            ("reexec_stalls_per_ki", Json::Num(self.reexec_stalls_per_ki)),
+            ("cached", Json::Bool(self.cached)),
+        ])
+    }
+
+    /// Deserializes a summary row.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<JobResult, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("job row: missing string `{k}`"))
+        };
+        let num = |k: &str| {
+            v.get(k).and_then(Json::as_f64).ok_or_else(|| format!("job row: missing number `{k}`"))
+        };
+        let int = |k: &str| {
+            v.get(k).and_then(Json::as_u64).ok_or_else(|| format!("job row: missing count `{k}`"))
+        };
+        let suite_name = str_field("suite")?;
+        let model_name = str_field("model")?;
+        Ok(JobResult {
+            workload: str_field("workload")?,
+            suite: Suite::from_name(&suite_name)
+                .ok_or_else(|| format!("job row: unknown suite `{suite_name}`"))?,
+            model: CommModel::from_name(&model_name)
+                .ok_or_else(|| format!("job row: unknown model `{model_name}`"))?,
+            variant: str_field("variant")?,
+            digest: str_field("digest")?,
+            wall_s: num("wall_s")?,
+            mips: num("mips")?,
+            cycles: int("cycles")?,
+            retired_insns: int("retired_insns")?,
+            retired_uops: int("retired_uops")?,
+            ipc: num("ipc")?,
+            mem_dep_mpki: num("mem_dep_mpki")?,
+            load_mean_latency: num("load_mean_latency")?,
+            branch_mispredicts: int("branch_mispredicts")?,
+            mem_dep_mispredicts: int("mem_dep_mispredicts")?,
+            reexecutions: int("reexecutions")?,
+            reexec_stalls_per_ki: num("reexec_stalls_per_ki")?,
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            stats: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(model: CommModel) -> JobSpec {
+        let w = dmdp_workloads::by_name("lib", Scale::Test).unwrap();
+        JobSpec::new(
+            "lib",
+            w.suite,
+            model,
+            Scale::Test,
+            "main",
+            CoreConfig::new(model),
+            Arc::new(w.program),
+        )
+    }
+
+    #[test]
+    fn digest_depends_on_model_and_patch() {
+        let a = tiny_spec(CommModel::Dmdp);
+        let b = tiny_spec(CommModel::Dmdp);
+        assert_eq!(a.digest, b.digest);
+        assert_ne!(a.digest, tiny_spec(CommModel::NoSq).digest);
+
+        let w = dmdp_workloads::by_name("lib", Scale::Test).unwrap();
+        let mut cfg = CoreConfig::new(CommModel::Dmdp);
+        CfgPatch { rob: Some(128), ..CfgPatch::default() }.apply(&mut cfg);
+        let patched = JobSpec::new(
+            "lib",
+            w.suite,
+            CommModel::Dmdp,
+            Scale::Test,
+            "rob128",
+            cfg,
+            Arc::new(w.program),
+        );
+        assert_ne!(a.digest, patched.digest);
+    }
+
+    #[test]
+    fn execute_produces_consistent_summary() {
+        let r = tiny_spec(CommModel::Dmdp).execute().unwrap();
+        assert!(r.cycles > 0 && r.retired_insns > 0);
+        assert!((r.ipc - r.retired_insns as f64 / r.cycles as f64).abs() < 1e-12);
+        assert!(!r.cached);
+        let stats = r.stats.as_ref().expect("live run keeps full stats");
+        assert_eq!(stats.cycles, r.cycles);
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let r = tiny_spec(CommModel::Baseline).execute().unwrap();
+        let back = JobResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.model, r.model);
+        assert_eq!(back.digest, r.digest);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.ipc, r.ipc);
+        assert!(back.stats.is_none(), "artifacts keep only the summary");
+    }
+
+    #[test]
+    fn patch_applies_all_fields() {
+        let mut cfg = CoreConfig::new(CommModel::Dmdp);
+        let patch = CfgPatch { width: Some(4), rob: Some(64), prf: Some(200), sb: Some(32), rmo: true };
+        assert!(!patch.is_empty());
+        patch.apply(&mut cfg);
+        assert_eq!(cfg.width, 4);
+        assert_eq!(cfg.rob_entries, 64);
+        assert_eq!(cfg.phys_regs, 200);
+        assert_eq!(cfg.store_buffer_entries, 32);
+        assert_eq!(cfg.consistency, dmdp_mem::Consistency::Rmo);
+        assert!(CfgPatch::default().is_empty());
+    }
+}

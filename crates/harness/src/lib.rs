@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # dmdp-harness
+//!
+//! The experiment-campaign engine: builds a job list of (workload ×
+//! communication model × configuration variant) simulations, executes it
+//! on a work-stealing `std::thread` pool — every [`dmdp_core::Simulator`]
+//! run is independent and deterministic, so parallel and serial
+//! executions are bit-identical — and collects the results into a
+//! [`Campaign`] with per-job wall-clock, simulated-MIPS throughput and
+//! per-suite geometric means.
+//!
+//! Campaigns serialize to human-diffable JSON artifacts
+//! (`bench-results/<campaign>.json`) through a hand-rolled, offline
+//! writer/reader ([`json::Json`] — no serde). Every job carries a
+//! content digest over the simulator's timing version, the full core
+//! configuration and the assembled workload image; re-running a campaign
+//! against an existing artifact skips every digest-matched job, so an
+//! unchanged campaign re-runs **zero** simulations.
+//!
+//! Used by the `dmdp campaign` CLI subcommand and by the headline bench
+//! targets (`fig12_speedup`, `tab04_load_latency`, `tab06_mpki`), which
+//! obtain their rows through a campaign instead of private serial loops.
+//!
+//! # Example
+//!
+//! ```
+//! use dmdp_harness::{CampaignSpec, RunOptions};
+//! use dmdp_core::CommModel;
+//! use dmdp_workloads::{Scale, Suite};
+//!
+//! let campaign = CampaignSpec::new("demo", Scale::Test)
+//!     .models([CommModel::NoSq, CommModel::Dmdp])
+//!     .kernels(["hmmer"])
+//!     .run(&RunOptions { jobs: 2, ..RunOptions::default() })
+//!     .unwrap();
+//! let nosq = campaign.get("hmmer", CommModel::NoSq).unwrap();
+//! let dmdp = campaign.get("hmmer", CommModel::Dmdp).unwrap();
+//! assert!(nosq.ipc > 0.0 && dmdp.ipc > 0.0);
+//! ```
+
+pub mod digest;
+pub mod json;
+pub mod pool;
+
+mod campaign;
+mod job;
+
+pub use campaign::{Campaign, CampaignSpec, RunOptions};
+pub use digest::Digest64;
+pub use job::{CfgPatch, JobResult, JobSpec};
+pub use json::Json;
+pub use pool::{default_workers, map_ordered};

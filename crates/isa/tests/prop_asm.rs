@@ -2,45 +2,53 @@
 //! program re-assembles to the identical program (mnemonics, operand
 //! forms and numeric targets all round-trip), and memory stays
 //! little-endian coherent under random access sequences.
+//!
+//! Cases are drawn from the deterministic [`dmdp_prng::Prng`] stream so
+//! the suite needs no external property-testing dependency and every
+//! failure reproduces exactly.
 
 use dmdp_isa::{asm, Insn, MemWidth, Program, Reg, SparseMem};
-use proptest::prelude::*;
+use dmdp_prng::Prng;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn reg(r: &mut Prng) -> Reg {
+    Reg::new(r.below(32) as u8)
 }
 
-fn arb_insn(text_len: u32) -> impl Strategy<Value = Insn> {
-    let r = reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(a, b, c)| Insn::add(a, b, c)),
-        (r(), r(), r()).prop_map(|(a, b, c)| Insn::sub(a, b, c)),
-        (r(), r(), r()).prop_map(|(a, b, c)| Insn::xor(a, b, c)),
-        (r(), r(), r()).prop_map(|(a, b, c)| Insn::slt(a, b, c)),
-        (r(), r(), r()).prop_map(|(a, b, c)| Insn::mul(a, b, c)),
-        (r(), r(), -32768i32..32768).prop_map(|(a, b, i)| Insn::addi(a, b, i)),
-        (r(), r(), 0i32..65536).prop_map(|(a, b, i)| Insn::ori(a, b, i)),
-        (r(), r(), -32768i32..32768).prop_map(|(a, b, i)| Insn::muli(a, b, i)),
-        (r(), 0i32..65536).prop_map(|(a, i)| Insn::lui(a, i)),
-        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lw(a, b, o * 4)),
-        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lhu(a, b, o * 2)),
-        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::lb(a, b, o)),
-        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::sw(a, b, o * 4)),
-        (r(), r(), -256i32..256).prop_map(|(a, b, o)| Insn::sh(a, b, o * 2)),
-        (r(), r(), 0..text_len).prop_map(|(a, b, t)| Insn::beq(a, b, t)),
-        (r(), 0..text_len).prop_map(|(a, t)| Insn::bgtz(a, t)),
-        (0..text_len).prop_map(Insn::j),
-        r().prop_map(Insn::jr),
-        Just(Insn::nop()),
-    ]
+fn arb_insn(r: &mut Prng, text_len: u32) -> Insn {
+    let (a, b, c) = (reg(r), reg(r), reg(r));
+    match r.below(19) {
+        0 => Insn::add(a, b, c),
+        1 => Insn::sub(a, b, c),
+        2 => Insn::xor(a, b, c),
+        3 => Insn::slt(a, b, c),
+        4 => Insn::mul(a, b, c),
+        5 => Insn::addi(a, b, r.range_i32(-32768, 32767)),
+        6 => Insn::ori(a, b, r.range_i32(0, 65535)),
+        7 => Insn::muli(a, b, r.range_i32(-32768, 32767)),
+        8 => Insn::lui(a, r.range_i32(0, 65535)),
+        9 => Insn::lw(a, b, r.range_i32(-256, 255) * 4),
+        10 => Insn::lhu(a, b, r.range_i32(-256, 255) * 2),
+        11 => Insn::lb(a, b, r.range_i32(-256, 255)),
+        12 => Insn::sw(a, b, r.range_i32(-256, 255) * 4),
+        13 => Insn::sh(a, b, r.range_i32(-256, 255) * 2),
+        14 => Insn::beq(a, b, r.below(text_len)),
+        15 => Insn::bgtz(a, r.below(text_len)),
+        16 => Insn::j(r.below(text_len)),
+        17 => Insn::jr(a),
+        _ => Insn::nop(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn listing_reassembles_identically(
-        insns in prop::collection::vec(arb_insn(32), 1..32)
-    ) {
-        let mut text = insns;
+fn arb_insns(r: &mut Prng, text_len: u32, min: usize, max: usize) -> Vec<Insn> {
+    let n = min + r.index(max - min);
+    (0..n).map(|_| arb_insn(r, text_len)).collect()
+}
+
+#[test]
+fn listing_reassembles_identically() {
+    let mut r = Prng::new(0xA53A_0001);
+    for _ in 0..256 {
+        let mut text = arb_insns(&mut r, 32, 1, 32);
         text.push(Insn::halt());
         let original = Program::new("p", text, 0x10000, Vec::new(), 0);
         let listing: String = original
@@ -49,20 +57,21 @@ proptest! {
             .map(|l| l.split_once(':').expect("pc prefix").1.trim().to_string() + "\n")
             .collect();
         let reassembled = asm::assemble(&listing).expect("listing must be valid assembly");
-        prop_assert_eq!(original.text(), reassembled.text());
+        assert_eq!(original.text(), reassembled.text(), "listing:\n{}", original.listing());
     }
+}
 
-    #[test]
-    fn sparse_memory_byte_coherence(
-        ops in prop::collection::vec(
-            (0u32..256, any::<u32>(), 0u8..3),
-            1..64
-        )
-    ) {
+#[test]
+fn sparse_memory_byte_coherence() {
+    let mut r = Prng::new(0xA53A_0002);
+    for _ in 0..256 {
         let mut mem = SparseMem::new();
         let mut shadow = [0u8; 1024];
-        for (slot, value, width_sel) in ops {
-            let width = match width_sel {
+        let ops = 1 + r.index(63);
+        for _ in 0..ops {
+            let slot = r.below(256);
+            let value = r.next_u32();
+            let width = match r.below(3) {
                 0 => MemWidth::Byte,
                 1 => MemWidth::Half,
                 _ => MemWidth::Word,
@@ -74,24 +83,26 @@ proptest! {
             }
         }
         for a in 0..1024u32 {
-            prop_assert_eq!(mem.read_byte(a), shadow[a as usize]);
+            assert_eq!(mem.read_byte(a), shadow[a as usize], "byte at {a:#x}");
         }
     }
 }
 
-proptest! {
-    /// Binary round trip: every constructible instruction survives
-    /// encode/decode, and whole programs survive imaging.
-    #[test]
-    fn binary_encoding_round_trips(insns in prop::collection::vec(arb_insn(64), 1..48)) {
+/// Binary round trip: every constructible instruction survives
+/// encode/decode, and whole programs survive imaging.
+#[test]
+fn binary_encoding_round_trips() {
+    let mut r = Prng::new(0xA53A_0003);
+    for _ in 0..256 {
+        let insns = arb_insns(&mut r, 64, 1, 48);
         for i in &insns {
-            prop_assert_eq!(dmdp_isa::encode::decode(dmdp_isa::encode::encode(*i)).unwrap(), *i);
+            assert_eq!(dmdp_isa::encode::decode(dmdp_isa::encode::encode(*i)).unwrap(), *i);
         }
         let mut text = insns;
         text.push(Insn::halt());
         let p = Program::new("bin", text, 0x10000, vec![1, 2, 3, 4], 0);
         let q = Program::from_image(&p.to_image()).unwrap();
-        prop_assert_eq!(p.text(), q.text());
-        prop_assert_eq!(p.data(), q.data());
+        assert_eq!(p.text(), q.text());
+        assert_eq!(p.data(), q.data());
     }
 }

@@ -1,14 +1,16 @@
 //! Property tests for the partial-word forwarding rules (paper §IV-D):
 //! the shift/mask/extend algebra must agree with a byte-array reference
 //! model for every (store, load) geometry.
+//!
+//! The geometry space is tiny (3 widths × 4 lanes each side × sign), so
+//! these tests enumerate it *exhaustively* and draw only the data values
+//! from the deterministic [`dmdp_prng::Prng`] stream.
 
 use dmdp_isa::bab::{self, Predicate};
 use dmdp_isa::MemWidth;
-use proptest::prelude::*;
+use dmdp_prng::Prng;
 
-fn widths() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
-}
+const WIDTHS: [MemWidth; 3] = [MemWidth::Byte, MemWidth::Half, MemWidth::Word];
 
 /// An aligned address for `w` within one word at `base`.
 fn aligned_addr(base: u32, w: MemWidth, lane: u32) -> u32 {
@@ -40,16 +42,28 @@ fn reference_forward(
     }
 }
 
-proptest! {
-    #[test]
-    fn forward_matches_byte_array_reference(
-        sw in widths(),
-        lw in widths(),
-        s_lane in 0u32..4,
-        l_lane in 0u32..4,
-        value in any::<u32>(),
-        signed in any::<bool>(),
-    ) {
+/// Every (store width, load width, store lane, load lane, signedness)
+/// geometry, with `values_per_geometry` random data values each.
+fn for_each_geometry(seed: u64, values_per_geometry: usize, mut f: impl FnMut(MemWidth, MemWidth, u32, u32, u32, bool)) {
+    let mut r = Prng::new(seed);
+    for sw in WIDTHS {
+        for lw in WIDTHS {
+            for s_lane in 0..4u32 {
+                for l_lane in 0..4u32 {
+                    for signed in [false, true] {
+                        for _ in 0..values_per_geometry {
+                            f(sw, lw, s_lane, l_lane, r.next_u32(), signed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_matches_byte_array_reference() {
+    for_each_geometry(0xBAB_0001, 8, |sw, lw, s_lane, l_lane, value, signed| {
         let base = 0x1000u32;
         let store_addr = aligned_addr(base, sw, s_lane);
         let load_addr = aligned_addr(base, lw, l_lane);
@@ -58,33 +72,31 @@ proptest! {
         let load_bab = bab::bab(load_addr, lw);
         if bab::covers(store_bab, load_bab) {
             let want = reference_forward(store_addr, sw, value, load_addr, lw, signed);
-            prop_assert_eq!(got, Some(want));
+            assert_eq!(got, Some(want), "{sw:?}@{store_addr:#x} -> {lw:?}@{load_addr:#x} signed={signed}");
         } else {
-            prop_assert_eq!(got, None);
+            assert_eq!(got, None, "{sw:?}@{store_addr:#x} -> {lw:?}@{load_addr:#x}");
+        }
+    });
+}
+
+#[test]
+fn predicate_encoding_round_trips() {
+    // The full predicate space: 2 × 4 × 4 — enumerate it all.
+    for matches in [false, true] {
+        for s in 0u8..4 {
+            for l in 0u8..4 {
+                let p = Predicate { matches, store_lo2: s, load_lo2: l };
+                assert_eq!(Predicate::decode(p.encode()), p);
+                // The guard bit is bit zero, as the CMOV expects.
+                assert_eq!(p.encode() & 1, matches as u32);
+            }
         }
     }
+}
 
-    #[test]
-    fn predicate_encoding_round_trips(
-        matches in any::<bool>(),
-        s in 0u8..4,
-        l in 0u8..4,
-    ) {
-        let p = Predicate { matches, store_lo2: s, load_lo2: l };
-        prop_assert_eq!(Predicate::decode(p.encode()), p);
-        // The guard bit is bit zero, as the CMOV expects.
-        prop_assert_eq!(p.encode() & 1, matches as u32);
-    }
-
-    #[test]
-    fn cmp_and_cmov_agree_with_forward(
-        sw in widths(),
-        lw in widths(),
-        s_lane in 0u32..4,
-        l_lane in 0u32..4,
-        value in any::<u32>(),
-        signed in any::<bool>(),
-    ) {
+#[test]
+fn cmp_and_cmov_agree_with_forward() {
+    for_each_geometry(0xBAB_0002, 8, |sw, lw, s_lane, l_lane, value, signed| {
         let base = 0x2000u32;
         let store_addr = aligned_addr(base, sw, s_lane);
         let load_addr = aligned_addr(base, lw, l_lane);
@@ -93,17 +105,22 @@ proptest! {
             Some(want) => {
                 // The CMP must accept exactly the forwardable geometries,
                 // and the true-path CMOV must produce the forwarded value.
-                prop_assert!(p.matches);
-                prop_assert_eq!(p.apply_forward(sw, value, lw, signed), want);
+                assert!(p.matches);
+                assert_eq!(p.apply_forward(sw, value, lw, signed), want);
             }
-            None => prop_assert!(!p.matches),
+            None => assert!(!p.matches),
         }
-    }
+    });
+}
 
-    #[test]
-    fn covers_is_subset_relation(a in 0u8..16, b in 0u8..16) {
-        prop_assert_eq!(bab::covers(a, b), a & b == b);
-        // Reflexive and monotone under union.
-        prop_assert!(bab::covers(a | b, b));
+#[test]
+fn covers_is_subset_relation() {
+    // 16 × 16 byte-availability bitmaps — fully enumerable.
+    for a in 0u8..16 {
+        for b in 0u8..16 {
+            assert_eq!(bab::covers(a, b), a & b == b);
+            // Reflexive and monotone under union.
+            assert!(bab::covers(a | b, b));
+        }
     }
 }

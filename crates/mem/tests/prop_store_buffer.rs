@@ -2,10 +2,14 @@
 //! draining any store sequence leaves memory exactly as applying the
 //! stores in program order would, commits report SSNs in order, and
 //! occupancy never exceeds capacity.
+//!
+//! Random store sequences come from the deterministic
+//! [`dmdp_prng::Prng`] stream; the (consistency × coalescing) space is
+//! enumerated exhaustively for every sequence.
 
 use dmdp_isa::{MemWidth, SparseMem};
 use dmdp_mem::{Consistency, MemConfig, MemHierarchy, SbEntry, StoreBuffer};
-use proptest::prelude::*;
+use dmdp_prng::Prng;
 
 #[derive(Debug, Clone)]
 struct St {
@@ -14,15 +18,13 @@ struct St {
     value: u32,
 }
 
-fn arb_store() -> impl Strategy<Value = St> {
-    (0u32..64, 0u8..3, any::<u32>()).prop_map(|(slot, w, value)| {
-        let width = match w {
-            0 => MemWidth::Byte,
-            1 => MemWidth::Half,
-            _ => MemWidth::Word,
-        };
-        St { addr: 0x1_0000 + slot * 4, width, value }
-    })
+fn arb_store(r: &mut Prng) -> St {
+    let width = match r.below(3) {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        _ => MemWidth::Word,
+    };
+    St { addr: 0x1_0000 + r.below(64) * 4, width, value: r.next_u32() }
 }
 
 fn drain_all(
@@ -68,23 +70,29 @@ fn reference(stores: &[St]) -> SparseMem {
     m
 }
 
-proptest! {
-    #[test]
-    fn drained_memory_matches_program_order(
-        stores in prop::collection::vec(arb_store(), 1..40),
-        rmo in any::<bool>(),
-        coalesce in any::<bool>(),
-    ) {
-        let consistency = if rmo { Consistency::Rmo } else { Consistency::Tso };
-        let (got, committed) = run_model(&stores, consistency, coalesce);
-        let want = reference(&stores);
-        for slot in 0..64u32 {
-            let a = 0x1_0000 + slot * 4;
-            prop_assert_eq!(got.read_word(a), want.read_word(a), "word at {:#x}", a);
+#[test]
+fn drained_memory_matches_program_order() {
+    let mut r = Prng::new(0x5B_0001);
+    for _ in 0..128 {
+        let n = 1 + r.index(39);
+        let stores: Vec<St> = (0..n).map(|_| arb_store(&mut r)).collect();
+        for consistency in [Consistency::Tso, Consistency::Rmo] {
+            for coalesce in [false, true] {
+                let (got, committed) = run_model(&stores, consistency, coalesce);
+                let want = reference(&stores);
+                for slot in 0..64u32 {
+                    let a = 0x1_0000 + slot * 4;
+                    assert_eq!(
+                        got.read_word(a),
+                        want.read_word(a),
+                        "word at {a:#x} ({consistency:?}, coalesce={coalesce})"
+                    );
+                }
+                // Commit SSNs strictly increase (prefix rule / TSO order),
+                // even when coalescing skips absorbed SSNs.
+                assert!(committed.windows(2).all(|w| w[0] < w[1]), "{committed:?}");
+                assert_eq!(*committed.last().unwrap() as usize, stores.len());
+            }
         }
-        // Commit SSNs strictly increase (prefix rule / TSO order), even
-        // when coalescing skips absorbed SSNs.
-        prop_assert!(committed.windows(2).all(|w| w[0] < w[1]), "{committed:?}");
-        prop_assert_eq!(*committed.last().unwrap() as usize, stores.len());
     }
 }

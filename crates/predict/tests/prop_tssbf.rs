@@ -1,12 +1,16 @@
 //! Property tests for the T-SSBF and the SVW re-execution filter: the
 //! combination must never miss a real hazard (soundness), no matter how
 //! stores alias within the filter.
+//!
+//! Random access sequences come from the deterministic
+//! [`dmdp_prng::Prng`] stream; the SVW rule spaces are enumerated
+//! exhaustively.
 
 use dmdp_isa::bab::{bab, overlaps, word_addr};
 use dmdp_isa::MemWidth;
 use dmdp_predict::svw::{needs_reexecution, DataSource};
 use dmdp_predict::{Tssbf, TssbfConfig};
-use proptest::prelude::*;
+use dmdp_prng::Prng;
 
 #[derive(Debug, Clone, Copy)]
 struct Access {
@@ -14,30 +18,30 @@ struct Access {
     width: MemWidth,
 }
 
-fn arb_access() -> impl Strategy<Value = Access> {
-    (0u32..32, 0u8..3).prop_map(|(slot, w)| {
-        let width = match w {
-            0 => MemWidth::Byte,
-            1 => MemWidth::Half,
-            _ => MemWidth::Word,
-        };
-        // Offsets within the slot keep every width aligned.
-        Access { addr: 0x4000 + slot * 4, width }
-    })
+fn arb_access(r: &mut Prng) -> Access {
+    let width = match r.below(3) {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        _ => MemWidth::Word,
+    };
+    // Offsets within the slot keep every width aligned.
+    Access { addr: 0x4000 + r.below(32) * 4, width }
 }
 
-proptest! {
-    /// Soundness: after inserting stores 1..=n, a load whose true youngest
-    /// colliding store is among them gets `lookup().ssn >= that store's
-    /// SSN` — the T-SSBF may be conservative (forcing an unnecessary
-    /// re-execution) but never optimistic, as long as the set FIFO depth
-    /// is not exceeded for the matching set (we use a tiny filter and
-    /// verify against residency explicitly).
-    #[test]
-    fn lookup_never_underestimates_a_resident_collision(
-        stores in prop::collection::vec(arb_access(), 1..24),
-        load in arb_access(),
-    ) {
+/// Soundness: after inserting stores 1..=n, a load whose true youngest
+/// colliding store is among them gets `lookup().ssn >= that store's
+/// SSN` — the T-SSBF may be conservative (forcing an unnecessary
+/// re-execution) but never optimistic, as long as the set FIFO depth
+/// is not exceeded for the matching set (we use a tiny filter and
+/// verify against residency explicitly).
+#[test]
+fn lookup_never_underestimates_a_resident_collision() {
+    let mut r = Prng::new(0x55BF_0001);
+    for _ in 0..512 {
+        let n = 1 + r.index(23);
+        let stores: Vec<Access> = (0..n).map(|_| arb_access(&mut r)).collect();
+        let load = arb_access(&mut r);
+
         let cfg = TssbfConfig { sets: 4, ways: 4 };
         let mut f = Tssbf::new(cfg);
         for (i, s) in stores.iter().enumerate() {
@@ -70,45 +74,54 @@ proptest! {
                 .count();
             let hit = f.lookup(load.addr, lb);
             if same_set_since <= cfg.ways {
-                prop_assert!(
+                assert!(
                     hit.ssn >= t,
-                    "resident collision underestimated: truth {t}, got {:?}",
-                    hit
+                    "resident collision underestimated: truth {t}, got {hit:?}"
                 );
             }
         }
     }
+}
 
-    /// The SVW rule is conservative: whenever the actual colliding store
-    /// committed after the load read the cache, a re-execution fires.
-    #[test]
-    fn svw_cache_rule_is_conservative(
-        nvul in 0u32..100,
-        actual in 0u32..100,
-        tag_hit in any::<bool>(),
-    ) {
-        let hit = dmdp_predict::TssbfHit {
-            ssn: actual,
-            store_bab: tag_hit.then_some(0b1111),
-        };
-        let reexec = needs_reexecution(DataSource::Cache { ssn_nvul: nvul }, hit, 0b1111);
-        if actual > nvul {
-            prop_assert!(reexec, "hazard missed: nvul {nvul} actual {actual}");
+/// The SVW rule is conservative: whenever the actual colliding store
+/// committed after the load read the cache, a re-execution fires.
+/// The (nvul × actual × tag_hit) space is small — enumerate it all.
+#[test]
+fn svw_cache_rule_is_conservative() {
+    for nvul in 0u32..100 {
+        for actual in 0u32..100 {
+            for tag_hit in [false, true] {
+                let hit = dmdp_predict::TssbfHit {
+                    ssn: actual,
+                    store_bab: tag_hit.then_some(0b1111),
+                };
+                let reexec = needs_reexecution(DataSource::Cache { ssn_nvul: nvul }, hit, 0b1111);
+                if actual > nvul {
+                    assert!(reexec, "hazard missed: nvul {nvul} actual {actual}");
+                }
+            }
         }
     }
+}
 
-    /// Forwarded loads re-execute unless the match is exact and covering.
-    #[test]
-    fn svw_forward_rule_requires_exact_cover(
-        predicted in 1u32..50,
-        actual in 1u32..50,
-        store_bab in 1u8..16,
-        load_bab in 1u8..16,
-    ) {
-        let hit = dmdp_predict::TssbfHit { ssn: actual, store_bab: Some(store_bab) };
-        let reexec =
-            needs_reexecution(DataSource::Forwarded { predicted_ssn: predicted }, hit, load_bab);
-        let safe = actual == predicted && (store_bab & load_bab == load_bab);
-        prop_assert_eq!(!reexec, safe);
+/// Forwarded loads re-execute unless the match is exact and covering.
+/// Exhaustive over (predicted × actual × store_bab × load_bab).
+#[test]
+fn svw_forward_rule_requires_exact_cover() {
+    for predicted in 1u32..50 {
+        for actual in 1u32..50 {
+            for store_bab in 1u8..16 {
+                for load_bab in 1u8..16 {
+                    let hit = dmdp_predict::TssbfHit { ssn: actual, store_bab: Some(store_bab) };
+                    let reexec = needs_reexecution(
+                        DataSource::Forwarded { predicted_ssn: predicted },
+                        hit,
+                        load_bab,
+                    );
+                    let safe = actual == predicted && (store_bab & load_bab == load_bab);
+                    assert_eq!(!reexec, safe, "pred {predicted} actual {actual} sb {store_bab:04b} lb {load_bab:04b}");
+                }
+            }
+        }
     }
 }

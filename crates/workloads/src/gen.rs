@@ -1,16 +1,15 @@
 //! Deterministic data generation for the kernels.
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dmdp_prng::Prng;
 
 /// A seeded RNG shared by all kernels; same seed -> same program.
-pub(crate) fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> Prng {
+    Prng::new(seed)
 }
 
 /// `n` random words in `0..bound`, rendered as a `.word` directive body.
 pub(crate) fn words_mod(seed: u64, n: usize, bound: u32) -> String {
     let mut r = rng(seed);
-    (0..n).map(|_| (r.gen::<u32>() % bound).to_string()).collect::<Vec<_>>().join(", ")
+    (0..n).map(|_| r.below(bound).to_string()).collect::<Vec<_>>().join(", ")
 }
 
 /// A random permutation of `0..n` scaled by `stride`, as `.word` body —
@@ -20,7 +19,7 @@ pub(crate) fn permutation_ring(seed: u64, n: usize, stride: u32) -> String {
     let mut idx: Vec<u32> = (0..n as u32).collect();
     // Fisher-Yates.
     for i in (1..n).rev() {
-        let j = (r.gen::<u32>() as usize) % (i + 1);
+        let j = r.index(i + 1);
         idx.swap(i, j);
     }
     // next[idx[i]] = idx[(i+1) % n] builds one big cycle.
@@ -37,19 +36,19 @@ pub(crate) fn permutation_ring(seed: u64, n: usize, stride: u32) -> String {
 pub(crate) fn halves_with_repeats(seed: u64, n: usize, bound: u32, max_run: u32) -> String {
     let mut r = rng(seed);
     let mut out = Vec::with_capacity(n);
-    let mut current = r.gen::<u32>() % bound;
+    let mut current = r.below(bound);
     let mut run = 0u32;
     for _ in 0..n {
         if run == 0 {
-            current = r.gen::<u32>() % bound;
-            run = 1 + r.gen::<u32>() % max_run;
+            current = r.below(bound);
+            run = 1 + r.below(max_run);
         }
         out.push(current.to_string());
         run -= 1;
         // Occasionally interleave a different index inside a run so the
         // collision distance varies.
-        if r.gen::<u32>() % 4 == 0 && run > 0 {
-            out.push((r.gen::<u32>() % bound).to_string());
+        if r.chance(1, 4) && run > 0 {
+            out.push(r.below(bound).to_string());
             run = run.saturating_sub(1);
         }
     }
@@ -62,17 +61,17 @@ pub(crate) fn halves_with_repeats(seed: u64, n: usize, bound: u32, max_run: u32)
 pub(crate) fn words_with_repeats(seed: u64, n: usize, bound: u32, max_run: u32) -> String {
     let mut r = rng(seed);
     let mut out = Vec::with_capacity(n);
-    let mut current = r.gen::<u32>() % bound;
+    let mut current = r.below(bound);
     let mut run = 0u32;
     for _ in 0..n {
         if run == 0 {
-            current = r.gen::<u32>() % bound;
-            run = 1 + r.gen::<u32>() % max_run;
+            current = r.below(bound);
+            run = 1 + r.below(max_run);
         }
         out.push(current.to_string());
         run -= 1;
-        if r.gen::<u32>() % 3 == 0 && run > 0 {
-            out.push((r.gen::<u32>() % bound).to_string());
+        if r.chance(1, 3) && run > 0 {
+            out.push(r.below(bound).to_string());
             run = run.saturating_sub(1);
         }
     }

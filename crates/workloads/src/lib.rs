@@ -64,6 +64,44 @@ impl Scale {
             Scale::Full => 4096,
         }
     }
+
+    /// Stable lower-case name (CLI values and JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Inverse of [`Scale::name`].
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "test" => Some(Scale::Test),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl Suite {
+    /// Stable lower-case name (JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Int => "int",
+            Suite::Fp => "fp",
+        }
+    }
+
+    /// Inverse of [`Suite::name`].
+    pub fn from_name(name: &str) -> Option<Suite> {
+        match name {
+            "int" => Some(Suite::Int),
+            "fp" => Some(Suite::Fp),
+            _ => None,
+        }
+    }
 }
 
 /// A named, buildable workload.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, smoke campaign.
+#
+# The smoke campaign runs every kernel under every communication model at
+# `test` scale through the parallel harness and checks that a fresh JSON
+# artifact lands with one row per (kernel, model) pair.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+out=bench-results/ci-smoke.json
+rm -f "$out"
+cargo run --release -p dmdp-bench --bin dmdp -- \
+    campaign --name ci-smoke --scale test --model all \
+    --jobs "$(nproc)" --out "$out" --quiet
+test -s "$out"
+
+echo "ci: build + tests + smoke campaign OK ($out)"
