@@ -1,6 +1,15 @@
 //! Benchmark of the simulator itself: simulated instructions per second
 //! for each communication model (not a paper artifact). Hand-rolled
 //! timing harness — the repository builds fully offline, so no criterion.
+//!
+//! Usage: `sim_throughput [--scale test|small|full] [kernel ...]`
+//! (defaults: test scale; a mix of branchy and memory-bound kernels).
+//!
+//! Output is line-oriented so `scripts/bench.sh` can parse it:
+//! one `calib <Mops>` line (a fixed xorshift64 loop timed on this host,
+//! for normalising MIPS across machines), then one
+//! `<kernel> <model> <ms/run> ms/run <MIPS> MIPS (<n> iters)` line per
+//! (kernel × model) pair.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -8,33 +17,80 @@ use std::time::Instant;
 use dmdp_core::{CommModel, Simulator};
 use dmdp_workloads::{by_name, Scale};
 
+/// Kernels benchmarked when none are named on the command line: gcc is
+/// branchy/recovery-heavy (worst case for event bookkeeping), mcf, milc
+/// and lbm are memory-bound (high IQ/calendar occupancy, where the old
+/// per-cycle rescans were most expensive).
+const DEFAULT_KERNELS: &[&str] = &["gcc", "mcf", "milc", "lbm"];
+
+/// Times a fixed 64M-step xorshift64 loop and returns host mega-ops/s.
+/// The loop is pure register arithmetic, so the figure tracks the
+/// single-core integer speed the simulator itself is bound by.
+fn calibrate() -> f64 {
+    let n = 1u64 << 26;
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let start = Instant::now();
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x = black_box(x);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    n as f64 / secs / 1e6
+}
+
 fn main() {
-    let w = by_name("gcc", Scale::Test).expect("gcc workload");
-    let insns = {
-        let mut emu = dmdp_isa::Emulator::new(&w.program);
-        emu.run(100_000_000).expect("halts").retired
-    };
-    println!("=== sim_throughput: simulator speed on gcc/{:?} ({insns} insns) ===", Scale::Test);
-    for model in CommModel::ALL {
-        let sim = Simulator::new(model);
-        // Warm up, then measure enough iterations for a stable number.
-        for _ in 0..3 {
-            black_box(sim.run(&w.program).expect("runs"));
+    let mut scale = Scale::Test;
+    let mut kernels: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = Scale::from_name(&v)
+                    .unwrap_or_else(|| panic!("unknown scale {v:?} (test|small|full)"));
+            }
+            // `cargo bench` appends `--bench` to the harness arguments.
+            "--bench" => {}
+            _ => kernels.push(a),
         }
-        let mut iters = 0u32;
-        let start = Instant::now();
-        while iters < 10 || start.elapsed().as_millis() < 500 {
-            black_box(sim.run(&w.program).expect("runs"));
-            iters += 1;
+    }
+    if kernels.is_empty() {
+        kernels = DEFAULT_KERNELS.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!("=== sim_throughput: simulator speed at {} scale ===", scale.name());
+    println!("calib {:.1} host Mops (xorshift64)", calibrate());
+
+    for name in &kernels {
+        let w = by_name(name, scale)
+            .unwrap_or_else(|| panic!("unknown kernel {name:?} (see dmdp-workloads)"));
+        let insns = {
+            let mut emu = dmdp_isa::Emulator::new(&w.program);
+            emu.run(1_000_000_000).expect("halts").retired
+        };
+        println!("--- {name}/{} ({insns} insns) ---", scale.name());
+        for model in CommModel::ALL {
+            let sim = Simulator::new(model);
+            // Warm up, then measure enough iterations for a stable number.
+            for _ in 0..3 {
+                black_box(sim.run(&w.program).expect("runs"));
+            }
+            let mut iters = 0u32;
+            let start = Instant::now();
+            while iters < 5 || start.elapsed().as_millis() < 500 {
+                black_box(sim.run(&w.program).expect("runs"));
+                iters += 1;
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let per_run = secs / iters as f64;
+            let mips = insns as f64 / per_run / 1e6;
+            println!(
+                "{name:9} {:9} {:>8.3} ms/run {mips:>8.2} MIPS ({iters} iters)",
+                model.name(),
+                per_run * 1e3,
+            );
         }
-        let secs = start.elapsed().as_secs_f64();
-        let per_run = secs / iters as f64;
-        let mips = insns as f64 / per_run / 1e6;
-        println!(
-            "{:9} {:>8.3} ms/run   {:>8.2} simulated MIPS   ({iters} iters)",
-            model.name(),
-            per_run * 1e3,
-            mips
-        );
     }
 }

@@ -54,4 +54,4 @@ mod stats;
 pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
 pub use sim::{SimReport, Simulator};
-pub use stats::{LowConfBreakdown, SimStats};
+pub use stats::{LowConfBreakdown, SchedStats, SimStats};

@@ -23,69 +23,87 @@ pub(crate) struct RecoveryReq {
 }
 
 impl Pipeline {
-    /// Issues up to `width` ready µops: wakes delayed loads, retries
-    /// baseline partial-overlap loads, then drains the issue queue in age
-    /// order.
+    /// Issues up to `width` µops from the event-driven ready lists:
+    /// delayed loads first, then issue-queue µops in age order. Only
+    /// µops whose wake conditions all fired are examined — readiness
+    /// itself was established by wake events (register writes, store
+    /// completion/retire, SSN-commit advance), not by scanning.
     pub(crate) fn issue_stage(&mut self) {
+        self.stats.sched.ready_occupancy +=
+            (self.sched.ready.len() + self.sched.delayed_ready.len()) as u64;
         let mut budget = self.cfg.width;
         let mut load_ports = self.cfg.load_ports;
 
-        // Delayed loads (NoSQ): wake when the predicted store committed.
-        let delayed = std::mem::take(&mut self.delayed);
-        for seq in delayed {
-            let Some(e) = self.rob.get(seq) else { continue };
-            let ready = budget > 0
-                && load_ports > 0
-                && e.src[0].is_some_and(|p| self.rf.is_ready(p))
-                && e.load
-                    .and_then(|l| l.ssn_byp)
-                    .is_some_and(|ssn| self.ssn_commit >= ssn);
-            if ready {
-                budget -= 1;
-                load_ports -= 1;
-                self.execute_uop(seq);
-            } else {
-                self.delayed.push(seq);
+        // Delayed loads (NoSQ): address ready and predicted store
+        // committed; only width and a load port can still hold them back.
+        if !self.sched.delayed_ready.is_empty() {
+            let mut delayed = std::mem::take(&mut self.sched.delayed_ready);
+            delayed.sort_unstable();
+            let mut kept = 0;
+            for i in 0..delayed.len() {
+                let seq = delayed[i];
+                debug_assert!(self.rob.get(seq).is_some(), "squash must purge delayed_ready");
+                if budget > 0 && load_ports > 0 {
+                    budget -= 1;
+                    load_ports -= 1;
+                    self.execute_uop(seq);
+                } else {
+                    delayed[kept] = seq;
+                    kept += 1;
+                }
             }
+            delayed.truncate(kept);
+            self.sched.delayed_ready = delayed;
         }
 
-        // Regular issue from the queue, oldest first. Baseline loads that
-        // hit a partial-overlap store park themselves on `retry` and are
-        // put back at the end of the cycle, so older µops always get the
+        // Issue-queue µops, oldest first. Baseline loads that hit a
+        // partial-overlap store park themselves on `retry` and are put
+        // back at the end of the cycle, so older µops always get the
         // load ports first (no starvation).
-        self.iq.sort_unstable();
-        let mut i = 0;
-        while i < self.iq.len() && budget > 0 {
-            let seq = self.iq[i];
-            let Some(e) = self.rob.get(seq) else {
-                self.iq.swap_remove(i);
-                continue;
-            };
-            let is_load = e.kind.is_load();
-            if is_load && load_ports == 0 {
-                i += 1;
-                continue;
+        if !self.sched.ready.is_empty() {
+            let mut ready = std::mem::take(&mut self.sched.ready);
+            ready.sort_unstable();
+            let mut kept = 0;
+            for i in 0..ready.len() {
+                let seq = ready[i];
+                if budget == 0 {
+                    ready[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+                let Some(e) = self.rob.get(seq) else {
+                    debug_assert!(false, "squash must purge the ready list");
+                    continue;
+                };
+                let is_load = e.kind.is_load();
+                if is_load && load_ports == 0 {
+                    ready[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+                // The budget and port are consumed even if a baseline
+                // load then parks itself on `retry`.
+                budget -= 1;
+                if is_load {
+                    load_ports -= 1;
+                }
+                self.rob.get_mut(seq).expect("live").in_iq = false;
+                self.sched.iq_len -= 1;
+                self.stats.energy.record(Event::IqWakeup, 1);
+                self.execute_uop(seq);
             }
-            let srcs_ready =
-                e.src.iter().all(|s| s.is_none_or(|p| self.rf.is_ready(p)));
-            let wait_ok = e
-                .wait_for_seq
-                .is_none_or(|w| self.rob.get(w).is_none_or(|we| we.is_done()));
-            if !(srcs_ready && wait_ok) {
-                i += 1;
-                continue;
-            }
-            self.iq.remove(i);
-            budget -= 1;
-            if is_load {
-                load_ports -= 1;
-            }
-            self.stats.energy.record(Event::IqWakeup, 1);
-            self.execute_uop(seq);
+            ready.truncate(kept);
+            self.sched.ready = ready;
         }
-        // Re-queue replayed loads for the next cycle.
-        let retry = std::mem::take(&mut self.retry);
-        self.iq.extend(retry);
+
+        // Replayed loads re-occupy an IQ slot and stay ready (their wake
+        // conditions already fired; readiness never regresses while a
+        // consumer reference pins the register).
+        while let Some(seq) = self.retry.pop() {
+            self.rob.get_mut(seq).expect("retried load is live").in_iq = true;
+            self.sched.iq_len += 1;
+            self.sched.ready.push(seq);
+        }
     }
 
     /// Executes one µop: reads operands, computes the result, and
@@ -195,10 +213,13 @@ impl Pipeline {
             }
             UopKind::Halt | UopKind::Nop => (0, 1),
         };
-        let e = self.rob.get_mut(seq).expect("live");
-        e.value = value;
-        e.state = UopState::Executing(self.cycle + latency.max(1));
-        self.executing.push(seq);
+        let done = self.cycle + latency.max(1);
+        {
+            let e = self.rob.get_mut(seq).expect("live");
+            e.value = value;
+            e.state = UopState::Executing(done);
+        }
+        self.sched_schedule_completion(seq, done);
     }
 
     /// Executes the cache-access half of a load. Returns `None` when a
@@ -271,19 +292,33 @@ impl Pipeline {
         }
     }
 
-    /// Writeback: completes µops whose latency expired, writes the
-    /// register file, resolves branches, and (baseline) runs store-queue
+    /// Writeback: pops the completion calendar for µops whose latency
+    /// expired this cycle, writes the register file (delivering register
+    /// wake events), resolves branches, and (baseline) runs store-queue
     /// violation checks.
+    ///
+    /// The calendar is keyed `(done_cycle, issue_order)`, so same-cycle
+    /// completions are processed in issue order — exactly the order the
+    /// old executing-list rescan produced. That order is
+    /// timing-relevant: recovery selection tie-breaks, Store-Sets
+    /// violation training and branch-predictor updates all happen as
+    /// side effects of this loop.
     pub(crate) fn writeback_stage(&mut self) {
-        let mut recoveries: Vec<RecoveryReq> = Vec::new();
-        let executing = std::mem::take(&mut self.executing);
-        for seq in executing {
-            let Some(e) = self.rob.get(seq) else { continue };
-            let UopState::Executing(done) = e.state else { continue };
+        let mut recoveries = std::mem::take(&mut self.sched.recoveries);
+        debug_assert!(recoveries.is_empty());
+        while let Some(&std::cmp::Reverse((done, _, _))) = self.sched.calendar.peek() {
             if done > self.cycle {
-                self.executing.push(seq);
-                continue;
+                break;
             }
+            let std::cmp::Reverse((done, _, seq)) =
+                self.sched.calendar.pop().expect("peeked entry");
+            self.stats.sched.calendar_pops += 1;
+            let Some(e) = self.rob.get(seq) else {
+                debug_assert!(false, "squash must purge the calendar");
+                continue;
+            };
+            let UopState::Executing(d) = e.state else { continue };
+            debug_assert_eq!(d, done, "calendar entry must match the µop's completion cycle");
             // Complete.
             let kind = e.kind;
             let dest = e.dest;
@@ -298,6 +333,7 @@ impl Pipeline {
                 if writes {
                     self.rf.write(d, value, self.cycle);
                     self.stats.energy.record(Event::PrfWrite, 1);
+                    self.sched_wake_preg(d);
                 }
             }
             match kind {
@@ -319,8 +355,11 @@ impl Pipeline {
                     }
                 _ => {}
             }
+            // Baseline Store-Sets ordering: µops waiting on this store
+            // may issue now.
+            self.sched_wake_seq(seq);
         }
-        if let Some(r) = recoveries.into_iter().min_by_key(|r| r.from) {
+        if let Some(r) = recoveries.iter().min_by_key(|r| r.from).copied() {
             if r.is_branch {
                 self.stats.branch_mispredicts += 1;
             } else {
@@ -332,6 +371,8 @@ impl Pipeline {
             });
             self.recover_with_history(r.from, r.refetch, corrected);
         }
+        recoveries.clear();
+        self.sched.recoveries = recoveries;
     }
 
     fn resolve_branch(&mut self, seq: SeqNum, pc: u32, taken: bool) -> Option<RecoveryReq> {

@@ -11,8 +11,10 @@ mod fetch;
 mod recover;
 mod rename;
 mod retire;
+mod sched;
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use dmdp_energy::Event;
 use dmdp_isa::{Emulator, OracleTrace, Pc, Program, SparseMem, Word};
@@ -85,14 +87,14 @@ pub(crate) enum VerifyPhase {
 /// [`CommModel`].
 pub struct Pipeline {
     pub(crate) cfg: CoreConfig,
-    pub(crate) program: Program,
+    pub(crate) program: Arc<Program>,
     pub(crate) cycle: u64,
     // Register state.
     pub(crate) rf: RegFile,
     pub(crate) rob: Rob,
-    pub(crate) iq: Vec<SeqNum>,
-    pub(crate) executing: Vec<SeqNum>,
-    pub(crate) delayed: Vec<SeqNum>,
+    // Event-driven scheduler (ready lists, wake registrations, completion
+    // calendar).
+    pub(crate) sched: sched::Scheduler,
     pub(crate) retry: Vec<SeqNum>,
     // Front end.
     pub(crate) decode_q: VecDeque<Fetched>,
@@ -140,10 +142,20 @@ impl Pipeline {
     /// Panics if the configuration is invalid or the oracle pre-pass
     /// fails (the program must halt).
     pub fn new(cfg: CoreConfig, program: &Program) -> Pipeline {
+        Pipeline::new_shared(cfg, Arc::new(program.clone()))
+    }
+
+    /// [`Pipeline::new`] without the program deep-copy: campaign runners
+    /// share one assembled image across every job of a workload.
+    ///
+    /// # Panics
+    ///
+    /// As [`Pipeline::new`].
+    pub fn new_shared(cfg: CoreConfig, program: Arc<Program>) -> Pipeline {
         cfg.validate();
         let oracle = match cfg.comm {
             CommModel::Perfect => {
-                let mut emu = Emulator::new(program);
+                let mut emu = Emulator::new(&program);
                 let (_, trace) =
                     emu.run_with_trace(cfg.max_cycles).expect("oracle pre-pass must complete");
                 Some(trace)
@@ -153,9 +165,7 @@ impl Pipeline {
         Pipeline {
             rf: RegFile::new(cfg.phys_regs),
             rob: Rob::new(cfg.rob_entries),
-            iq: Vec::with_capacity(cfg.iq_entries),
-            executing: Vec::new(),
-            delayed: Vec::new(),
+            sched: sched::Scheduler::default(),
             retry: Vec::new(),
             decode_q: VecDeque::new(),
             fetch_pc: program.entry(),
@@ -181,7 +191,7 @@ impl Pipeline {
             last_commit_addr: None,
             stats: SimStats::default(),
             cycle: 0,
-            program: program.clone(),
+            program,
             cosim: None,
             cfg,
         }
@@ -265,6 +275,9 @@ impl Pipeline {
             self.stats.energy.record(Event::CacheWrite, 1);
             self.stats.energy.record(Event::StoreBufferOp, 1);
         }
+        // Delayed loads gated on `SSN_commit >= ssn_byp` become eligible
+        // the same cycle the store commits (issue runs later this cycle).
+        self.sched_drain_ssn();
     }
 
     /// Reads a source register value, treating `None` (logical `$0`) as
@@ -346,7 +359,7 @@ mod livelock_tests {
         use std::fmt::Write;
         writeln!(dump, "cycle={} retired={}", pl.cycle, pl.stats.retired_insns).unwrap();
         writeln!(dump, "sb occ={} empty={}", pl.sb.occupancy(), pl.sb.is_empty()).unwrap();
-        writeln!(dump, "retry={:?} iq={:?} delayed={:?} executing={:?}", pl.retry, pl.iq, pl.delayed, pl.executing).unwrap();
+        writeln!(dump, "retry={:?} {}", pl.retry, pl.sched.dump()).unwrap();
         for e in pl.rob.iter().take(12) {
             writeln!(
                 dump,

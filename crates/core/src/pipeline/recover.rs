@@ -37,6 +37,10 @@ impl Pipeline {
         self.stats.energy.record(Event::SquashedUop, squashed.len() as u64);
         let oldest_history = squashed.last().map(|e| e.fetch_history);
         for e in &squashed {
+            // Give the issue-queue slot back.
+            if e.in_iq {
+                self.sched.iq_len -= 1;
+            }
             // Undo the rename: restore the RAT and release the definition
             // (paper: "walking through squashed instructions to recover
             // the counters").
@@ -65,11 +69,10 @@ impl Pipeline {
                 self.next_load_idx -= 1;
             }
         }
-        // Drop squashed work from the schedulers.
-        self.iq.retain(|&s| s < from);
-        self.executing.retain(|&s| s < from);
-        self.delayed.retain(|&s| s < from);
-        self.retry.retain(|&s| s < from);
+        // Drop every scheduler registration of the squashed µops (ready
+        // lists, waiter lists, calendar, retry) so reused sequence
+        // numbers cannot receive stale wakes.
+        self.sched_purge(from);
         self.decode_q.clear();
         // Repair speculative branch history: the corrected value for a
         // branch misprediction, else the squash point's snapshot.

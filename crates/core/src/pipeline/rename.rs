@@ -37,7 +37,7 @@ impl Pipeline {
             }
             if self.rob.free() < worst
                 || self.rf.free_count() < 4
-                || self.cfg.iq_entries - self.iq.len() < worst
+                || self.sched.iq_free(self.cfg.iq_entries) < worst
             {
                 break;
             }
@@ -75,6 +75,8 @@ impl Pipeline {
             src: [None, None],
             imm: 0,
             state: UopState::Waiting,
+            not_ready: 0,
+            in_iq: false,
             consumed: false,
             retire_needs_dest_ready: false,
             value: 0,
@@ -109,13 +111,23 @@ impl Pipeline {
         (p, prev)
     }
 
-    fn dispatch(&mut self, entry: UopEntry) {
+    fn dispatch(&mut self, mut entry: UopEntry) {
         let seq = entry.seq;
         let to_iq = entry.state == UopState::Waiting && !entry.retire_needs_dest_ready;
-        self.rob.push(entry);
         if to_iq {
             self.stats.energy.record(Event::IqWrite, 1);
-            self.iq.push(seq);
+            // Register on every wake condition still outstanding; the µop
+            // becomes ready the moment the count hits zero.
+            let pending = self.sched_register_iq(seq, entry.src, entry.wait_for_seq);
+            entry.not_ready = pending;
+            entry.in_iq = true;
+            self.sched.iq_len += 1;
+            self.rob.push(entry);
+            if pending == 0 {
+                self.sched.ready.push(seq);
+            }
+        } else {
+            self.rob.push(entry);
         }
     }
 
@@ -267,9 +279,18 @@ impl Pipeline {
                 let delayed = matches!(plan, LoadPlan::Delayed { .. });
                 let seq = e.seq;
                 if delayed {
+                    // Parked outside the IQ: wakes on its address
+                    // register's write and on `SSN_commit` reaching the
+                    // predicted store.
                     e.state = UopState::Waiting;
+                    let ssn =
+                        e.load.and_then(|l| l.ssn_byp).expect("delayed load has a prediction");
+                    let pending = self.sched_register_delayed(seq, addr_preg, ssn);
+                    e.not_ready = pending;
                     self.rob.push(e);
-                    self.delayed.push(seq);
+                    if pending == 0 {
+                        self.sched.delayed_ready.push(seq);
+                    }
                 } else {
                     self.dispatch(e);
                 }

@@ -112,6 +112,11 @@ impl Pipeline {
     /// Retires the head µop, applying its architectural effects.
     fn retire_one(&mut self) {
         let e = self.rob.pop_head();
+        // Baseline Store-Sets ordering treats a target that left the ROB
+        // as satisfied; in practice the completion wake in writeback
+        // already fired (retirement requires `Done`), so this is a
+        // no-op backstop kept for the event-completeness invariant.
+        self.sched_wake_seq(e.seq);
         self.stats.retired_uops += 1;
         // Virtual release of the previous definition (paper Fig. 9).
         if e.dest_logical.is_some() {

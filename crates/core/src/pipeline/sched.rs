@@ -1,0 +1,349 @@
+//! The event-driven scheduler.
+//!
+//! The original issue/writeback stages re-sorted and rescanned the whole
+//! issue queue and executing list every cycle, probing `rf.is_ready` for
+//! every source of every waiting µop — O(window) work per cycle even when
+//! nothing changed. This module replaces the scans with events, keeping
+//! the simulated timing bit-identical (`tests/golden_stats.rs` is the
+//! gate):
+//!
+//! * Each waiting µop carries a `not_ready` count of its unsatisfied wake
+//!   conditions. A µop dispatched with unready sources registers on the
+//!   **waiter list** of each missing physical register; the register
+//!   write in writeback drains the list and decrements the counters.
+//! * Baseline Store-Sets ordering (`wait_for_seq`) registers on
+//!   [`Scheduler::seq_waiters`]; the waited-on store wakes them when it
+//!   completes in writeback or retires.
+//! * A NoSQ delayed load additionally waits for `SSN_commit` to reach its
+//!   predicted store; commit drains [`Scheduler::ssn_waiters`] in SSN
+//!   order.
+//! * A µop whose counter hits zero moves to the **ready list**
+//!   ([`Scheduler::ready`] or, for delayed loads,
+//!   [`Scheduler::delayed_ready`]); issue sorts and pops only those —
+//!   age order and the load-port/width limits reproduce the old select
+//!   exactly.
+//! * Writeback pops a **completion calendar** — a min-heap keyed by
+//!   `(done_cycle, issue_order)` — so it touches only the µops that
+//!   complete this cycle. Keying the tie-break on issue order (not seq)
+//!   preserves the old executing-list processing order, which predictor
+//!   update order (and therefore timing) depends on.
+//!
+//! Squash is handled eagerly: [`Pipeline::sched_purge`] removes every
+//! registration of a squashed µop, so sequence-number reuse after a
+//! recovery can never deliver a stale wake.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::regfile::PregId;
+use crate::rob::{SeqNum, UopState};
+
+use super::exec::RecoveryReq;
+use super::Pipeline;
+
+/// Event-driven scheduler state: ready lists, wake registrations and the
+/// completion calendar, plus reusable scratch buffers so the hot loop
+/// performs no per-cycle allocations.
+#[derive(Debug, Default)]
+pub(crate) struct Scheduler {
+    /// Issue-queue µops whose wake conditions are all satisfied, popped
+    /// in age order by `issue_stage`. Unsorted between cycles; sorted
+    /// once per issue.
+    pub(crate) ready: Vec<SeqNum>,
+    /// Delayed loads (NoSQ low-confidence) whose address is ready and
+    /// whose predicted store has committed.
+    pub(crate) delayed_ready: Vec<SeqNum>,
+    /// Issue-queue occupancy (ready + still-waiting µops) — drives the
+    /// rename stage's structural backpressure exactly like the old
+    /// `iq.len()`.
+    pub(crate) iq_len: usize,
+    /// `(waited_on, waiter)` pairs for Baseline Store-Sets ordering.
+    pub(crate) seq_waiters: Vec<(SeqNum, SeqNum)>,
+    /// Delayed loads waiting for `SSN_commit >= ssn`, min-first.
+    pub(crate) ssn_waiters: BinaryHeap<Reverse<(u32, SeqNum)>>,
+    /// Completion calendar: `(done_cycle, issue_order, seq)`, min-first.
+    pub(crate) calendar: BinaryHeap<Reverse<(u64, u64, SeqNum)>>,
+    /// Monotonic per-issue token ordering same-cycle completions.
+    issue_order: u64,
+    /// Scratch for draining register waiter lists.
+    wake_buf: Vec<SeqNum>,
+    /// Scratch for writeback's recovery requests.
+    pub(crate) recoveries: Vec<RecoveryReq>,
+}
+
+impl Scheduler {
+    /// Free issue-queue slots given the configured capacity.
+    pub(crate) fn iq_free(&self, iq_entries: usize) -> usize {
+        iq_entries.saturating_sub(self.iq_len)
+    }
+
+    /// One-line occupancy summary for livelock dumps.
+    #[cfg(test)]
+    pub(crate) fn dump(&self) -> String {
+        format!(
+            "ready={:?} delayed_ready={:?} iq_len={} seq_waiters={:?} ssn_waiters={} calendar={}",
+            self.ready,
+            self.delayed_ready,
+            self.iq_len,
+            self.seq_waiters,
+            self.ssn_waiters.len(),
+            self.calendar.len()
+        )
+    }
+}
+
+impl Pipeline {
+    /// Registers the wake conditions of a newly dispatched issue-queue
+    /// µop (sources + Store-Sets ordering), returning the number still
+    /// pending. Must run before the entry is pushed into the ROB.
+    pub(crate) fn sched_register_iq(
+        &mut self,
+        seq: SeqNum,
+        src: [Option<PregId>; 2],
+        wait_for_seq: Option<SeqNum>,
+    ) -> u8 {
+        let mut pending = 0u8;
+        for p in src.into_iter().flatten() {
+            if !self.rf.is_ready(p) {
+                self.rf.add_waiter(p, seq);
+                pending += 1;
+            }
+        }
+        if let Some(w) = wait_for_seq {
+            if self.rob.get(w).is_some_and(|we| !we.is_done()) {
+                self.sched.seq_waiters.push((w, seq));
+                pending += 1;
+            }
+        }
+        pending
+    }
+
+    /// Registers the wake conditions of a delayed load: address register
+    /// readiness plus commit of the predicted store. Returns the number
+    /// pending.
+    pub(crate) fn sched_register_delayed(
+        &mut self,
+        seq: SeqNum,
+        addr_preg: PregId,
+        ssn_byp: u32,
+    ) -> u8 {
+        let mut pending = 0u8;
+        if !self.rf.is_ready(addr_preg) {
+            self.rf.add_waiter(addr_preg, seq);
+            pending += 1;
+        }
+        if self.ssn_commit < ssn_byp {
+            self.sched.ssn_waiters.push(Reverse((ssn_byp, seq)));
+            pending += 1;
+        }
+        pending
+    }
+
+    /// Delivers one wake event to `seq`, moving it to the appropriate
+    /// ready list when its last condition fires.
+    fn sched_deliver(&mut self, seq: SeqNum) {
+        let e = self.rob.get_mut(seq).expect("waker registrations are purged on squash");
+        debug_assert_eq!(e.state, UopState::Waiting);
+        debug_assert!(e.not_ready > 0, "wake underflow on seq {seq}");
+        e.not_ready -= 1;
+        self.stats.sched.wakeups += 1;
+        if e.not_ready == 0 {
+            if e.in_iq {
+                self.sched.ready.push(seq);
+            } else {
+                self.sched.delayed_ready.push(seq);
+            }
+        }
+    }
+
+    /// Drains the waiter list of a just-written register.
+    pub(crate) fn sched_wake_preg(&mut self, p: PregId) {
+        if !self.rf.has_waiters(p) {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.sched.wake_buf);
+        self.rf.drain_waiters_into(p, &mut buf);
+        for seq in buf.drain(..) {
+            self.sched_deliver(seq);
+        }
+        self.sched.wake_buf = buf;
+    }
+
+    /// Wakes µops ordered after `done` by Store-Sets (`wait_for_seq`),
+    /// called when `done` completes in writeback or retires.
+    pub(crate) fn sched_wake_seq(&mut self, done: SeqNum) {
+        if self.sched.seq_waiters.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.sched.seq_waiters.len() {
+            if self.sched.seq_waiters[i].0 == done {
+                let (_, waiter) = self.sched.seq_waiters.swap_remove(i);
+                self.sched_deliver(waiter);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Wakes delayed loads whose predicted store has committed. Called
+    /// after commit advances `SSN_commit`.
+    pub(crate) fn sched_drain_ssn(&mut self) {
+        while let Some(&Reverse((ssn, seq))) = self.sched.ssn_waiters.peek() {
+            if ssn > self.ssn_commit {
+                break;
+            }
+            self.sched.ssn_waiters.pop();
+            self.sched_deliver(seq);
+        }
+    }
+
+    /// Schedules a completion event for an issued µop.
+    pub(crate) fn sched_schedule_completion(&mut self, seq: SeqNum, done: u64) {
+        let order = self.sched.issue_order;
+        self.sched.issue_order += 1;
+        self.sched.calendar.push(Reverse((done, order, seq)));
+    }
+
+    /// Removes every scheduler registration of µops with `seq >= from`
+    /// (recovery). Eager purging keeps wake delivery simple: a live
+    /// registration always refers to a live µop, so sequence-number reuse
+    /// after the squash cannot alias.
+    pub(crate) fn sched_purge(&mut self, from: SeqNum) {
+        self.sched.ready.retain(|&s| s < from);
+        self.sched.delayed_ready.retain(|&s| s < from);
+        // A waiter is always younger than what it waits on, so filtering
+        // on the waiter alone is sufficient.
+        self.sched.seq_waiters.retain(|&(_, s)| s < from);
+        self.sched.ssn_waiters.retain(|&Reverse((_, s))| s < from);
+        self.sched.calendar.retain(|&Reverse((_, _, s))| s < from);
+        self.rf.purge_waiters_from(from);
+        self.retry.retain(|&s| s < from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{CommModel, CoreConfig};
+    use crate::pipeline::Pipeline;
+    use crate::rob::UopState;
+
+    fn pipeline(src: &str, comm: CommModel) -> Pipeline {
+        let p = dmdp_isa::asm::assemble(src).unwrap();
+        Pipeline::new(CoreConfig::new(comm), &p)
+    }
+
+    fn run_to_halt(pl: &mut Pipeline, max: u64) {
+        for _ in 0..max {
+            if pl.halted {
+                return;
+            }
+            pl.step_cycle();
+        }
+        panic!("did not halt: {}", pl.sched.dump());
+    }
+
+    #[test]
+    fn dependent_chain_issues_through_wakeups() {
+        let mut pl = pipeline(
+            "li $1, 1\nadd $2, $1, $1\nadd $3, $2, $2\nadd $4, $3, $3\nhalt",
+            CommModel::Baseline,
+        );
+        run_to_halt(&mut pl, 200);
+        // Every µop entering the IQ with an unready source produces at
+        // least one wake event when the producer writes back.
+        assert!(pl.stats.sched.wakeups >= 3, "wakeups: {}", pl.stats.sched.wakeups);
+        assert!(pl.stats.sched.calendar_pops >= 4);
+        assert_eq!(pl.stats.retired_insns, 5);
+    }
+
+    #[test]
+    fn ready_list_drains_to_empty_at_halt() {
+        let mut pl = pipeline("li $1, 7\nadd $2, $1, $1\nhalt", CommModel::Dmdp);
+        run_to_halt(&mut pl, 200);
+        assert!(pl.sched.ready.is_empty());
+        assert!(pl.sched.delayed_ready.is_empty());
+        assert_eq!(pl.sched.iq_len, 0, "issue queue must drain");
+        assert!(pl.sched.seq_waiters.is_empty());
+        assert!(pl.sched.ssn_waiters.is_empty());
+        assert!(pl.sched.calendar.is_empty());
+    }
+
+    #[test]
+    fn recovery_purges_wrong_path_registrations() {
+        // A data-dependent branch mispredicts at least once; wrong-path
+        // µops registered on never-written registers must be purged
+        // rather than leak.
+        let src = r#"
+            .data
+        buf: .space 64
+            .text
+            lui  $8, %hi(buf)
+            ori  $8, $8, %lo(buf)
+            li   $4, 0
+            li   $5, 12
+    loop:
+            andi $6, $4, 3
+            sll  $7, $6, 2
+            add  $7, $7, $8
+            lw   $9, 0($7)
+            add  $9, $9, $4
+            sw   $9, 0($7)
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#;
+        let mut pl = pipeline(src, CommModel::Baseline);
+        run_to_halt(&mut pl, 20_000);
+        assert!(pl.stats.recoveries > 0, "expected at least one recovery");
+        // Quiesce invariants: nothing left registered anywhere.
+        assert!(pl.sched.ready.is_empty());
+        assert!(pl.sched.calendar.is_empty());
+        assert_eq!(pl.sched.iq_len, 0);
+        pl.rf.check_quiesced();
+    }
+
+    #[test]
+    fn calendar_orders_same_cycle_completions_by_issue_order() {
+        let mut pl = pipeline("li $1, 1\nhalt", CommModel::Baseline);
+        pl.sched_schedule_completion(10, 5);
+        pl.sched_schedule_completion(3, 5);
+        pl.sched_schedule_completion(7, 4);
+        let popped: Vec<(u64, u64, u64)> = std::iter::from_fn(|| {
+            pl.sched.calendar.pop().map(|std::cmp::Reverse(t)| t)
+        })
+        .collect();
+        // done=4 first; the two done=5 entries in issue order (10 before 3).
+        assert_eq!(popped[0].0, 4);
+        assert_eq!((popped[1].0, popped[1].2), (5, 10));
+        assert_eq!((popped[2].0, popped[2].2), (5, 3));
+    }
+
+    #[test]
+    fn delayed_load_wakes_on_store_commit() {
+        // NoSQ: train the distance predictor with a tight store->load
+        // pair; the delayed path (when taken) must still produce the
+        // architecturally correct value and drain all ssn waiters.
+        let src = r#"
+            .data
+        x:  .word 0
+            .text
+            lui  $8, %hi(x)
+            ori  $8, $8, %lo(x)
+            li   $4, 0
+            li   $5, 24
+    loop:
+            sb   $4, 0($8)
+            lb   $9, 0($8)
+            add  $10, $10, $9
+            addi $4, $4, 1
+            bne  $4, $5, loop
+            halt
+        "#;
+        let mut pl = pipeline(src, CommModel::NoSq);
+        run_to_halt(&mut pl, 20_000);
+        assert!(pl.sched.ssn_waiters.is_empty());
+        assert!(pl.sched.delayed_ready.is_empty());
+        assert_eq!(pl.stats.retired_insns, 4 + 5 * 24 + 1);
+    }
+}

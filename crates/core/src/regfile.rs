@@ -1,5 +1,7 @@
 use dmdp_isa::{Reg, Word};
 
+use crate::rob::SeqNum;
+
 /// Identifier of a physical register.
 pub type PregId = u16;
 
@@ -59,6 +61,10 @@ pub struct RegFile {
     free_list: Vec<PregId>,
     /// High-water mark of live registers (for reporting).
     min_free: usize,
+    /// Per-register wake lists for the event-driven scheduler: µops that
+    /// dispatched with this register unready and must be notified when it
+    /// is written. Parallel to `pregs`.
+    waiters: Vec<Vec<SeqNum>>,
 }
 
 impl RegFile {
@@ -84,7 +90,8 @@ impl RegFile {
             pregs[p as usize].free = true;
         }
         let min_free = free_list.len();
-        RegFile { pregs, rat, free_list, min_free }
+        let waiters = vec![Vec::new(); phys_regs];
+        RegFile { pregs, rat, free_list, min_free, waiters }
     }
 
     /// Number of free registers right now.
@@ -115,6 +122,9 @@ impl RegFile {
     pub fn allocate(&mut self, l: Reg) -> Option<PregId> {
         let p = self.free_list.pop()?;
         self.min_free = self.min_free.min(self.free_list.len());
+        // A register can only free after every waiter executed (which
+        // drains the list) or was squashed (which purges it).
+        debug_assert!(self.waiters[p as usize].is_empty(), "freed register p{p} kept waiters");
         let preg = &mut self.pregs[p as usize];
         debug_assert!(preg.free, "allocating a non-free register");
         *preg =
@@ -179,6 +189,39 @@ impl RegFile {
         self.pregs[p as usize].ready
     }
 
+    /// Registers `seq` to be woken when `p` is written. The caller must
+    /// only register on not-ready registers; each registration produces
+    /// exactly one wake (a µop naming the same register twice registers
+    /// — and is decremented — twice).
+    pub fn add_waiter(&mut self, p: PregId, seq: SeqNum) {
+        debug_assert!(!self.pregs[p as usize].ready, "waiting on a ready register");
+        debug_assert!(!self.pregs[p as usize].free, "waiting on a free register");
+        self.waiters[p as usize].push(seq);
+    }
+
+    /// Whether any µop is registered on `p`.
+    #[inline]
+    pub fn has_waiters(&self, p: PregId) -> bool {
+        !self.waiters[p as usize].is_empty()
+    }
+
+    /// Moves `p`'s waiters into `out` (which is cleared first), leaving
+    /// the list's capacity in place for reuse.
+    pub fn drain_waiters_into(&mut self, p: PregId, out: &mut Vec<SeqNum>) {
+        out.clear();
+        out.append(&mut self.waiters[p as usize]);
+    }
+
+    /// Drops every registration of µops with `seq >= from` (recovery), so
+    /// sequence numbers reused after a squash cannot receive stale wakes.
+    pub fn purge_waiters_from(&mut self, from: SeqNum) {
+        for list in &mut self.waiters {
+            if !list.is_empty() {
+                list.retain(|&s| s < from);
+            }
+        }
+    }
+
     /// Reads the register's value.
     ///
     /// The µarch guarantees readiness before any read; in debug builds
@@ -232,6 +275,10 @@ impl RegFile {
     pub fn check_quiesced(&self) {
         for (i, preg) in self.pregs.iter().enumerate() {
             let p = i as PregId;
+            assert!(
+                self.waiters[i].is_empty(),
+                "register p{p} still has scheduler waiters at quiesce"
+            );
             let in_rat = self.rat.contains(&p);
             if preg.free {
                 assert!(!in_rat, "free register p{p} is RAT-mapped");
@@ -347,6 +394,42 @@ mod tests {
     #[test]
     fn quiesce_check_passes_on_fresh_file() {
         rf().check_quiesced();
+    }
+
+    #[test]
+    fn waiters_drain_on_demand() {
+        let mut rf = rf();
+        let p = rf.allocate(Reg::new(5)).unwrap();
+        assert!(!rf.has_waiters(p));
+        rf.add_waiter(p, 7);
+        rf.add_waiter(p, 7); // same µop, both sources on p: two wakes
+        rf.add_waiter(p, 9);
+        assert!(rf.has_waiters(p));
+        let mut out = vec![99]; // stale scratch content must be cleared
+        rf.drain_waiters_into(p, &mut out);
+        assert_eq!(out, vec![7, 7, 9]);
+        assert!(!rf.has_waiters(p));
+    }
+
+    #[test]
+    fn purge_removes_only_squashed_waiters() {
+        let mut rf = rf();
+        let p = rf.allocate(Reg::new(5)).unwrap();
+        rf.add_waiter(p, 3);
+        rf.add_waiter(p, 8);
+        rf.purge_waiters_from(5);
+        let mut out = Vec::new();
+        rf.drain_waiters_into(p, &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has scheduler waiters")]
+    fn quiesce_check_catches_leftover_waiters() {
+        let mut rf = rf();
+        let p = rf.allocate(Reg::new(5)).unwrap();
+        rf.add_waiter(p, 1);
+        rf.check_quiesced();
     }
 
     #[test]

@@ -160,6 +160,13 @@ pub struct UopEntry {
     pub imm: i32,
     /// Execution state.
     pub state: UopState,
+    /// Outstanding wake conditions (unready sources, Store-Sets ordering,
+    /// delayed-load SSN commit). The event-driven scheduler moves the µop
+    /// to a ready list when this reaches zero.
+    pub not_ready: u8,
+    /// Whether the µop currently occupies an issue-queue slot (drives the
+    /// rename stage's structural backpressure and squash accounting).
+    pub in_iq: bool,
     /// Whether this µop's consumer references have been dropped (at
     /// issue, at commit for stores, or at squash).
     pub consumed: bool,
@@ -331,6 +338,8 @@ mod tests {
             src: [None, None],
             imm: 0,
             state: UopState::Done,
+            not_ready: 0,
+            in_iq: false,
             consumed: true,
             retire_needs_dest_ready: false,
             value: 0,

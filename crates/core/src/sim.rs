@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use dmdp_isa::Program;
 
 use crate::config::{CommModel, CoreConfig};
@@ -80,6 +82,19 @@ impl Simulator {
     /// `config().max_cycles` cycles.
     pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
         let pipeline = Pipeline::new(self.cfg.clone(), program);
+        let stats = pipeline.run()?;
+        Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+
+    /// Runs a shared program image without deep-copying it into the
+    /// pipeline — campaign runners fan one `Arc<Program>` out across
+    /// every (model × variant) job of a workload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn run_shared(&self, program: &Arc<Program>) -> Result<SimReport, SimError> {
+        let pipeline = Pipeline::new_shared(self.cfg.clone(), Arc::clone(program));
         let stats = pipeline.run()?;
         Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
     }

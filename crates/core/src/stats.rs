@@ -21,6 +21,42 @@ impl LowConfBreakdown {
     }
 }
 
+/// Occupancy counters of the event-driven scheduler (PR 2). These
+/// describe the *simulator implementation* — how much work the wakeup
+/// machinery did — not the simulated machine, so they are deliberately
+/// excluded from the golden-stats timing digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Sum over cycles of the ready-list length sampled at issue
+    /// (divide by `cycles` for the mean).
+    pub ready_occupancy: u64,
+    /// Wake events delivered (register writes, store completions/retires,
+    /// SSN-commit advances reaching a registered waiter).
+    pub wakeups: u64,
+    /// Completion-calendar pops (one per executed µop).
+    pub calendar_pops: u64,
+}
+
+impl SchedStats {
+    /// Mean ready-list length per cycle.
+    pub fn mean_ready_len(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.ready_occupancy as f64 / cycles as f64
+        }
+    }
+
+    /// Wake events per kilo-cycle.
+    pub fn wakeups_per_kilocycle(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.wakeups as f64 * 1000.0 / cycles as f64
+        }
+    }
+}
+
 /// Everything one simulation run measures.
 ///
 /// Implements `PartialEq`/`Eq` so the campaign harness can assert that
@@ -73,6 +109,9 @@ pub struct SimStats {
     pub min_free_pregs: usize,
     /// External cache-line invalidations injected (§IV-F stand-in).
     pub coherence_invalidations: u64,
+    /// Event-driven scheduler occupancy (simulator-side observability;
+    /// not part of the timing-digest).
+    pub sched: SchedStats,
 }
 
 impl SimStats {

@@ -118,7 +118,7 @@ impl JobSpec {
     pub fn execute(&self) -> Result<JobResult, String> {
         let start = Instant::now();
         let report = Simulator::with_config(self.cfg.clone())
-            .run(&self.program)
+            .run_shared(&self.program)
             .map_err(|e| format!("{} × {} [{}]: {e}", self.workload, self.model.name(), self.variant))?;
         let wall = start.elapsed().as_secs_f64();
         Ok(JobResult::from_stats(self, report.stats, wall))
@@ -164,6 +164,13 @@ pub struct JobResult {
     pub reexecutions: u64,
     /// Re-execution retire-stall cycles per kilo-instruction.
     pub reexec_stalls_per_ki: f64,
+    /// Mean scheduler ready-list length per cycle (simulator-side
+    /// observability; zero for artifacts predating the counter).
+    pub mean_ready_len: f64,
+    /// Scheduler wake events per kilo-cycle (zero for old artifacts).
+    pub wakeups_per_kilocycle: f64,
+    /// Completion-calendar pops (zero for old artifacts).
+    pub calendar_pops: u64,
     /// True if this row was satisfied from a previous artifact instead
     /// of being executed.
     pub cached: bool,
@@ -193,6 +200,9 @@ impl JobResult {
             mem_dep_mispredicts: stats.mem_dep_mispredicts,
             reexecutions: stats.reexecutions,
             reexec_stalls_per_ki: stats.reexec_stalls_per_ki(),
+            mean_ready_len: stats.sched.mean_ready_len(stats.cycles),
+            wakeups_per_kilocycle: stats.sched.wakeups_per_kilocycle(stats.cycles),
+            calendar_pops: stats.sched.calendar_pops,
             cached: false,
             stats: Some(stats),
         }
@@ -218,6 +228,9 @@ impl JobResult {
             ("mem_dep_mispredicts", Json::Num(self.mem_dep_mispredicts as f64)),
             ("reexecutions", Json::Num(self.reexecutions as f64)),
             ("reexec_stalls_per_ki", Json::Num(self.reexec_stalls_per_ki)),
+            ("mean_ready_len", Json::Num(self.mean_ready_len)),
+            ("wakeups_per_kilocycle", Json::Num(self.wakeups_per_kilocycle)),
+            ("calendar_pops", Json::Num(self.calendar_pops as f64)),
             ("cached", Json::Bool(self.cached)),
         ])
     }
@@ -262,6 +275,15 @@ impl JobResult {
             mem_dep_mispredicts: int("mem_dep_mispredicts")?,
             reexecutions: int("reexecutions")?,
             reexec_stalls_per_ki: num("reexec_stalls_per_ki")?,
+            // Scheduler-occupancy counters: tolerate artifacts written
+            // before PR 2 (they carry the same timing, just not these
+            // observability fields).
+            mean_ready_len: v.get("mean_ready_len").and_then(Json::as_f64).unwrap_or(0.0),
+            wakeups_per_kilocycle: v
+                .get("wakeups_per_kilocycle")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            calendar_pops: v.get("calendar_pops").and_then(Json::as_u64).unwrap_or(0),
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
             stats: None,
         })

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Perf-trajectory recorder: runs the simulator-throughput bench plus a
+# timed test-scale campaign and appends one record to BENCH_PR2.json.
+#
+# Usage: scripts/bench.sh [label] [kernel ...]
+#
+# Each record carries the host calibration figure printed by the bench
+# (a fixed xorshift64 loop, in Mops) and, per kernel × model, both raw
+# simulated MIPS and `norm` — host-normalised MIPS, i.e. simulated MIPS
+# per giga-op/s of host integer speed — so numbers recorded on
+# different machines (or a loaded CI box) stay comparable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-pr2}"
+if [ "$#" -gt 0 ]; then shift; fi
+
+out=BENCH_PR2.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+cargo build --release -q
+cargo bench -p dmdp-bench --bench sim_throughput -- "$@" | tee "$raw"
+
+camp_out=bench-results/bench-sh-campaign.json
+rm -f "$camp_out"
+camp_start=$(date +%s.%N)
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name bench-sh --scale test --model all \
+    --jobs "$(nproc)" --out "$camp_out" --quiet
+camp_end=$(date +%s.%N)
+camp_s=$(awk -v a="$camp_start" -v b="$camp_end" 'BEGIN { printf "%.3f", b - a }')
+test -s "$camp_out"
+
+calib=$(awk '$1 == "calib" { print $2 }' "$raw")
+entries=$(awk -v calib="$calib" '$4 == "ms/run" {
+    printf "{\"kernel\":\"%s\",\"model\":\"%s\",\"ms_per_run\":%s,\"mips\":%s,\"norm\":%.3f}\n",
+        $1, $2, $3, $5, $5 * 1000 / calib
+}' "$raw" | jq -s '.')
+
+record=$(jq -n \
+    --arg lbl "$label" \
+    --arg date "$(date -u +%F)" \
+    --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --argjson calib "$calib" \
+    --argjson camp_s "$camp_s" \
+    --argjson entries "$entries" \
+    '{"label": $lbl, "date": $date, "commit": $commit,
+      "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
+      "entries": $entries}')
+
+[ -s "$out" ] || echo '[]' > "$out"
+jq --argjson rec "$record" '. + [$rec]' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+
+echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s)"

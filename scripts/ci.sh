@@ -10,6 +10,13 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Timing-regression gate: the golden-stats digests pin the simulated
+# timing of every (kernel × model) test-scale job. Already part of the
+# suite above, but run by name so a digest mismatch fails CI loudly and
+# in isolation (re-record with GOLDEN_RECORD=1 only for intentional
+# timing changes, alongside a SIM_VERSION bump).
+cargo test -q -p dmdp-core --test golden_stats
+
 out=bench-results/ci-smoke.json
 rm -f "$out"
 cargo run --release -p dmdp-bench --bin dmdp -- \
