@@ -1,11 +1,12 @@
 //! `dmdp` — command-line driver for the simulator. Run `dmdp --help`
 //! (or `dmdp <subcommand> --help`) for usage.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use dmdp_core::{CommModel, CoreConfig, SimReport, Simulator};
-use dmdp_harness::{CampaignSpec, CfgPatch, RunOptions};
+use dmdp_core::{CommModel, CoreConfig, Probe, Sample, SimReport, Simulator};
+use dmdp_harness::json::obj;
+use dmdp_harness::{render_campaign, Campaign, CampaignSpec, CfgPatch, Json, RunOptions};
 use dmdp_isa::{asm, Program};
 use dmdp_workloads::Scale;
 
@@ -19,6 +20,7 @@ SUBCOMMANDS:
     workloads    List the 21 SPEC-2006 analogue kernels
     run          Simulate one workload (or an .s/.img file) and print a report
     campaign     Run a parallel experiment campaign, write a JSON artifact
+    report       Render a campaign JSON artifact as human-readable tables
     asm          Assemble a source file into a binary program image
     disasm       Print the disassembly listing of a program image
 
@@ -44,6 +46,16 @@ OPTIONS:
     --rmo            release consistency instead of TSO
     --energy         print the dynamic-energy breakdown
     -h, --help       print this help
+
+PROBE OPTIONS (observability only — simulated timing is unchanged):
+    --trace <FILE>        write a per-µop stage-timeline JSONL trace
+    --trace-from <CYCLE>  start tracing µops renamed at this cycle  [default: 0]
+    --trace-cycles <N>    trace a window of N cycles (default: to the end)
+    --sample-every <N>    collect a time-series sample every N cycles
+    --sample-out <FILE>   samples JSON path  [default: samples.json]
+
+With `--model all`, per-model output paths get a `-<model>` suffix
+before the extension (e.g. trace-dmdp.jsonl).
 ";
 
 const CAMPAIGN_HELP: &str = "\
@@ -69,6 +81,18 @@ OPTIONS:
 Unchanged jobs (same simulator version, config and workload content) are
 reused from the existing artifact at --out: a repeated campaign executes
 zero jobs and still rewrites a complete artifact.
+";
+
+const REPORT_HELP: &str = "\
+dmdp report — render a campaign JSON artifact as human-readable tables
+
+USAGE:
+    dmdp report <ARTIFACT.json>
+
+Prints per-variant workload × model IPC tables (with deltas against the
+baseline model), per-suite geometric means, scheduler-occupancy means,
+the stage wall-time breakdown and the slowest jobs. Works on any
+campaign artifact, including `bench-results/ci-smoke.json`.
 ";
 
 const ASM_HELP: &str = "\
@@ -104,6 +128,7 @@ fn main() -> ExitCode {
         Some("workloads") => helped(&args[1..], WORKLOADS_HELP, |_| cmd_workloads()),
         Some("run") => helped(&args[1..], RUN_HELP, cmd_run),
         Some("campaign") => helped(&args[1..], CAMPAIGN_HELP, cmd_campaign),
+        Some("report") => helped(&args[1..], REPORT_HELP, cmd_report),
         Some("asm") => helped(&args[1..], ASM_HELP, cmd_asm),
         Some("disasm") => helped(&args[1..], DISASM_HELP, cmd_disasm),
         Some("--help" | "-h") => {
@@ -162,6 +187,11 @@ struct RunOpts {
     image_file: Option<String>,
     patch: CfgPatch,
     energy: bool,
+    trace: Option<PathBuf>,
+    trace_from: u64,
+    trace_cycles: Option<u64>,
+    sample_every: Option<u64>,
+    sample_out: Option<PathBuf>,
 }
 
 fn parse_run(args: &[String]) -> Result<RunOpts, String> {
@@ -173,6 +203,11 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         image_file: None,
         patch: CfgPatch::default(),
         energy: false,
+        trace: None,
+        trace_from: 0,
+        trace_cycles: None,
+        sample_every: None,
+        sample_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -189,8 +224,29 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
             "--rmo" => o.patch.rmo = true,
             "--energy" => o.energy = true,
+            "--trace" => o.trace = Some(PathBuf::from(val()?)),
+            "--trace-from" => {
+                o.trace_from = val()?.parse().map_err(|e| format!("--trace-from: {e}"))?
+            }
+            "--trace-cycles" => {
+                o.trace_cycles = Some(val()?.parse().map_err(|e| format!("--trace-cycles: {e}"))?)
+            }
+            "--sample-every" => {
+                let n: u64 = val()?.parse().map_err(|e| format!("--sample-every: {e}"))?;
+                if n == 0 {
+                    return Err("--sample-every must be at least 1".to_string());
+                }
+                o.sample_every = Some(n);
+            }
+            "--sample-out" => o.sample_out = Some(PathBuf::from(val()?)),
             other => return Err(format!("unknown option `{other}` (see `dmdp run --help`)")),
         }
+    }
+    if o.trace.is_none() && (o.trace_from != 0 || o.trace_cycles.is_some()) {
+        return Err("--trace-from/--trace-cycles need --trace <FILE>".to_string());
+    }
+    if o.sample_out.is_some() && o.sample_every.is_none() {
+        return Err("--sample-out needs --sample-every <N>".to_string());
     }
     Ok(o)
 }
@@ -205,21 +261,96 @@ fn load_program(o: &RunOpts) -> Result<Program, Box<dyn std::error::Error>> {
         return Ok(Program::from_image(&bytes)?);
     }
     let name = o.workload.as_deref().unwrap_or("bzip2");
-    dmdp_workloads::by_name(name, o.scale)
-        .map(|w| w.program)
-        .ok_or_else(|| format!("unknown workload `{name}` (try `dmdp workloads`)").into())
+    dmdp_workloads::by_name(name, o.scale).map(|w| w.program).ok_or_else(|| {
+        format!("unknown workload `{name}`; valid kernels: {}", dmdp_workloads::names().join(", "))
+            .into()
+    })
+}
+
+/// `trace.jsonl` → `trace-dmdp.jsonl` — keeps per-model artifacts apart
+/// when one `dmdp run --model all` writes several.
+fn suffixed(path: &Path, model: CommModel) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-{}.{ext}", model.name()),
+        None => format!("{stem}-{}", model.name()),
+    };
+    path.with_file_name(name)
+}
+
+fn samples_json(samples: &[Sample]) -> Json {
+    Json::Arr(
+        samples
+            .iter()
+            .map(|s| {
+                obj([
+                    ("cycle", Json::Num(s.cycle as f64)),
+                    ("insns", Json::Num(s.insns as f64)),
+                    ("ipc", Json::Num(s.ipc)),
+                    ("fetched", Json::Num(s.fetched as f64)),
+                    ("rob", Json::Num(s.rob as f64)),
+                    ("iq", Json::Num(s.iq as f64)),
+                    ("ready", Json::Num(s.ready as f64)),
+                    ("sb", Json::Num(s.sb as f64)),
+                    ("branch_mispredicts", Json::Num(s.branch_mispredicts as f64)),
+                    ("mem_dep_mispredicts", Json::Num(s.mem_dep_mispredicts as f64)),
+                    ("recoveries", Json::Num(s.recoveries as f64)),
+                    ("squashed_uops", Json::Num(s.squashed_uops as f64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn cmd_run(args: &[String]) -> CliResult {
     let o = parse_run(args)?;
     let program = load_program(&o)?;
     println!("program: {} ({} static instructions)", program.name(), program.len());
+    let probing = o.trace.is_some() || o.sample_every.is_some();
+    let many = o.models.len() > 1;
     for model in &o.models {
         let mut cfg = CoreConfig::new(*model);
         o.patch.apply(&mut cfg);
-        let report = Simulator::with_config(cfg).run(&program)?;
+        let sim = Simulator::with_config(cfg);
+        if !probing {
+            print_report(&sim.run(&program)?, o.energy);
+            continue;
+        }
+        let mut probe = Probe::default();
+        let trace_path = o.trace.as_ref().map(|p| if many { suffixed(p, *model) } else { p.clone() });
+        if let Some(path) = &trace_path {
+            probe = probe
+                .with_trace(path, o.trace_from, o.trace_cycles)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        if let Some(every) = o.sample_every {
+            probe = probe.with_samples(every);
+        }
+        let (report, probes) = sim.run_probed(&program, probe)?;
         print_report(&report, o.energy);
+        if let Some(path) = &trace_path {
+            if let Some(e) = &probes.trace_error {
+                return Err(format!("{}: trace write failed: {e}", path.display()).into());
+            }
+            println!("  trace             {:>12} records -> {}", probes.trace_records, path.display());
+        }
+        if o.sample_every.is_some() {
+            let out = o.sample_out.clone().unwrap_or_else(|| PathBuf::from("samples.json"));
+            let out = if many { suffixed(&out, *model) } else { out };
+            std::fs::write(&out, samples_json(&probes.samples).pretty())
+                .map_err(|e| format!("{}: {e}", out.display()))?;
+            println!("  samples           {:>12} windows -> {}", probes.samples.len(), out.display());
+        }
     }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("usage: dmdp report <ARTIFACT.json>".into());
+    };
+    let campaign = Campaign::load(Path::new(path))?;
+    print!("{}", render_campaign(&campaign));
     Ok(())
 }
 
@@ -349,6 +480,12 @@ fn print_report(r: &SimReport, energy: bool) {
         ll.count(LoadSource::Delayed),
         ll.count(LoadSource::Predicated));
     println!("  mean load latency {:>12.2} cycles", ll.overall_mean());
+    println!(
+        "  scheduler         {:>12.2} mean ready | {:.1} wakeups/kc | {:.1} calendar pops/kc",
+        s.sched.mean_ready_len(s.cycles),
+        s.sched.wakeups_per_kilocycle(s.cycles),
+        s.sched.calendar_pops_per_kilocycle(s.cycles)
+    );
     if energy {
         println!("  energy            {:>12.1} nJ   EDP {:.3e}", s.energy.total_nj(), s.edp());
         for (ev, n, nj) in s.energy.breakdown().into_iter().take(8) {

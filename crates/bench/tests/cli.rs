@@ -1,0 +1,145 @@
+//! End-to-end tests of the `dmdp` binary: probe flags, the `report`
+//! subcommand, and the unknown-workload diagnostics — all via
+//! `CARGO_BIN_EXE_dmdp`, so they exercise exactly what a user runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dmdp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args(args)
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("dmdp binary runs")
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dmdp-cli-{}-{name}", std::process::id()))
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn run_rejects_unknown_workload_listing_kernels() {
+    let out = dmdp(&["run", "--workload", "nonesuch", "--scale", "test"]);
+    assert!(!out.status.success(), "unknown workload must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload `nonesuch`"), "{err}");
+    assert!(err.contains("valid kernels"), "{err}");
+    for name in ["bzip2", "mcf", "sphinx3"] {
+        assert!(err.contains(name), "missing `{name}` in: {err}");
+    }
+}
+
+#[test]
+fn campaign_rejects_unknown_kernel_listing_kernels() {
+    let out = dmdp(&["campaign", "--kernel", "nonesuch", "--scale", "test", "--quiet"]);
+    assert!(!out.status.success(), "unknown kernel must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload `nonesuch`"), "{err}");
+    assert!(err.contains("valid kernels"), "{err}");
+    assert!(err.contains("bzip2"), "{err}");
+}
+
+#[test]
+fn traced_and_sampled_run_writes_wellformed_artifacts() {
+    let trace = temp("trace.jsonl");
+    let samples = temp("samples.json");
+    let out = dmdp(&[
+        "run",
+        "--workload",
+        "gcc",
+        "--scale",
+        "test",
+        "--model",
+        "dmdp",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--sample-every",
+        "200",
+        "--sample-out",
+        samples.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("trace"), "{text}");
+    assert!(text.contains("samples"), "{text}");
+    assert!(text.contains("scheduler"), "sched-stats line missing: {text}");
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_text.lines().count() > 100, "trace suspiciously small");
+    for line in trace_text.lines().take(50) {
+        let v = dmdp_harness::Json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(v.get("seq").is_some() && v.get("kind").is_some(), "{line}");
+    }
+    let sample_text = std::fs::read_to_string(&samples).expect("samples written");
+    let v = dmdp_harness::Json::parse(&sample_text).expect("samples parse");
+    let arr = v.as_arr().expect("samples are an array");
+    assert!(!arr.is_empty());
+    assert!(arr.iter().all(|s| s.get("cycle").is_some() && s.get("ipc").is_some()));
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&samples).ok();
+}
+
+#[test]
+fn probe_flag_validation() {
+    let out = dmdp(&["run", "--trace-from", "10", "--scale", "test"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+
+    let out = dmdp(&["run", "--sample-out", "x.json", "--scale", "test"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--sample-every"), "{}", stderr(&out));
+
+    let out = dmdp(&["run", "--sample-every", "0", "--scale", "test"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn report_renders_a_campaign_artifact() {
+    let artifact = temp("report.json");
+    let out = dmdp(&[
+        "campaign",
+        "--name",
+        "cli-report",
+        "--scale",
+        "test",
+        "--kernel",
+        "lib",
+        "--kernel",
+        "bwaves",
+        "--quiet",
+        "--out",
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = dmdp(&["report", artifact.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for section in
+        ["campaign `cli-report`", "IPC by workload", "geomean IPC", "scheduler occupancy", "slowest jobs"]
+    {
+        assert!(text.contains(section), "missing `{section}` in:\n{text}");
+    }
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn report_fails_on_missing_or_malformed_artifact() {
+    let out = dmdp(&["report", "definitely-not-here.json"]);
+    assert!(!out.status.success());
+
+    let bad = temp("bad.json");
+    std::fs::write(&bad, "{\"schema\": 99}").unwrap();
+    let out = dmdp(&["report", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("schema"), "{}", stderr(&out));
+    std::fs::remove_file(&bad).ok();
+}

@@ -41,6 +41,9 @@
 
 mod config;
 mod pipeline;
+/// The pipeline probe layer: per-µop stage tracing and windowed
+/// time-series sampling, zero-cost when no sink is attached.
+pub mod probe;
 /// The physical register file with the paper's producer/consumer
 /// reference-counting release protocol (§IV-B a).
 pub mod regfile;
@@ -53,5 +56,6 @@ mod stats;
 
 pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
+pub use probe::{Probe, ProbeReport, Sample};
 pub use sim::{SimReport, Simulator};
 pub use stats::{LowConfBreakdown, SchedStats, SimStats};

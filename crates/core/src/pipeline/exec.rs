@@ -29,8 +29,7 @@ impl Pipeline {
     /// itself was established by wake events (register writes, store
     /// completion/retire, SSN-commit advance), not by scanning.
     pub(crate) fn issue_stage(&mut self) {
-        self.stats.sched.ready_occupancy +=
-            (self.sched.ready.len() + self.sched.delayed_ready.len()) as u64;
+        self.stats.sched.ready_occupancy += self.sched.ready_len() as u64;
         let mut budget = self.cfg.width;
         let mut load_ports = self.cfg.load_ports;
 
@@ -110,6 +109,9 @@ impl Pipeline {
     /// schedules completion. Baseline loads may instead park themselves
     /// on the retry list.
     fn execute_uop(&mut self, seq: SeqNum) {
+        // A baseline load parking on `retry` re-issues later and
+        // overwrites this with its final issue cycle.
+        self.probe.on_issued(self.cycle, seq);
         let e = self.rob.get(seq).expect("executing a live entry");
         let kind = e.kind;
         let pc = e.pc;
@@ -329,6 +331,7 @@ impl Pipeline {
                 let e = self.rob.get_mut(seq).expect("live");
                 e.state = UopState::Done;
             }
+            self.probe.on_writeback(self.cycle, seq);
             if let Some(d) = dest {
                 if writes {
                     self.rf.write(d, value, self.cycle);

@@ -71,7 +71,14 @@ impl Pipeline {
                     predicted
                 }
                 Op::Halt => {
-                    self.decode_q.push_back(Fetched { pc, insn, branch: None, fetch_history });
+                    self.probe.on_fetch();
+                    self.decode_q.push_back(Fetched {
+                        pc,
+                        insn,
+                        branch: None,
+                        fetch_history,
+                        fetch_cycle: self.cycle,
+                    });
                     self.fetch_stopped = true;
                     break;
                 }
@@ -86,7 +93,14 @@ impl Pipeline {
                     history_before: self.bp.history(),
                 });
             }
-            self.decode_q.push_back(Fetched { pc, insn, branch, fetch_history });
+            self.probe.on_fetch();
+            self.decode_q.push_back(Fetched {
+                pc,
+                insn,
+                branch,
+                fetch_history,
+                fetch_cycle: self.cycle,
+            });
             self.fetch_pc = next_pc;
         }
     }

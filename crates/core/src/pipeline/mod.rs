@@ -24,6 +24,7 @@ use dmdp_predict::{
 };
 
 use crate::config::{CommModel, CoreConfig};
+use crate::probe::{Occupancy, Probe, ProbeReport};
 use crate::regfile::RegFile;
 use crate::rob::{BranchInfo, Rob, SeqNum};
 use crate::srb::StoreRegisterBuffer;
@@ -64,6 +65,9 @@ pub(crate) struct Fetched {
     /// prediction — the snapshot both the path-sensitive distance
     /// predictor and history repair use.
     pub fetch_history: u32,
+    /// Cycle the instruction was fetched (probe bookkeeping only; no
+    /// timing decision reads it).
+    pub fetch_cycle: u64,
 }
 
 /// Retire-time load verification in progress (paper §IV-A c: the
@@ -128,6 +132,8 @@ pub struct Pipeline {
     pub(crate) last_commit_addr: Option<dmdp_isa::Addr>,
     // Measurements.
     pub(crate) stats: SimStats,
+    // Observability sinks (no-op by default; see `crate::probe`).
+    pub(crate) probe: Probe,
     // Co-simulation against the functional emulator (tests).
     pub(crate) cosim: Option<Emulator>,
 }
@@ -192,9 +198,17 @@ impl Pipeline {
             stats: SimStats::default(),
             cycle: 0,
             program,
+            probe: Probe::default(),
             cosim: None,
             cfg,
         }
+    }
+
+    /// Attaches probe sinks (tracer/sampler). The probed run produces
+    /// bit-identical [`SimStats`] to an unprobed one — probes observe,
+    /// never perturb (`tests/golden_stats.rs` gates this).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Enables lock-step checking against the functional emulator: every
@@ -211,6 +225,24 @@ impl Pipeline {
     /// [`SimError::CycleLimit`] if the program does not halt within
     /// `cfg.max_cycles` cycles.
     pub fn run(mut self) -> Result<SimStats, SimError> {
+        self.run_loop()?;
+        Ok(self.stats)
+    }
+
+    /// [`Pipeline::run`] returning the probe's collected artifacts
+    /// alongside the statistics (attach sinks with
+    /// [`Pipeline::set_probe`] first).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run`].
+    pub fn run_probed(mut self) -> Result<(SimStats, ProbeReport), SimError> {
+        self.run_loop()?;
+        let report = std::mem::take(&mut self.probe).finish();
+        Ok((self.stats, report))
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         while !self.halted {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
@@ -218,7 +250,7 @@ impl Pipeline {
             self.step_cycle();
         }
         self.finalize();
-        Ok(self.stats)
+        Ok(())
     }
 
     /// Advances the machine one cycle.
@@ -235,6 +267,21 @@ impl Pipeline {
         self.rename_stage();
         self.fetch_stage();
         self.cycle += 1;
+        if self.probe.sample_due(self.cycle) {
+            self.probe_take_sample();
+        }
+    }
+
+    /// Closes the sample window ending now (end-of-cycle occupancy
+    /// snapshot plus event deltas since the previous window).
+    fn probe_take_sample(&mut self) {
+        let occ = Occupancy {
+            rob: self.rob.len(),
+            iq: self.sched.iq_len,
+            ready: self.sched.ready_len(),
+            sb: self.sb.occupancy(),
+        };
+        self.probe.take_sample(self.cycle, &self.stats, occ);
     }
 
     /// Commit: drains the store buffer into the cache, advances
@@ -291,6 +338,10 @@ impl Pipeline {
     }
 
     fn finalize(&mut self) {
+        // Close the sampler's final (possibly partial) window.
+        if self.probe.sample_pending(self.cycle) {
+            self.probe_take_sample();
+        }
         // At halt nothing younger than the halt µop exists, so every
         // physical register must be accounted for by the RAT, by a
         // pending store-buffer entry's consumer references, or be free —

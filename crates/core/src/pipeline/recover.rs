@@ -35,6 +35,13 @@ impl Pipeline {
         let squashed = self.rob.squash_from(from);
         self.stats.squashed_uops += squashed.len() as u64;
         self.stats.energy.record(Event::SquashedUop, squashed.len() as u64);
+        if !self.probe.is_off() {
+            // Flush trace records now: the sequence numbers are reused
+            // by the refetched path.
+            for e in &squashed {
+                self.probe.on_squashed(self.cycle, e.seq);
+            }
+        }
         let oldest_history = squashed.last().map(|e| e.fetch_history);
         for e in &squashed {
             // Give the issue-queue slot back.

@@ -63,6 +63,7 @@ impl Pipeline {
     fn make_entry(&mut self, f: &Fetched, kind: UopKind) -> UopEntry {
         self.stats.energy.record(Event::Rename, 1);
         self.stats.energy.record(Event::Rob, 1);
+        self.probe.on_renamed(self.cycle, self.rob.next_seq(), f.pc, kind, f.fetch_cycle);
         UopEntry {
             seq: self.rob.next_seq(),
             pc: f.pc,
@@ -113,6 +114,7 @@ impl Pipeline {
 
     fn dispatch(&mut self, mut entry: UopEntry) {
         let seq = entry.seq;
+        self.probe.on_dispatched(self.cycle, seq);
         let to_iq = entry.state == UopState::Waiting && !entry.retire_needs_dest_ready;
         if to_iq {
             self.stats.energy.record(Event::IqWrite, 1);
@@ -282,6 +284,7 @@ impl Pipeline {
                     // Parked outside the IQ: wakes on its address
                     // register's write and on `SSN_commit` reaching the
                     // predicted store.
+                    self.probe.on_dispatched(self.cycle, seq);
                     e.state = UopState::Waiting;
                     let ssn =
                         e.load.and_then(|l| l.ssn_byp).expect("delayed load has a prediction");

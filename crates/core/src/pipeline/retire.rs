@@ -143,6 +143,7 @@ impl Pipeline {
             self.last_commit_addr = Some(addr);
             store_effect = Some((addr, data));
         }
+        let mut load_class = None;
         if let Some(info) = e.load {
             self.stats.retired_loads += 1;
             let class = match info.kind {
@@ -151,6 +152,7 @@ impl Pipeline {
                 LoadKind::Delayed => LoadSource::Delayed,
                 LoadKind::Predicated => LoadSource::Predicated,
             };
+            load_class = Some(class);
             let ready = info
                 .result_preg
                 .map(|p| self.rf.ready_at(p))
@@ -160,6 +162,7 @@ impl Pipeline {
                 self.stats.lowconf_latency.record(class, e.rename_cycle, ready);
             }
         }
+        self.probe.on_retired(self.cycle, e.seq, load_class);
         if e.kind == UopKind::Halt {
             self.halted = true;
         }
@@ -282,6 +285,7 @@ impl Pipeline {
                 return VerifyOutcome::Ok;
             }
             self.stats.reexecutions += 1;
+            self.probe.on_reexec(vseq);
             self.verify =
                 Some(VerifyState { load_seq: vseq, actual, phase: VerifyPhase::WaitDrain });
             VerifyOutcome::Stall

@@ -77,6 +77,13 @@ impl Scheduler {
         iq_entries.saturating_sub(self.iq_len)
     }
 
+    /// µops currently ready to issue (issue-queue ready list plus
+    /// delayed loads whose wake conditions all fired) — the occupancy
+    /// figure both the per-cycle stat and the probe sampler report.
+    pub(crate) fn ready_len(&self) -> usize {
+        self.ready.len() + self.delayed_ready.len()
+    }
+
     /// One-line occupancy summary for livelock dumps.
     #[cfg(test)]
     pub(crate) fn dump(&self) -> String {

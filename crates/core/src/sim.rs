@@ -4,6 +4,7 @@ use dmdp_isa::Program;
 
 use crate::config::{CommModel, CoreConfig};
 use crate::pipeline::{Pipeline, SimError};
+use crate::probe::{Probe, ProbeReport};
 use crate::stats::SimStats;
 
 /// A complete simulation report: the configuration echo plus everything
@@ -97,6 +98,28 @@ impl Simulator {
         let pipeline = Pipeline::new_shared(self.cfg.clone(), Arc::clone(program));
         let stats = pipeline.run()?;
         Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+
+    /// Runs `program` with probe sinks attached (stage-timeline tracer
+    /// and/or time-series sampler), returning their collected artifacts
+    /// alongside the report. The report's statistics are bit-identical
+    /// to an unprobed [`Simulator::run`] — probes observe, never
+    /// perturb.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn run_probed(
+        &self,
+        program: &Program,
+        probe: Probe,
+    ) -> Result<(SimReport, ProbeReport), SimError> {
+        let mut pipeline = Pipeline::new(self.cfg.clone(), program);
+        pipeline.set_probe(probe);
+        let (stats, probe_report) = pipeline.run_probed()?;
+        let report =
+            SimReport { program: program.name().to_string(), model: self.cfg.comm, stats };
+        Ok((report, probe_report))
     }
 
     /// Runs with lock-step functional checking: every retired

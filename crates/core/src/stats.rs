@@ -55,6 +55,15 @@ impl SchedStats {
             self.wakeups as f64 * 1000.0 / cycles as f64
         }
     }
+
+    /// Completion-calendar pops per kilo-cycle.
+    pub fn calendar_pops_per_kilocycle(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.calendar_pops as f64 * 1000.0 / cycles as f64
+        }
+    }
 }
 
 /// Everything one simulation run measures.

@@ -16,7 +16,7 @@
 //!
 //! and paste the printed table over `GOLDEN`.
 
-use dmdp_core::{CommModel, SimStats, Simulator};
+use dmdp_core::{CommModel, Probe, SimStats, Simulator};
 use dmdp_energy::Event;
 use dmdp_workloads::Scale;
 
@@ -136,6 +136,46 @@ fn scheduler_reproduces_golden_timing() {
     assert!(
         failures.is_empty(),
         "scheduler timing diverged from golden stats:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The probe layer (PR 3) observes the pipeline; it must never perturb
+/// it. Re-runs the entire golden table with a tracer *and* a sampler
+/// attached and demands the same digests — `--trace`/`--sample-every`
+/// change nothing about simulated timing, so `SIM_VERSION` stays fixed.
+#[test]
+fn probed_runs_reproduce_golden_timing() {
+    if std::env::var("GOLDEN_RECORD").is_ok() {
+        return; // the recording pass belongs to the un-probed test
+    }
+    let dir = std::env::temp_dir();
+    let mut failures = Vec::new();
+    for (kernel, digests) in GOLDEN {
+        let w = dmdp_workloads::by_name(kernel, Scale::Test).expect("known kernel");
+        for (i, &model) in CommModel::ALL.iter().enumerate() {
+            let path = dir.join(format!("dmdp-golden-{}-{kernel}-{i}.jsonl", std::process::id()));
+            let probe = Probe::default()
+                .with_trace(&path, 0, None)
+                .expect("trace file creatable")
+                .with_samples(100);
+            let (report, probes) =
+                Simulator::new(model).run_probed(&w.program, probe).expect("kernel halts");
+            std::fs::remove_file(&path).ok();
+            assert!(probes.trace_error.is_none(), "{:?}", probes.trace_error);
+            let got = stats_digest(&report.stats);
+            if got != digests[i] {
+                failures.push(format!(
+                    "{kernel} × {}: probed run drifted to {got:#018x} (golden {:#018x})",
+                    model.name(),
+                    digests[i]
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "enabling probes changed simulated timing:\n{}",
         failures.join("\n")
     );
 }

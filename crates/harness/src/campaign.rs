@@ -92,7 +92,11 @@ impl CampaignSpec {
         if let Some(filter) = &self.kernels {
             for name in filter {
                 if !all.iter().any(|w| w.name == name) {
-                    return Err(format!("unknown workload `{name}` (try `dmdp workloads`)"));
+                    let known: Vec<&str> = all.iter().map(|w| w.name).collect();
+                    return Err(format!(
+                        "unknown workload `{name}`; valid kernels: {}",
+                        known.join(", ")
+                    ));
                 }
             }
         }
@@ -131,7 +135,11 @@ impl CampaignSpec {
     /// The first job error (cycle-limit abort), an invalid kernel
     /// filter, or an unreadable cache artifact.
     pub fn run(&self, opts: &RunOptions) -> Result<Campaign, String> {
+        let start = Instant::now();
         let specs = self.jobs()?;
+        let build_s = start.elapsed().as_secs_f64();
+
+        let cache_start = Instant::now();
         let cached: Vec<Option<JobResult>> = match &opts.cache {
             Some(path) if path.exists() => {
                 let prior = Campaign::load(path)?;
@@ -148,33 +156,63 @@ impl CampaignSpec {
             }
             _ => specs.iter().map(|_| None).collect(),
         };
+        let cache_s = cache_start.elapsed().as_secs_f64();
+
         let to_run = cached.iter().filter(|c| c.is_none()).count();
+        let started = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let start = Instant::now();
-        let outcomes: Vec<Result<JobResult, String>> =
-            pool::map_ordered(&specs, opts.jobs, |i, spec| match &cached[i] {
+        let exec_start = Instant::now();
+        let outcomes: Vec<Result<JobResult, String>> = pool::map_ordered_with(
+            &specs,
+            opts.jobs,
+            |i, spec| match &cached[i] {
                 Some(hit) => Ok(hit.clone()),
                 None => {
-                    let result = spec.execute();
+                    let claimed_s = exec_start.elapsed().as_secs_f64();
+                    let result = spec.execute().map(|mut r| {
+                        r.started_s = claimed_s;
+                        r.finished_s = exec_start.elapsed().as_secs_f64();
+                        r
+                    });
                     if opts.progress {
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let running = started.load(Ordering::Relaxed).saturating_sub(n);
                         match &result {
                             Ok(r) => println!(
-                                "[{n}/{to_run}] {:>9} × {:<8} [{}]  IPC {:.3}  {:.2}s  {:.2} MIPS",
-                                r.workload, r.model.name(), r.variant, r.ipc, r.wall_s, r.mips
+                                "[{n}/{to_run}] {:>9} × {:<8} [{}]  IPC {:.3}  {:.2}s  {:.2} MIPS  ({running} running, {} queued)",
+                                r.workload,
+                                r.model.name(),
+                                r.variant,
+                                r.ipc,
+                                r.wall_s,
+                                r.mips,
+                                to_run - n - running
                             ),
                             Err(e) => println!("[{n}/{to_run}] FAILED: {e}"),
                         }
                     }
                     result
                 }
-            });
+            },
+            // Pool lifecycle observer: count claims of non-cached jobs so
+            // the progress line can show how many are in flight.
+            |ev| {
+                if let pool::JobEvent::Started { index } = ev {
+                    if cached[index].is_none() {
+                        started.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            },
+        );
+        let exec_s = exec_start.elapsed().as_secs_f64();
+
+        let agg_start = Instant::now();
         let mut jobs = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             jobs.push(outcome?);
         }
         let cached_hits = jobs.iter().filter(|j| j.cached).count();
-        Ok(Campaign {
+        let mut campaign = Campaign {
             name: self.name.clone(),
             scale: self.scale,
             sim_version: SIM_VERSION.to_string(),
@@ -183,10 +221,13 @@ impl CampaignSpec {
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
             wall_s: start.elapsed().as_secs_f64(),
+            stages: StageWall { build_s, cache_s, exec_s, aggregate_s: 0.0 },
             executed: jobs.len() - cached_hits,
             cached: cached_hits,
             jobs,
-        })
+        };
+        campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
+        Ok(campaign)
     }
 }
 
@@ -208,6 +249,20 @@ impl Default for RunOptions {
     }
 }
 
+/// Per-stage wall-clock breakdown of one campaign run (all seconds).
+/// Zero for artifacts written before the breakdown existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageWall {
+    /// Building the job list (workload generation + assembly).
+    pub build_s: f64,
+    /// Scanning the digest cache.
+    pub cache_s: f64,
+    /// Executing the job pool.
+    pub exec_s: f64,
+    /// Aggregating results into the campaign.
+    pub aggregate_s: f64,
+}
+
 /// A completed campaign: every job's result plus run-level metadata.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -221,6 +276,8 @@ pub struct Campaign {
     pub created_unix: u64,
     /// Wall-clock seconds for the whole campaign (this run only).
     pub wall_s: f64,
+    /// Per-stage wall-time breakdown of this run.
+    pub stages: StageWall,
     /// Jobs actually executed in this run.
     pub executed: usize,
     /// Jobs satisfied from the digest cache.
@@ -287,6 +344,28 @@ impl Campaign {
         }
     }
 
+    /// The `n` slowest jobs of this campaign by simulation wall-clock,
+    /// slowest first. Cached rows keep the wall time of the run that
+    /// produced them, so they participate too.
+    pub fn slowest_jobs(&self, n: usize) -> Vec<&JobResult> {
+        let mut rows: Vec<&JobResult> = self.jobs.iter().collect();
+        rows.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+        rows.truncate(n);
+        rows
+    }
+
+    /// The variant labels present, `"main"` first.
+    pub fn variants(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.jobs {
+            if !out.contains(&r.variant) {
+                out.push(r.variant.clone());
+            }
+        }
+        out.sort_by_key(|v| (v != "main", v.clone()));
+        out
+    }
+
     /// The models present in this campaign, in reporting order.
     pub fn models(&self) -> Vec<CommModel> {
         CommModel::ALL
@@ -316,6 +395,22 @@ impl Campaign {
                 }
             }
         }
+        // Informational top-5 (derived from `jobs`; the reader ignores
+        // it, `dmdp report` recomputes from the rows).
+        let slowest = Json::Arr(
+            self.slowest_jobs(5)
+                .into_iter()
+                .map(|r| {
+                    obj([
+                        ("workload", Json::Str(r.workload.clone())),
+                        ("model", Json::Str(r.model.name().to_string())),
+                        ("variant", Json::Str(r.variant.clone())),
+                        ("wall_s", Json::Num(r.wall_s)),
+                        ("mips", Json::Num(r.mips)),
+                    ])
+                })
+                .collect(),
+        );
         obj([
             ("schema", Json::Num(1.0)),
             ("campaign", Json::Str(self.name.clone())),
@@ -323,9 +418,19 @@ impl Campaign {
             ("scale", Json::Str(self.scale.name().to_string())),
             ("created_unix", Json::Num(self.created_unix as f64)),
             ("wall_s", Json::Num(self.wall_s)),
+            (
+                "stages",
+                obj([
+                    ("build_s", Json::Num(self.stages.build_s)),
+                    ("cache_s", Json::Num(self.stages.cache_s)),
+                    ("exec_s", Json::Num(self.stages.exec_s)),
+                    ("aggregate_s", Json::Num(self.stages.aggregate_s)),
+                ]),
+            ),
             ("executed", Json::Num(self.executed as f64)),
             ("cached", Json::Num(self.cached as f64)),
             ("jobs", Json::Arr(self.jobs.iter().map(JobResult::to_json).collect())),
+            ("slowest_jobs", slowest),
             ("aggregates", Json::Arr(aggregates)),
         ])
     }
@@ -367,6 +472,18 @@ impl Campaign {
                 .to_string(),
             created_unix: v.get("created_unix").and_then(Json::as_u64).unwrap_or(0),
             wall_s: v.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+            // Stage breakdown: tolerate pre-PR 3 artifacts (all zero).
+            stages: {
+                let f = |k: &str| {
+                    v.get("stages").and_then(|s| s.get(k)).and_then(Json::as_f64).unwrap_or(0.0)
+                };
+                StageWall {
+                    build_s: f("build_s"),
+                    cache_s: f("cache_s"),
+                    exec_s: f("exec_s"),
+                    aggregate_s: f("aggregate_s"),
+                }
+            },
             executed: v.get("executed").and_then(Json::as_u64).unwrap_or(0) as usize,
             cached: v.get("cached").and_then(Json::as_u64).unwrap_or(0) as usize,
             jobs,

@@ -141,6 +141,12 @@ pub struct JobResult {
     pub digest: String,
     /// Host wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// Seconds after the campaign's execute phase began that a worker
+    /// claimed this job (zero for cached rows and standalone executes).
+    pub started_s: f64,
+    /// Seconds after the execute phase began that this job finished
+    /// (zero for cached rows and standalone executes).
+    pub finished_s: f64,
     /// Host throughput: simulated (retired) instructions per second, in
     /// millions.
     pub mips: f64,
@@ -189,6 +195,8 @@ impl JobResult {
             variant: spec.variant.clone(),
             digest: spec.digest.clone(),
             wall_s,
+            started_s: 0.0,
+            finished_s: 0.0,
             mips: if wall_s > 0.0 { stats.retired_insns as f64 / wall_s / 1e6 } else { 0.0 },
             cycles: stats.cycles,
             retired_insns: stats.retired_insns,
@@ -217,6 +225,8 @@ impl JobResult {
             ("variant", Json::Str(self.variant.clone())),
             ("digest", Json::Str(self.digest.clone())),
             ("wall_s", Json::Num(self.wall_s)),
+            ("started_s", Json::Num(self.started_s)),
+            ("finished_s", Json::Num(self.finished_s)),
             ("mips", Json::Num(self.mips)),
             ("cycles", Json::Num(self.cycles as f64)),
             ("retired_insns", Json::Num(self.retired_insns as f64)),
@@ -264,6 +274,10 @@ impl JobResult {
             variant: str_field("variant")?,
             digest: str_field("digest")?,
             wall_s: num("wall_s")?,
+            // Job lifecycle timestamps (PR 3 reporter): tolerate older
+            // artifacts, like the scheduler counters below.
+            started_s: v.get("started_s").and_then(Json::as_f64).unwrap_or(0.0),
+            finished_s: v.get("finished_s").and_then(Json::as_f64).unwrap_or(0.0),
             mips: num("mips")?,
             cycles: int("cycles")?,
             retired_insns: int("retired_insns")?,

@@ -41,12 +41,14 @@
 pub mod digest;
 pub mod json;
 pub mod pool;
+pub mod report;
 
 mod campaign;
 mod job;
 
-pub use campaign::{Campaign, CampaignSpec, RunOptions};
+pub use campaign::{Campaign, CampaignSpec, RunOptions, StageWall};
 pub use digest::Digest64;
 pub use job::{CfgPatch, JobResult, JobSpec};
 pub use json::Json;
-pub use pool::{default_workers, map_ordered};
+pub use pool::{default_workers, map_ordered, map_ordered_with, JobEvent};
+pub use report::render_campaign;

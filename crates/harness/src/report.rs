@@ -1,0 +1,239 @@
+//! Human-readable rendering of campaign artifacts.
+//!
+//! `dmdp report <artifact.json>` loads any campaign JSON — including
+//! `ci-smoke.json` — and renders it as plain-text tables: a per-variant
+//! workload × model IPC matrix with deltas against the baseline model,
+//! per-suite geometric means, scheduler-occupancy summaries, the
+//! campaign's stage wall-time breakdown and its slowest jobs. Everything
+//! is recomputed from the job rows, so artifacts written by older
+//! binaries render too (missing observability fields show as zero).
+
+use std::fmt::Write as _;
+
+use dmdp_core::CommModel;
+use dmdp_workloads::Suite;
+
+use crate::campaign::{Campaign, StageWall};
+use crate::job::JobResult;
+
+/// Renders a campaign as a plain-text report.
+pub fn render_campaign(c: &Campaign) -> String {
+    let mut out = String::new();
+    header(&mut out, c);
+    let models = c.models();
+    for variant in c.variants() {
+        ipc_table(&mut out, c, &models, &variant);
+    }
+    geomeans(&mut out, c, &models);
+    sched_occupancy(&mut out, c, &models);
+    slowest(&mut out, c);
+    out
+}
+
+fn header(out: &mut String, c: &Campaign) {
+    let _ = writeln!(out, "campaign `{}`  (scale {}, sim {})", c.name, c.scale.name(), c.sim_version);
+    let _ = writeln!(
+        out,
+        "  jobs {}  ({} executed, {} cached)   wall {:.2}s",
+        c.jobs.len(),
+        c.executed,
+        c.cached,
+        c.wall_s
+    );
+    if c.stages != StageWall::default() {
+        let s = c.stages;
+        let _ = writeln!(
+            out,
+            "  stages: build {:.2}s | cache {:.2}s | exec {:.2}s | aggregate {:.2}s",
+            s.build_s, s.cache_s, s.exec_s, s.aggregate_s
+        );
+    }
+}
+
+/// The workloads of one variant, in job-list order.
+fn workloads_of(c: &Campaign, variant: &str) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for r in c.jobs.iter().filter(|r| r.variant == variant) {
+        if !names.contains(&r.workload) {
+            names.push(r.workload.clone());
+        }
+    }
+    names
+}
+
+/// The model IPC deltas are measured against: `Baseline` when the
+/// campaign swept it, else the first model present.
+fn reference_model(models: &[CommModel]) -> Option<CommModel> {
+    models
+        .iter()
+        .copied()
+        .find(|&m| m == CommModel::Baseline)
+        .or_else(|| models.first().copied())
+}
+
+fn ipc_table(out: &mut String, c: &Campaign, models: &[CommModel], variant: &str) {
+    let workloads = workloads_of(c, variant);
+    if workloads.is_empty() || models.is_empty() {
+        return;
+    }
+    let reference = reference_model(models);
+    let name_w = workloads.iter().map(String::len).max().unwrap_or(8).max(8);
+    let _ = writeln!(out, "\nIPC by workload × model  [variant {variant}]");
+    let mut head = format!("  {:<name_w$}", "workload");
+    for m in models {
+        let _ = write!(head, "  {:>15}", m.name());
+    }
+    let _ = writeln!(out, "{head}");
+    for w in &workloads {
+        let base_ipc = reference
+            .and_then(|m| c.get_variant(w, m, variant))
+            .map(|r| r.ipc)
+            .filter(|&ipc| ipc > 0.0);
+        let mut line = format!("  {w:<name_w$}");
+        for &m in models {
+            let cell = match c.get_variant(w, m, variant) {
+                None => "-".to_string(),
+                Some(r) if Some(m) == reference => format!("{:.3}", r.ipc),
+                Some(r) => match base_ipc {
+                    Some(b) => format!("{:.3} {:>+6.1}%", r.ipc, (r.ipc / b - 1.0) * 100.0),
+                    None => format!("{:.3}", r.ipc),
+                },
+            };
+            let _ = write!(line, "  {cell:>15}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+fn geomeans(out: &mut String, c: &Campaign, models: &[CommModel]) {
+    let reference = reference_model(models);
+    let mut lines = Vec::new();
+    for suite in [Suite::Int, Suite::Fp] {
+        let mut cells = Vec::new();
+        for &m in models {
+            let Some(g) = c.geomean_ipc(m, suite) else { continue };
+            let mut cell = format!("{} {g:.3}", m.name());
+            if let Some(base) = reference.filter(|&b| b != m) {
+                if let Some(s) = c.geomean_speedup(base, m, suite) {
+                    let _ = write!(cell, " (×{s:.3})");
+                }
+            }
+            cells.push(cell);
+        }
+        if !cells.is_empty() {
+            lines.push(format!("  {:<4} {}", suite.name(), cells.join("  |  ")));
+        }
+    }
+    if !lines.is_empty() {
+        let reference_note = reference.map(|m| m.name()).unwrap_or("-");
+        let _ = writeln!(out, "\ngeomean IPC (speedup vs {reference_note}, variant main)");
+        for l in lines {
+            let _ = writeln!(out, "{l}");
+        }
+    }
+}
+
+fn sched_occupancy(out: &mut String, c: &Campaign, models: &[CommModel]) {
+    // Means over the main-variant jobs of each model; artifacts written
+    // before the counters existed contribute zeros.
+    let mut rows = Vec::new();
+    for &m in models {
+        let jobs: Vec<&JobResult> =
+            c.jobs.iter().filter(|r| r.model == m && r.variant == "main").collect();
+        if jobs.is_empty() {
+            continue;
+        }
+        let n = jobs.len() as f64;
+        let ready = jobs.iter().map(|r| r.mean_ready_len).sum::<f64>() / n;
+        let wakeups = jobs.iter().map(|r| r.wakeups_per_kilocycle).sum::<f64>() / n;
+        let pops = jobs
+            .iter()
+            .map(|r| {
+                if r.cycles == 0 {
+                    0.0
+                } else {
+                    r.calendar_pops as f64 * 1000.0 / r.cycles as f64
+                }
+            })
+            .sum::<f64>()
+            / n;
+        rows.push((m, ready, wakeups, pops));
+    }
+    if rows.iter().all(|&(_, r, w, p)| r == 0.0 && w == 0.0 && p == 0.0) {
+        return;
+    }
+    let _ = writeln!(out, "\nscheduler occupancy (mean over main-variant jobs)");
+    let _ = writeln!(
+        out,
+        "  {:<8}  {:>10}  {:>11}  {:>16}",
+        "model", "ready-list", "wakeups/kc", "calendar-pops/kc"
+    );
+    for (m, ready, wakeups, pops) in rows {
+        let _ = writeln!(out, "  {:<8}  {ready:>10.2}  {wakeups:>11.1}  {pops:>16.1}", m.name());
+    }
+}
+
+fn slowest(out: &mut String, c: &Campaign) {
+    let rows = c.slowest_jobs(5);
+    if rows.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nslowest jobs (simulation wall-clock)");
+    for (i, r) in rows.iter().enumerate() {
+        let mut line = format!(
+            "  {}. {:>9} × {:<8} [{}]  {:.2}s  {:.2} MIPS",
+            i + 1,
+            r.workload,
+            r.model.name(),
+            r.variant,
+            r.wall_s,
+            r.mips
+        );
+        if r.cached {
+            line.push_str("  (cached)");
+        } else if r.finished_s > 0.0 {
+            let _ = write!(line, "  (ran t+{:.2}s → t+{:.2}s)", r.started_s, r.finished_s);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignSpec, RunOptions};
+    use dmdp_workloads::Scale;
+
+    #[test]
+    fn renders_every_section() {
+        let campaign = CampaignSpec::new("render", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "bwaves"])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let text = render_campaign(&campaign);
+        assert!(text.contains("campaign `render`"), "{text}");
+        assert!(text.contains("IPC by workload × model"), "{text}");
+        assert!(text.contains("geomean IPC"), "{text}");
+        assert!(text.contains("scheduler occupancy"), "{text}");
+        assert!(text.contains("slowest jobs"), "{text}");
+        assert!(text.contains("stages: build"), "{text}");
+        assert!(text.contains("lib"), "{text}");
+        assert!(text.contains("bwaves"), "{text}");
+    }
+
+    #[test]
+    fn survives_artifact_round_trip() {
+        let campaign = CampaignSpec::new("rt", Scale::Test)
+            .models([CommModel::Dmdp])
+            .kernels(["lib"])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let back = Campaign::from_json(&campaign.to_json()).unwrap();
+        assert_eq!(back.stages, campaign.stages);
+        let text = render_campaign(&back);
+        // Single-model campaign: deltas are measured against dmdp itself.
+        assert!(text.contains("IPC by workload"), "{text}");
+        assert!(text.contains("slowest jobs"), "{text}");
+    }
+}

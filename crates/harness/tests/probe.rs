@@ -1,0 +1,172 @@
+//! Integration tests of the pipeline probe layer: JSONL trace
+//! round-trips through the harness JSON parser, per-µop stage cycles
+//! respect pipeline order, squashed µops never report a retire cycle,
+//! the tracer window keys on rename cycle, and attaching probes leaves
+//! the simulated timing untouched.
+//!
+//! These live in the harness crate (not `dmdp-core`) so the trace lines
+//! are parsed by the same [`Json`] reader that consumes campaign
+//! artifacts, and so the core crate's dev-dependency graph stays
+//! acyclic.
+
+use std::path::PathBuf;
+
+use dmdp_core::{CommModel, Probe, Simulator};
+use dmdp_harness::Json;
+use dmdp_workloads::Scale;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dmdp-probe-{}-{tag}.jsonl", std::process::id()))
+}
+
+/// One parsed trace line.
+struct Rec {
+    seq: u64,
+    fetch: u64,
+    rename: u64,
+    dispatch: Option<u64>,
+    issue: Option<u64>,
+    wb: Option<u64>,
+    retire: Option<u64>,
+    squash: Option<u64>,
+}
+
+fn parse_trace(path: &PathBuf) -> Vec<Rec> {
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    text.lines()
+        .map(|line| {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line `{line}`: {e}"));
+            let req = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing `{k}` in `{line}`"));
+            let opt = |k: &str| v.get(k).and_then(Json::as_u64);
+            assert!(v.get("kind").and_then(Json::as_str).is_some(), "missing kind: {line}");
+            assert!(v.get("reexec").and_then(Json::as_bool).is_some(), "missing reexec: {line}");
+            assert!(v.get("pc").and_then(Json::as_u64).is_some(), "missing pc: {line}");
+            Rec {
+                seq: req("seq"),
+                fetch: req("fetch"),
+                rename: req("rename"),
+                dispatch: opt("dispatch"),
+                issue: opt("issue"),
+                wb: opt("wb"),
+                retire: opt("retire"),
+                squash: opt("squash"),
+            }
+        })
+        .collect()
+}
+
+fn traced_run(model: CommModel, tag: &str) -> (dmdp_core::SimStats, Vec<Rec>) {
+    let w = dmdp_workloads::by_name("gcc", Scale::Test).expect("gcc exists");
+    let path = temp_path(tag);
+    let probe = Probe::default().with_trace(&path, 0, None).expect("trace file creatable");
+    let (report, probes) =
+        Simulator::with_config(dmdp_core::CoreConfig::new(model)).run_probed(&w.program, probe).unwrap();
+    assert!(probes.trace_error.is_none(), "{:?}", probes.trace_error);
+    let recs = parse_trace(&path);
+    assert_eq!(recs.len() as u64, probes.trace_records);
+    std::fs::remove_file(&path).ok();
+    (report.stats, recs)
+}
+
+#[test]
+fn trace_round_trips_and_stage_cycles_are_monotonic() {
+    for model in CommModel::ALL {
+        let (stats, recs) = traced_run(model, &format!("mono-{}", model.name()));
+        assert!(!recs.is_empty());
+        for r in &recs {
+            let tag = format!("{} seq {}", model.name(), r.seq);
+            assert!(r.fetch <= r.rename, "fetch > rename: {tag}");
+            if let Some(d) = r.dispatch {
+                assert!(r.rename <= d, "rename > dispatch: {tag}");
+                if let Some(i) = r.issue {
+                    assert!(d <= i, "dispatch > issue: {tag}");
+                }
+            }
+            if let (Some(i), Some(wb)) = (r.issue, r.wb) {
+                assert!(i <= wb, "issue > wb: {tag}");
+            }
+            if let Some(ret) = r.retire {
+                assert!(r.rename <= ret, "rename > retire: {tag}");
+                if let Some(wb) = r.wb {
+                    assert!(wb <= ret, "wb > retire: {tag}");
+                }
+            }
+        }
+        // Every record resolves exactly one way, and the retired ones
+        // account for every retired µop of the run.
+        assert!(recs.iter().all(|r| r.retire.is_some() != r.squash.is_some()));
+        let retired = recs.iter().filter(|r| r.retire.is_some()).count() as u64;
+        assert_eq!(retired, stats.retired_uops, "{}", model.name());
+    }
+}
+
+#[test]
+fn squashed_uops_never_report_retire() {
+    // gcc under dmdp has both branch and memory-dependence recoveries.
+    let (stats, recs) = traced_run(CommModel::Dmdp, "squash");
+    let squashed: Vec<&Rec> = recs.iter().filter(|r| r.squash.is_some()).collect();
+    assert!(!squashed.is_empty(), "expected recoveries in gcc × dmdp");
+    assert!(stats.squashed_uops > 0);
+    for r in &squashed {
+        assert!(r.retire.is_none(), "squashed seq {} reports retire", r.seq);
+        assert!(r.squash.unwrap() >= r.rename);
+    }
+}
+
+#[test]
+fn trace_window_keys_on_rename_cycle() {
+    let w = dmdp_workloads::by_name("gcc", Scale::Test).unwrap();
+    let path = temp_path("window");
+    let (from, cycles) = (100, 80);
+    let probe = Probe::default().with_trace(&path, from, Some(cycles)).unwrap();
+    let (_, probes) = Simulator::with_config(dmdp_core::CoreConfig::new(CommModel::Dmdp))
+        .run_probed(&w.program, probe)
+        .unwrap();
+    assert!(probes.trace_error.is_none());
+    let recs = parse_trace(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(!recs.is_empty(), "window should capture renames");
+    for r in &recs {
+        assert!(
+            (from..from + cycles).contains(&r.rename),
+            "rename {} outside [{from}, {})",
+            r.rename,
+            from + cycles
+        );
+    }
+}
+
+#[test]
+fn sampler_windows_cover_the_whole_run() {
+    for model in CommModel::ALL {
+        let w = dmdp_workloads::by_name("gcc", Scale::Test).unwrap();
+        let (report, probes) = Simulator::with_config(dmdp_core::CoreConfig::new(model))
+            .run_probed(&w.program, Probe::default().with_samples(250))
+            .unwrap();
+        let s = &probes.samples;
+        assert!(!s.is_empty());
+        assert!(s.windows(2).all(|w| w[0].cycle < w[1].cycle), "cycles increase");
+        assert!(s.iter().take(s.len() - 1).all(|x| x.cycle % 250 == 0), "full windows align");
+        let insns: u64 = s.iter().map(|x| x.insns).sum();
+        assert_eq!(insns, report.stats.retired_insns, "{}", model.name());
+        let squashed: u64 = s.iter().map(|x| x.squashed_uops).sum();
+        assert_eq!(squashed, report.stats.squashed_uops);
+        assert!(s.iter().all(|x| x.ipc >= 0.0));
+    }
+}
+
+#[test]
+fn probes_leave_simulated_timing_unchanged() {
+    // The probe observes; it must never perturb. Same run, probed vs
+    // plain, bit-identical stats.
+    let w = dmdp_workloads::by_name("mcf", Scale::Test).unwrap();
+    for model in CommModel::ALL {
+        let sim = Simulator::with_config(dmdp_core::CoreConfig::new(model));
+        let plain = sim.run(&w.program).unwrap();
+        let path = temp_path(&format!("timing-{}", model.name()));
+        let probe = Probe::default().with_trace(&path, 0, None).unwrap().with_samples(100);
+        let (probed, _) = sim.run_probed(&w.program, probe).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(plain.stats, probed.stats, "{} timing perturbed by probes", model.name());
+    }
+}

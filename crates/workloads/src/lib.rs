@@ -150,6 +150,17 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     all(scale).into_iter().find(|w| w.name == name)
 }
 
+/// The kernel names, in the paper's reporting order — for `unknown
+/// workload` diagnostics that must list the valid spellings without
+/// assembling 21 programs at the requested scale.
+pub fn names() -> [&'static str; 21] {
+    [
+        "perl", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng", "lib", "h264ref", "astar",
+        "bwaves", "milc", "zeusmp", "gromacs", "leslie3d", "namd", "Gems", "tonto", "lbm", "wrf",
+        "sphinx3",
+    ]
+}
+
 /// The Int-suite workloads.
 pub fn int_suite(scale: Scale) -> Vec<Workload> {
     all(scale).into_iter().filter(|w| w.suite == Suite::Int).collect()
@@ -171,6 +182,12 @@ mod tests {
         assert_eq!(ws.len(), 21);
         assert_eq!(ws.iter().filter(|w| w.suite == Suite::Int).count(), 10);
         assert_eq!(ws.iter().filter(|w| w.suite == Suite::Fp).count(), 11);
+    }
+
+    #[test]
+    fn names_matches_the_workload_list() {
+        let ws = all(Scale::Test);
+        assert_eq!(names().to_vec(), ws.iter().map(|w| w.name).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory recorder: runs the simulator-throughput bench plus a
-# timed test-scale campaign and appends one record to BENCH_PR2.json.
+# timed test-scale campaign and appends one record to BENCH_PR3.json.
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
@@ -9,13 +9,19 @@
 # simulated MIPS and `norm` — host-normalised MIPS, i.e. simulated MIPS
 # per giga-op/s of host integer speed — so numbers recorded on
 # different machines (or a loaded CI box) stay comparable.
+#
+# Since PR 3 every pipeline stage carries a (disabled) probe, so this
+# run measures the no-op-probe build; the record's `probe_overhead`
+# block compares its host-normalised throughput against the last PR-2
+# record in BENCH_PR2.json — the ratio must stay within noise of 1.0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr2}"
+label="${1:-pr3}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR2.json
+out=BENCH_PR3.json
+prev=BENCH_PR2.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -38,6 +44,23 @@ entries=$(awk -v calib="$calib" '$4 == "ms/run" {
         $1, $2, $3, $5, $5 * 1000 / calib
 }' "$raw" | jq -s '.')
 
+# No-op-probe overhead vs the last PR-2 record: mean host-normalised
+# MIPS over the kernel × model entries both records share.
+probe_overhead=null
+if [ -s "$prev" ]; then
+    probe_overhead=$(jq --argjson entries "$entries" '
+        .[-1] as $p |
+        ($p.entries | map({key: "\(.kernel)/\(.model)", value: .norm}) | from_entries) as $base |
+        [$entries[] | select($base[("\(.kernel)/\(.model)")] != null)
+            | {cur: .norm, base: $base[("\(.kernel)/\(.model)")]}] as $pairs |
+        if ($pairs | length) == 0 then null else
+        {baseline_label: $p.label,
+         baseline_norm_mean: (($pairs | map(.base) | add) / ($pairs | length)),
+         noop_probe_norm_mean: (($pairs | map(.cur) | add) / ($pairs | length)),
+         ratio: ((($pairs | map(.cur) | add)) / (($pairs | map(.base) | add)))}
+        end' "$prev")
+fi
+
 record=$(jq -n \
     --arg lbl "$label" \
     --arg date "$(date -u +%F)" \
@@ -45,8 +68,10 @@ record=$(jq -n \
     --argjson calib "$calib" \
     --argjson camp_s "$camp_s" \
     --argjson entries "$entries" \
+    --argjson po "$probe_overhead" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
+      "probe_overhead": $po,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"

@@ -24,4 +24,24 @@ cargo run --release -p dmdp-bench --bin dmdp -- \
     --jobs "$(nproc)" --out "$out" --quiet
 test -s "$out"
 
-echo "ci: build + tests + smoke campaign OK ($out)"
+# Probe smoke: a traced + sampled test-scale run must emit non-empty,
+# well-formed JSON artifacts. (That probes leave simulated timing
+# untouched is pinned by the golden_stats probed test above.)
+trace=bench-results/ci-trace.jsonl
+samples=bench-results/ci-samples.json
+rm -f "$trace" "$samples"
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    run --workload gcc --scale test --model dmdp \
+    --trace "$trace" --sample-every 200 --sample-out "$samples" >/dev/null
+test -s "$trace"
+test -s "$samples"
+jq -es 'length > 0 and all(has("seq") and has("kind") and has("rename"))' \
+    "$trace" >/dev/null
+jq -e 'type == "array" and length > 0 and all(has("cycle") and has("ipc"))' \
+    "$samples" >/dev/null
+
+# `dmdp report` must render any campaign artifact, the smoke one included.
+cargo run --release -q -p dmdp-bench --bin dmdp -- report "$out" \
+    | grep -q "IPC by workload"
+
+echo "ci: build + tests + smoke campaign + probe artifacts OK ($out)"
