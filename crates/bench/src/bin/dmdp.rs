@@ -486,6 +486,10 @@ fn print_report(r: &SimReport, energy: bool) {
         s.sched.wakeups_per_kilocycle(s.cycles),
         s.sched.calendar_pops_per_kilocycle(s.cycles)
     );
+    println!(
+        "  plan cache        {:>12} static plans built | {} dynamic fetches through cache",
+        s.plan.builds, s.plan.hits
+    );
     if energy {
         println!("  energy            {:>12.1} nJ   EDP {:.3e}", s.energy.total_nj(), s.edp());
         for (ev, n, nj) in s.energy.breakdown().into_iter().take(8) {

@@ -93,6 +93,10 @@ fn probe_flag_validation() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
 
+    let out = dmdp(&["run", "--trace-cycles", "100", "--scale", "test"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+
     let out = dmdp(&["run", "--sample-out", "x.json", "--scale", "test"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--sample-every"), "{}", stderr(&out));

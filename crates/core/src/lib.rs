@@ -41,6 +41,10 @@
 
 mod config;
 mod pipeline;
+/// The static µop plan cache: per-PC decode plans built once per program
+/// and shared across every pipeline running it (host-side speed only —
+/// simulated timing is bit-identical with the cache on).
+pub mod plan;
 /// The pipeline probe layer: per-µop stage tracing and windowed
 /// time-series sampling, zero-cost when no sink is attached.
 pub mod probe;
@@ -56,6 +60,7 @@ mod stats;
 
 pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
+pub use plan::{FetchClass, InsnPlan, PlanCache, PlanKind};
 pub use probe::{Probe, ProbeReport, Sample};
 pub use sim::{SimReport, Simulator};
-pub use stats::{LowConfBreakdown, SchedStats, SimStats};
+pub use stats::{LowConfBreakdown, PlanStats, SchedStats, SimStats};

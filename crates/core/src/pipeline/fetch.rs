@@ -1,8 +1,14 @@
 //! Fetch stage: follows predicted control flow, filling the decode queue.
+//!
+//! Control-flow classification comes from the static [`PlanCache`] — one
+//! `FetchClass` lookup per instruction instead of re-matching `Op`
+//! variants on every dynamic instance.
+
+use std::sync::Arc;
 
 use dmdp_energy::Event;
-use dmdp_isa::Op;
 
+use crate::plan::FetchClass;
 use crate::rob::BranchInfo;
 
 use super::{Fetched, Pipeline};
@@ -15,27 +21,28 @@ impl Pipeline {
         if self.fetch_stopped || self.cycle < self.fetch_stall_until {
             return;
         }
+        let plans = Arc::clone(&self.plans);
         let max_queue = 3 * self.cfg.width;
         for _ in 0..self.cfg.width {
             if self.decode_q.len() >= max_queue {
                 break;
             }
             let pc = self.fetch_pc;
-            let Some(insn) = self.program.fetch(pc) else {
+            let Some(plan) = plans.get(pc) else {
                 // Wrong-path fetch ran off the text segment; wait for the
                 // inevitable redirect.
                 self.fetch_stopped = true;
                 break;
             };
+            self.stats.plan.hits += 1;
             self.stats.energy.record(Event::Fetch, 1);
             self.stats.energy.record(Event::Decode, 1);
             let fetch_history = self.bp.history();
             let mut branch = None;
-            let next_pc = match insn.op {
-                Op::Branch(_) => {
+            let next_pc = match plan.fetch {
+                FetchClass::CondBranch { target } => {
                     self.stats.energy.record(Event::PredictorRead, 1);
                     let p = self.bp.predict_cond(pc);
-                    let target = insn.imm as u32;
                     branch = Some(BranchInfo {
                         predicted_taken: p.taken,
                         predicted_target: Some(target),
@@ -47,20 +54,21 @@ impl Pipeline {
                         pc + 1
                     }
                 }
-                Op::Jump => insn.imm as u32,
-                Op::JumpAndLink => {
+                FetchClass::Jump { target } => target,
+                FetchClass::JumpLink { target } => {
                     self.bp.ras_push(pc + 1);
-                    insn.imm as u32
+                    target
                 }
-                Op::JumpReg | Op::JumpAndLinkReg => {
-                    if insn.op == Op::JumpAndLinkReg {
+                FetchClass::JumpInd { link } => {
+                    if link {
                         self.bp.ras_push(pc + 1);
                     }
                     // Predict through the RAS, then the BTB, else fall
                     // through (and take the misprediction).
-                    let predicted = match insn.op {
-                        Op::JumpReg => self.bp.ras_pop().or_else(|| self.bp.btb_lookup(pc)),
-                        _ => self.bp.btb_lookup(pc),
+                    let predicted = if link {
+                        self.bp.btb_lookup(pc)
+                    } else {
+                        self.bp.ras_pop().or_else(|| self.bp.btb_lookup(pc))
                     }
                     .unwrap_or(pc + 1);
                     branch = Some(BranchInfo {
@@ -70,11 +78,10 @@ impl Pipeline {
                     });
                     predicted
                 }
-                Op::Halt => {
+                FetchClass::Halt => {
                     self.probe.on_fetch();
                     self.decode_q.push_back(Fetched {
                         pc,
-                        insn,
                         branch: None,
                         fetch_history,
                         fetch_cycle: self.cycle,
@@ -82,21 +89,20 @@ impl Pipeline {
                     self.fetch_stopped = true;
                     break;
                 }
-                _ => pc + 1,
+                FetchClass::Seq => pc + 1,
             };
             // Direct jumps never mispredict; record their (trivially
             // correct) target so execute can skip resolution.
-            if matches!(insn.op, Op::Jump | Op::JumpAndLink) {
+            if let FetchClass::Jump { target } | FetchClass::JumpLink { target } = plan.fetch {
                 branch = Some(BranchInfo {
                     predicted_taken: true,
-                    predicted_target: Some(insn.imm as u32),
+                    predicted_target: Some(target),
                     history_before: self.bp.history(),
                 });
             }
             self.probe.on_fetch();
             self.decode_q.push_back(Fetched {
                 pc,
-                insn,
                 branch,
                 fetch_history,
                 fetch_cycle: self.cycle,

@@ -24,9 +24,10 @@ use dmdp_predict::{
 };
 
 use crate::config::{CommModel, CoreConfig};
+use crate::plan::PlanCache;
 use crate::probe::{Occupancy, Probe, ProbeReport};
 use crate::regfile::RegFile;
-use crate::rob::{BranchInfo, Rob, SeqNum};
+use crate::rob::{BranchInfo, Rob, SeqNum, UopEntry};
 use crate::srb::StoreRegisterBuffer;
 use crate::stats::SimStats;
 
@@ -55,11 +56,11 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// An instruction sitting in the decode queue, with its fetch-time
-/// prediction state.
+/// prediction state. The instruction itself is not carried — rename
+/// looks its static decode plan up by `pc` in the shared [`PlanCache`].
 #[derive(Debug, Clone)]
 pub(crate) struct Fetched {
     pub pc: Pc,
-    pub insn: dmdp_isa::Insn,
     pub branch: Option<BranchInfo>,
     /// Global branch history captured before this instruction's own
     /// prediction — the snapshot both the path-sensitive distance
@@ -92,6 +93,9 @@ pub(crate) enum VerifyPhase {
 pub struct Pipeline {
     pub(crate) cfg: CoreConfig,
     pub(crate) program: Arc<Program>,
+    // Static decode plans, one per text PC (built here or shared in by a
+    // campaign runner).
+    pub(crate) plans: Arc<PlanCache>,
     pub(crate) cycle: u64,
     // Register state.
     pub(crate) rf: RegFile,
@@ -130,6 +134,11 @@ pub struct Pipeline {
     // Address of the most recently retired store (coherence stand-in
     // target).
     pub(crate) last_commit_addr: Option<dmdp_isa::Addr>,
+    // Reusable scratch buffers: recovery squash walk and store-buffer
+    // commit drain, emptied after each use so the hot loop never
+    // allocates.
+    pub(crate) squash_buf: Vec<UopEntry>,
+    pub(crate) commit_buf: Vec<u32>,
     // Measurements.
     pub(crate) stats: SimStats,
     // Observability sinks (no-op by default; see `crate::probe`).
@@ -152,13 +161,31 @@ impl Pipeline {
     }
 
     /// [`Pipeline::new`] without the program deep-copy: campaign runners
-    /// share one assembled image across every job of a workload.
+    /// share one assembled image across every job of a workload. Builds
+    /// this pipeline's own [`PlanCache`] (counted in `stats.plan.builds`).
     ///
     /// # Panics
     ///
     /// As [`Pipeline::new`].
     pub fn new_shared(cfg: CoreConfig, program: Arc<Program>) -> Pipeline {
+        let plans = PlanCache::shared(&program);
+        let built = plans.len() as u64;
+        let mut p = Pipeline::new_planned(cfg, program, plans);
+        p.stats.plan.builds = built;
+        p
+    }
+
+    /// [`Pipeline::new_shared`] with a prebuilt plan cache, so every job
+    /// of a workload shares one decode-plan table alongside the program
+    /// image (`stats.plan.builds` stays zero: nothing was built here).
+    ///
+    /// # Panics
+    ///
+    /// As [`Pipeline::new`]; additionally if `plans` was not built from
+    /// `program`.
+    pub fn new_planned(cfg: CoreConfig, program: Arc<Program>, plans: Arc<PlanCache>) -> Pipeline {
         cfg.validate();
+        assert_eq!(plans.len(), program.len(), "plan cache must match the program");
         let oracle = match cfg.comm {
             CommModel::Perfect => {
                 let mut emu = Emulator::new(&program);
@@ -195,9 +222,12 @@ impl Pipeline {
             next_load_idx: 0,
             verify: None,
             last_commit_addr: None,
+            squash_buf: Vec::new(),
+            commit_buf: Vec::new(),
             stats: SimStats::default(),
             cycle: 0,
             program,
+            plans,
             probe: Probe::default(),
             cosim: None,
             cfg,
@@ -303,8 +333,11 @@ impl Pipeline {
                 }
             }
         }
-        let committed = self.sb.tick(self.cycle, &mut self.mem, &mut self.data);
-        for ssn in committed {
+        // Drain finished stores into the reusable scratch buffer — the
+        // commit stage runs every cycle and must not allocate.
+        let mut committed = std::mem::take(&mut self.commit_buf);
+        self.sb.tick(self.cycle, &mut self.mem, &mut self.data, &mut committed);
+        for &ssn in &committed {
             debug_assert!(ssn > self.ssn_commit, "SSN_commit must advance monotonically");
             // Coalescing can skip SSNs: release every store in the gap.
             for s in self.ssn_commit + 1..=ssn {
@@ -322,6 +355,8 @@ impl Pipeline {
             self.stats.energy.record(Event::CacheWrite, 1);
             self.stats.energy.record(Event::StoreBufferOp, 1);
         }
+        committed.clear();
+        self.commit_buf = committed;
         // Delayed loads gated on `SSN_commit >= ssn_byp` become eligible
         // the same cycle the store commits (issue runs later this cycle).
         self.sched_drain_ssn();

@@ -32,7 +32,11 @@ impl Pipeline {
         history: Option<u32>,
     ) {
         self.stats.recoveries += 1;
-        let squashed = self.rob.squash_from(from);
+        // Drain the squashed µops into the pipeline-owned scratch buffer
+        // (returned, emptied, at the end): recoveries are frequent on
+        // branchy code and must not allocate.
+        let mut squashed = std::mem::take(&mut self.squash_buf);
+        self.rob.squash_from_into(from, &mut squashed);
         self.stats.squashed_uops += squashed.len() as u64;
         self.stats.energy.record(Event::SquashedUop, squashed.len() as u64);
         if !self.probe.is_off() {
@@ -76,6 +80,8 @@ impl Pipeline {
                 self.next_load_idx -= 1;
             }
         }
+        squashed.clear();
+        self.squash_buf = squashed;
         // Drop every scheduler registration of the squashed µops (ready
         // lists, waiter lists, calendar, retry) so reused sequence
         // numbers cannot receive stale wakes.

@@ -2,11 +2,14 @@
 //! model-specific load treatment — cloaking, delaying, or predication
 //! insertion (paper Figs. 7 and 8).
 
+use std::sync::Arc;
+
 use dmdp_energy::Event;
-use dmdp_isa::uop::{self, UopKind};
-use dmdp_isa::{MemWidth, Op, Reg};
+use dmdp_isa::uop::{Uop, UopKind};
+use dmdp_isa::{MemWidth, Reg};
 
 use crate::config::CommModel;
+use crate::plan::{InsnPlan, PlanKind};
 use crate::regfile::PregId;
 use crate::rob::{LoadInfo, LoadKind, StoreInfo, UopEntry, UopState};
 use crate::srb::SrbEntry;
@@ -28,10 +31,12 @@ impl Pipeline {
     /// Renames up to `width` µops from the decode queue, stopping at any
     /// resource shortage (ROB, physical registers, issue queue).
     pub(crate) fn rename_stage(&mut self) {
+        let plans = Arc::clone(&self.plans);
         let mut budget = self.cfg.width;
         while budget > 0 {
             let Some(front) = self.decode_q.front() else { break };
-            let worst = self.plan_width(front);
+            let plan = *plans.plan(front.pc);
+            let worst = self.plan_width(front, &plan);
             if worst > budget && budget < self.cfg.width {
                 break; // let the group start on a fresh cycle
             }
@@ -42,20 +47,23 @@ impl Pipeline {
                 break;
             }
             let f = self.decode_q.pop_front().expect("peeked entry");
-            let is_halt = f.insn.op == Op::Halt;
-            let used = self.rename_insn(&f);
+            let used = self.rename_insn(&f, &plan);
             budget = budget.saturating_sub(used);
-            if is_halt {
+            if plan.is_halt() {
                 break;
             }
         }
     }
 
-    fn rename_insn(&mut self, f: &Fetched) -> usize {
-        match f.insn.op {
-            Op::Load { width, signed } => self.rename_load(f, width, signed),
-            Op::Store { width } => self.rename_store(f, width),
-            _ => self.rename_simple(f),
+    fn rename_insn(&mut self, f: &Fetched, plan: &InsnPlan) -> usize {
+        match plan.kind {
+            PlanKind::Load { width, signed, rd, base, imm } => {
+                self.rename_load(f, width, signed, rd, base, imm)
+            }
+            PlanKind::Store { width, data, base, imm } => {
+                self.rename_store(f, width, data, base, imm)
+            }
+            PlanKind::Simple(u) => self.rename_simple(f, u),
         }
     }
 
@@ -89,7 +97,6 @@ impl Pipeline {
             group_sink: None,
             wait_for_seq: None,
             fetch_history: f.fetch_history,
-            arch_dest: None,
         }
     }
 
@@ -133,9 +140,9 @@ impl Pipeline {
         }
     }
 
-    /// Renames a single-µop instruction (ALU, branch, jump, nop, halt).
-    fn rename_simple(&mut self, f: &Fetched) -> usize {
-        let u = uop::expand(f.insn).as_slice()[0];
+    /// Renames a single-µop instruction (ALU, branch, jump, nop, halt);
+    /// `u` is the plan's precomputed µop.
+    fn rename_simple(&mut self, f: &Fetched, u: Uop) -> usize {
         let mut e = self.make_entry(f, u.kind);
         e.first_of_insn = true;
         e.last_of_insn = true;
@@ -147,7 +154,6 @@ impl Pipeline {
             e.dest = Some(p);
             e.dest_logical = Some(l);
             e.prev_mapping = Some(prev);
-            e.arch_dest = Some((l, p));
         }
         match u.kind {
             UopKind::Branch(_) => {
@@ -179,8 +185,15 @@ impl Pipeline {
 
     /// Renames a store: `AGI` + a store µop that is never dispatched in
     /// the store-queue-free models (paper Fig. 7).
-    fn rename_store(&mut self, f: &Fetched, width: MemWidth) -> usize {
-        let addr_preg = self.rename_agi(f);
+    fn rename_store(
+        &mut self,
+        f: &Fetched,
+        width: MemWidth,
+        data: Reg,
+        base: Reg,
+        imm: i32,
+    ) -> usize {
+        let addr_preg = self.rename_agi(f, base, imm);
         let ssn = self.ssn_rename + 1;
         self.ssn_rename = ssn;
 
@@ -189,7 +202,7 @@ impl Pipeline {
         // The store reads its address and data registers (at commit in
         // the SQ-free machines, at SQ write in the baseline).
         self.rf.add_consumer(addr_preg);
-        let data_preg = self.map_src(f.insn.rt);
+        let data_preg = self.map_src(data);
         e.src = [Some(addr_preg), data_preg];
         e.store = Some(StoreInfo { ssn, width, addr_preg, data_preg });
 
@@ -214,11 +227,11 @@ impl Pipeline {
 
     /// Renames the address-generation µop shared by loads and stores,
     /// returning the address register.
-    fn rename_agi(&mut self, f: &Fetched) -> PregId {
+    fn rename_agi(&mut self, f: &Fetched, base: Reg, imm: i32) -> PregId {
         let mut e = self.make_entry(f, UopKind::Agi);
         e.first_of_insn = true;
-        e.imm = f.insn.imm;
-        e.src = [self.map_src(f.insn.rs), None];
+        e.imm = imm;
+        e.src = [self.map_src(base), None];
         let (p, prev) = self.alloc_dest(Reg::ADDR_TMP);
         e.dest = Some(p);
         e.dest_logical = Some(Reg::ADDR_TMP);
@@ -230,12 +243,19 @@ impl Pipeline {
     /// Renames a load according to the communication model (paper
     /// Table I): direct access, memory cloaking, delayed execution,
     /// predication insertion, or oracle forwarding.
-    fn rename_load(&mut self, f: &Fetched, width: MemWidth, signed: bool) -> usize {
-        let addr_preg = self.rename_agi(f);
+    fn rename_load(
+        &mut self,
+        f: &Fetched,
+        width: MemWidth,
+        signed: bool,
+        rd: Option<Reg>,
+        base: Reg,
+        imm: i32,
+    ) -> usize {
+        let addr_preg = self.rename_agi(f, base, imm);
         let ssn_ref = self.ssn_rename;
         let dyn_idx = self.next_load_idx;
         self.next_load_idx += 1;
-        let rd = (!f.insn.rd.is_zero()).then_some(f.insn.rd);
 
         let plan = self.plan_load(f, width, rd, ssn_ref, dyn_idx);
         let mut info = LoadInfo::new(width, signed, LoadKind::Direct, ssn_ref);
@@ -271,7 +291,6 @@ impl Pipeline {
                     e.dest = Some(p);
                     e.dest_logical = Some(l);
                     e.prev_mapping = Some(prev);
-                    e.arch_dest = Some((l, p));
                     info.result_preg = Some(p);
                 }
                 if self.cfg.comm == CommModel::Baseline {
@@ -322,7 +341,6 @@ impl Pipeline {
                 e.dest = Some(p);
                 e.dest_logical = Some(l);
                 e.prev_mapping = Some(prev);
-                e.arch_dest = Some((l, p));
                 info.kind = LoadKind::Cloaked;
                 info.ssn_byp = Some(ssn);
                 info.result_preg = Some(p);
@@ -342,7 +360,6 @@ impl Pipeline {
                 e.dest = Some(data_preg);
                 e.dest_logical = Some(l);
                 e.prev_mapping = Some(prev);
-                e.arch_dest = Some((l, data_preg));
                 // The address register is read only at verification; no
                 // consumer reference is needed because the next AGI's
                 // retirement (younger than this group) releases it.
@@ -426,7 +443,6 @@ impl Pipeline {
                 cf.dest = Some(pd);
                 cf.dest_logical = Some(l);
                 cf.prev_mapping = Some(pd);
-                cf.arch_dest = Some((l, pd));
                 info.kind = LoadKind::Predicated;
                 info.ssn_byp = Some(ssn);
                 info.low_conf = low_conf;
@@ -538,9 +554,9 @@ impl Pipeline {
     /// Upper bound on the µops the front instruction expands to, using a
     /// side-effect-free predictor peek so a DMDP load that will not be
     /// predicated does not reserve predication width.
-    fn plan_width(&self, f: &Fetched) -> usize {
-        match f.insn.op {
-            Op::Load { width, .. } => {
+    fn plan_width(&self, f: &Fetched, plan: &InsnPlan) -> usize {
+        match plan.kind {
+            PlanKind::Load { width, rd, .. } => {
                 if self.cfg.comm != CommModel::Dmdp {
                     return 2;
                 }
@@ -551,7 +567,7 @@ impl Pipeline {
                     return 2;
                 };
                 let ssn = self.ssn_rename.saturating_sub(p.distance);
-                if ssn == 0 || ssn <= self.ssn_commit || f.insn.rd.is_zero() {
+                if ssn == 0 || ssn <= self.ssn_commit || rd.is_none() {
                     return 2;
                 }
                 let Some(srb_e) = self.srb.get(ssn) else {
@@ -567,8 +583,8 @@ impl Pipeline {
                     5
                 }
             }
-            Op::Store { .. } => 2,
-            _ => 1,
+            PlanKind::Store { .. } => 2,
+            PlanKind::Simple(_) => 1,
         }
     }
 }

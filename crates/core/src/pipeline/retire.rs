@@ -186,7 +186,9 @@ impl Pipeline {
                     "control divergence: pipeline retired pc {} but emulator is at pc {}",
                     e.pc, ev.pc
                 );
-                if let Some((l, p)) = e.arch_dest {
+                // The architectural destination of the retiring
+                // instruction is its sink µop's renamed dest pair.
+                if let (Some(l), Some(p)) = (e.dest_logical, e.dest) {
                     let got = self.rf.read(p);
                     match ev.wrote {
                         Some((el, ev_val)) => {

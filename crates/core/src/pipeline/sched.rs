@@ -233,7 +233,6 @@ impl Pipeline {
 mod tests {
     use crate::config::{CommModel, CoreConfig};
     use crate::pipeline::Pipeline;
-    use crate::rob::UopState;
 
     fn pipeline(src: &str, comm: CommModel) -> Pipeline {
         let p = dmdp_isa::asm::assemble(src).unwrap();

@@ -196,10 +196,6 @@ pub struct UopEntry {
     /// Global branch history captured when the parent instruction was
     /// fetched (path-sensitive prediction and history repair).
     pub fetch_history: u32,
-    /// Architectural destination register value holder for the
-    /// instruction (set on the last µop; used by retirement stats and
-    /// co-simulation).
-    pub arch_dest: Option<(Reg, PregId)>,
 }
 
 impl UopEntry {
@@ -217,6 +213,10 @@ impl UopEntry {
 pub struct Rob {
     slots: Vec<Option<UopEntry>>,
     capacity: usize,
+    /// `capacity - 1` when the capacity is a power of two (the common
+    /// configurations), letting the ring index be a mask instead of a
+    /// 64-bit modulo on every ROB access; zero otherwise.
+    mask: u64,
     head: SeqNum,
     tail: SeqNum,
 }
@@ -229,7 +229,18 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Rob {
         assert!(capacity > 0, "ROB needs capacity");
-        Rob { slots: (0..capacity).map(|_| None).collect(), capacity, head: 0, tail: 0 }
+        let mask = if capacity.is_power_of_two() { capacity as u64 - 1 } else { 0 };
+        Rob { slots: (0..capacity).map(|_| None).collect(), capacity, mask, head: 0, tail: 0 }
+    }
+
+    /// Ring slot of a sequence number.
+    #[inline]
+    fn slot(&self, seq: SeqNum) -> usize {
+        if self.mask != 0 {
+            (seq & self.mask) as usize
+        } else {
+            (seq % self.capacity as u64) as usize
+        }
     }
 
     /// Number of live entries.
@@ -265,7 +276,7 @@ impl Rob {
     pub fn push(&mut self, entry: UopEntry) -> SeqNum {
         assert!(self.free() > 0, "ROB overflow");
         assert_eq!(entry.seq, self.tail, "seq must be allocated in order");
-        let slot = (self.tail % self.capacity as u64) as usize;
+        let slot = self.slot(self.tail);
         debug_assert!(self.slots[slot].is_none());
         self.slots[slot] = Some(entry);
         self.tail += 1;
@@ -277,7 +288,7 @@ impl Rob {
         if seq < self.head || seq >= self.tail {
             return None;
         }
-        self.slots[(seq % self.capacity as u64) as usize].as_ref()
+        self.slots[self.slot(seq)].as_ref()
     }
 
     /// Mutable lookup of a live entry.
@@ -285,7 +296,8 @@ impl Rob {
         if seq < self.head || seq >= self.tail {
             return None;
         }
-        self.slots[(seq % self.capacity as u64) as usize].as_mut()
+        let slot = self.slot(seq);
+        self.slots[slot].as_mut()
     }
 
     /// Removes and returns the head entry.
@@ -295,29 +307,39 @@ impl Rob {
     /// Panics if empty.
     pub fn pop_head(&mut self) -> UopEntry {
         assert!(!self.is_empty(), "pop from empty ROB");
-        let slot = (self.head % self.capacity as u64) as usize;
+        let slot = self.slot(self.head);
         let e = self.slots[slot].take().expect("head entry present");
         self.head += 1;
         e
     }
 
-    /// Removes every entry with `seq >= from`, youngest first, returning
-    /// them for rollback processing.
-    pub fn squash_from(&mut self, from: SeqNum) -> Vec<UopEntry> {
+    /// Removes every entry with `seq >= from`, youngest first, draining
+    /// them into `out` for rollback processing. `out` is cleared first;
+    /// recovery passes a scratch buffer it owns, so squashing — which can
+    /// happen many times per thousand cycles on branchy code — never
+    /// allocates.
+    pub fn squash_from_into(&mut self, from: SeqNum, out: &mut Vec<UopEntry>) {
+        out.clear();
         let from = from.max(self.head);
-        let mut out = Vec::new();
         while self.tail > from {
             self.tail -= 1;
-            let slot = (self.tail % self.capacity as u64) as usize;
+            let slot = self.slot(self.tail);
             out.push(self.slots[slot].take().expect("tail entry present"));
         }
+    }
+
+    /// [`Rob::squash_from_into`] returning a fresh `Vec` (test
+    /// convenience; the pipeline uses the scratch-buffer form).
+    #[cfg(test)]
+    pub fn squash_from(&mut self, from: SeqNum) -> Vec<UopEntry> {
+        let mut out = Vec::new();
+        self.squash_from_into(from, &mut out);
         out
     }
 
     /// Iterates over live entries, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &UopEntry> {
-        (self.head..self.tail)
-            .filter_map(move |s| self.slots[(s % self.capacity as u64) as usize].as_ref())
+        (self.head..self.tail).filter_map(move |s| self.slots[self.slot(s)].as_ref())
     }
 }
 
@@ -351,7 +373,6 @@ mod tests {
             group_sink: None,
             wait_for_seq: None,
             fetch_history: 0,
-            arch_dest: None,
         }
     }
 
@@ -368,6 +389,23 @@ mod tests {
         rob.push(entry(4)); // wraps the ring
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.pop_head().seq, 2);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_wraps() {
+        // Exercises the modulo fallback of the ring indexing (power-of-two
+        // capacities take the mask path).
+        let mut rob = Rob::new(3);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.pop_head().seq, 0);
+        rob.push(entry(3)); // wraps
+        assert_eq!(rob.get(3).unwrap().seq, 3);
+        assert_eq!(rob.pop_head().seq, 1);
+        assert_eq!(rob.pop_head().seq, 2);
+        assert_eq!(rob.pop_head().seq, 3);
+        assert!(rob.is_empty());
     }
 
     #[test]

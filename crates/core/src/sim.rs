@@ -4,6 +4,7 @@ use dmdp_isa::Program;
 
 use crate::config::{CommModel, CoreConfig};
 use crate::pipeline::{Pipeline, SimError};
+use crate::plan::PlanCache;
 use crate::probe::{Probe, ProbeReport};
 use crate::stats::SimStats;
 
@@ -96,6 +97,29 @@ impl Simulator {
     /// See [`Simulator::run`].
     pub fn run_shared(&self, program: &Arc<Program>) -> Result<SimReport, SimError> {
         let pipeline = Pipeline::new_shared(self.cfg.clone(), Arc::clone(program));
+        let stats = pipeline.run()?;
+        Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+
+    /// Runs a shared program image with a prebuilt [`PlanCache`] —
+    /// campaign runners build the cache once per workload and share it
+    /// across every (model × variant) job, so `stats.plan.builds` stays
+    /// zero on these runs (the build cost was paid elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` was built for a different program image.
+    pub fn run_planned(
+        &self,
+        program: &Arc<Program>,
+        plans: &Arc<PlanCache>,
+    ) -> Result<SimReport, SimError> {
+        let pipeline =
+            Pipeline::new_planned(self.cfg.clone(), Arc::clone(program), Arc::clone(plans));
         let stats = pipeline.run()?;
         Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
     }

@@ -66,6 +66,20 @@ impl SchedStats {
     }
 }
 
+/// Plan-cache counters (PR 4). Like [`SchedStats`] these describe the
+/// *simulator implementation* — how much static decode work was built vs
+/// amortised — not the simulated machine, so they are deliberately
+/// excluded from the golden-stats timing digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Static [`crate::plan::InsnPlan`]s built by this pipeline (zero
+    /// when a prebuilt cache was shared in, e.g. by the campaign
+    /// harness).
+    pub builds: u64,
+    /// Dynamic instructions fetched through the plan cache.
+    pub hits: u64,
+}
+
 /// Everything one simulation run measures.
 ///
 /// Implements `PartialEq`/`Eq` so the campaign harness can assert that
@@ -121,6 +135,9 @@ pub struct SimStats {
     /// Event-driven scheduler occupancy (simulator-side observability;
     /// not part of the timing-digest).
     pub sched: SchedStats,
+    /// Plan-cache build/hit counters (simulator-side observability; not
+    /// part of the timing-digest).
+    pub plan: PlanStats,
 }
 
 impl SimStats {

@@ -1,0 +1,94 @@
+//! Exhaustive plan-cache equivalence: for every static instruction in
+//! every `dmdp_workloads` kernel, the cached [`InsnPlan`] must agree
+//! with the legacy decode paths it replaced — `uop::expand` (which
+//! rename used to re-run per dynamic instance) for the expansion, and
+//! the `Op`-matching fetch classification for control flow.
+
+use dmdp_core::{FetchClass, InsnPlan, PlanCache, PlanKind};
+use dmdp_isa::uop::{self, UopKind};
+use dmdp_isa::{Insn, Op, Pc};
+use dmdp_workloads::Scale;
+
+/// The fetch classification exactly as the pre-cache fetch stage derived
+/// it from the instruction word (test-only oracle).
+fn legacy_fetch_class(insn: Insn) -> FetchClass {
+    match insn.op {
+        Op::Branch(_) => FetchClass::CondBranch { target: insn.imm as Pc },
+        Op::Jump => FetchClass::Jump { target: insn.imm as Pc },
+        Op::JumpAndLink => FetchClass::JumpLink { target: insn.imm as Pc },
+        Op::JumpReg => FetchClass::JumpInd { link: false },
+        Op::JumpAndLinkReg => FetchClass::JumpInd { link: true },
+        Op::Halt => FetchClass::Halt,
+        _ => FetchClass::Seq,
+    }
+}
+
+/// Checks one plan against the legacy decode of the same instruction.
+fn check_plan(kernel: &str, pc: usize, insn: Insn, plan: &InsnPlan) {
+    let ctx = format!("{kernel} pc={pc} {insn:?}");
+
+    assert_eq!(plan.fetch, legacy_fetch_class(insn), "fetch class: {ctx}");
+    assert_eq!(plan.is_halt(), insn.op == Op::Halt, "halt class: {ctx}");
+
+    // The µop expansion rename used to re-run on every dynamic instance.
+    let legacy = uop::expand(insn);
+    let legacy = legacy.as_slice();
+    assert_eq!(plan.min_width(), legacy.len(), "static width: {ctx}");
+
+    match plan.kind {
+        PlanKind::Simple(u) => {
+            assert_eq!(legacy.len(), 1, "simple plan for multi-µop insn: {ctx}");
+            let want = legacy[0];
+            assert_eq!(u.kind, want.kind, "µop kind: {ctx}");
+            assert_eq!(u.rd, want.rd, "µop rd: {ctx}");
+            assert_eq!(u.rs, want.rs, "µop rs: {ctx}");
+            assert_eq!(u.rt, want.rt, "µop rt: {ctx}");
+            assert_eq!(u.imm, want.imm, "µop imm: {ctx}");
+        }
+        PlanKind::Load { width, signed, rd, base, imm } => {
+            let Op::Load { width: w, signed: s } = insn.op else {
+                panic!("load plan for non-load: {ctx}");
+            };
+            assert_eq!((width, signed), (w, s), "load access: {ctx}");
+            // Legacy rename derived these from the AGI/access µop pair.
+            let (agi, access) = (legacy[0], legacy[1]);
+            assert_eq!(agi.kind, UopKind::Agi, "{ctx}");
+            assert_eq!(base, agi.rs, "load base: {ctx}");
+            assert_eq!(imm, agi.imm, "load displacement: {ctx}");
+            // `rd: None` encodes the legacy `insn.rd.is_zero()` check.
+            assert_eq!(rd.is_none(), access.rd.is_zero(), "load dest presence: {ctx}");
+            if let Some(l) = rd {
+                assert_eq!(l, access.rd, "load dest: {ctx}");
+            }
+        }
+        PlanKind::Store { width, data, base, imm } => {
+            let Op::Store { width: w } = insn.op else {
+                panic!("store plan for non-store: {ctx}");
+            };
+            assert_eq!(width, w, "store access: {ctx}");
+            let (agi, access) = (legacy[0], legacy[1]);
+            assert_eq!(agi.kind, UopKind::Agi, "{ctx}");
+            assert_eq!(base, agi.rs, "store base: {ctx}");
+            assert_eq!(imm, agi.imm, "store displacement: {ctx}");
+            assert_eq!(data, access.rt, "store data reg: {ctx}");
+        }
+    }
+}
+
+#[test]
+fn every_kernel_insn_plans_like_the_legacy_decode() {
+    let mut checked = 0usize;
+    for scale in [Scale::Test, Scale::Small] {
+        for w in dmdp_workloads::all(scale) {
+            let cache = PlanCache::build(&w.program);
+            assert_eq!(cache.len(), w.program.len(), "{}: full coverage", w.name);
+            assert!(cache.get(w.program.len() as Pc).is_none(), "{}: bounded", w.name);
+            for (pc, &insn) in w.program.text().iter().enumerate() {
+                let plan = cache.plan(pc as Pc);
+                check_plan(w.name, pc, insn, plan);
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100, "suite should exercise a real instruction mix, got {checked}");
+}

@@ -107,19 +107,15 @@ impl CampaignSpec {
                     continue;
                 }
             }
-            let program = Arc::new(w.program);
+            // One program image + plan cache per workload, shared by
+            // every (model × variant) job that runs it.
+            let image = crate::job::PlannedImage::new(Arc::new(w.program));
             for &model in &self.models {
                 for (label, patch) in &self.variants {
                     let mut cfg = CoreConfig::new(model);
                     patch.apply(&mut cfg);
                     jobs.push(JobSpec::new(
-                        w.name,
-                        w.suite,
-                        model,
-                        self.scale,
-                        label,
-                        cfg,
-                        Arc::clone(&program),
+                        w.name, w.suite, model, self.scale, label, cfg, &image,
                     ));
                 }
             }
@@ -536,6 +532,8 @@ mod tests {
         let lib_jobs: Vec<_> = jobs.iter().filter(|j| j.workload == "lib").collect();
         assert_eq!(lib_jobs.len(), 4);
         assert!(lib_jobs.windows(2).all(|w| Arc::ptr_eq(&w[0].program, &w[1].program)));
+        // ... and so is its plan cache.
+        assert!(lib_jobs.windows(2).all(|w| Arc::ptr_eq(&w[0].plans, &w[1].plans)));
         // All digests distinct.
         let mut digests: Vec<&str> = jobs.iter().map(|j| j.digest.as_str()).collect();
         digests.sort_unstable();

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dmdp_core::{CommModel, CoreConfig, SimStats, Simulator, SIM_VERSION};
+use dmdp_core::{CommModel, CoreConfig, PlanCache, SimStats, Simulator, SIM_VERSION};
 use dmdp_isa::Program;
 use dmdp_workloads::{Scale, Suite};
 
@@ -58,6 +58,26 @@ impl CfgPatch {
     }
 }
 
+/// A workload's assembled program paired with its static µop plan
+/// cache — built once per workload and shared (both `Arc`s) by every
+/// (model × variant) job that runs the image.
+#[derive(Debug, Clone)]
+pub struct PlannedImage {
+    /// The assembled program.
+    pub program: Arc<Program>,
+    /// The program's decode-plan table.
+    pub plans: Arc<PlanCache>,
+}
+
+impl PlannedImage {
+    /// Builds the plan cache for `program` (the one place a campaign
+    /// pays the decode cost; jobs then share the result).
+    pub fn new(program: Arc<Program>) -> PlannedImage {
+        let plans = PlanCache::shared(&program);
+        PlannedImage { program, plans }
+    }
+}
+
 /// One runnable experiment: a workload under a model and configuration.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -75,6 +95,9 @@ pub struct JobSpec {
     pub cfg: CoreConfig,
     /// The assembled program, shared across the jobs of one workload.
     pub program: Arc<Program>,
+    /// The program's static µop plan cache, built once per workload and
+    /// shared across all its (model × variant) jobs.
+    pub plans: Arc<PlanCache>,
     /// Content digest identifying this job's result (hex).
     pub digest: String,
 }
@@ -91,13 +114,16 @@ impl JobSpec {
         scale: Scale,
         variant: &str,
         cfg: CoreConfig,
-        program: Arc<Program>,
+        image: &PlannedImage,
     ) -> JobSpec {
+        // The plan cache is a pure host-side decode of the program image,
+        // so it contributes nothing to the digest beyond what
+        // `program.to_image()` already covers.
         let mut d = Digest64::new();
         d.write_str(SIM_VERSION)
             .write_str(&cfg.identity())
             .write_str(workload)
-            .write(&program.to_image());
+            .write(&image.program.to_image());
         JobSpec {
             workload: workload.to_string(),
             suite,
@@ -105,7 +131,8 @@ impl JobSpec {
             scale,
             variant: variant.to_string(),
             cfg,
-            program,
+            program: Arc::clone(&image.program),
+            plans: Arc::clone(&image.plans),
             digest: d.hex(),
         }
     }
@@ -118,7 +145,7 @@ impl JobSpec {
     pub fn execute(&self) -> Result<JobResult, String> {
         let start = Instant::now();
         let report = Simulator::with_config(self.cfg.clone())
-            .run_shared(&self.program)
+            .run_planned(&self.program, &self.plans)
             .map_err(|e| format!("{} × {} [{}]: {e}", self.workload, self.model.name(), self.variant))?;
         let wall = start.elapsed().as_secs_f64();
         Ok(JobResult::from_stats(self, report.stats, wall))
@@ -177,6 +204,12 @@ pub struct JobResult {
     pub wakeups_per_kilocycle: f64,
     /// Completion-calendar pops (zero for old artifacts).
     pub calendar_pops: u64,
+    /// Static µop plans built by this job's pipeline (zero when the
+    /// campaign shared a prebuilt cache in; zero for old artifacts).
+    pub plan_builds: u64,
+    /// Dynamic instructions fetched through the plan cache (zero for old
+    /// artifacts).
+    pub plan_hits: u64,
     /// True if this row was satisfied from a previous artifact instead
     /// of being executed.
     pub cached: bool,
@@ -211,6 +244,8 @@ impl JobResult {
             mean_ready_len: stats.sched.mean_ready_len(stats.cycles),
             wakeups_per_kilocycle: stats.sched.wakeups_per_kilocycle(stats.cycles),
             calendar_pops: stats.sched.calendar_pops,
+            plan_builds: stats.plan.builds,
+            plan_hits: stats.plan.hits,
             cached: false,
             stats: Some(stats),
         }
@@ -241,6 +276,8 @@ impl JobResult {
             ("mean_ready_len", Json::Num(self.mean_ready_len)),
             ("wakeups_per_kilocycle", Json::Num(self.wakeups_per_kilocycle)),
             ("calendar_pops", Json::Num(self.calendar_pops as f64)),
+            ("plan_builds", Json::Num(self.plan_builds as f64)),
+            ("plan_hits", Json::Num(self.plan_hits as f64)),
             ("cached", Json::Bool(self.cached)),
         ])
     }
@@ -298,6 +335,9 @@ impl JobResult {
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
             calendar_pops: v.get("calendar_pops").and_then(Json::as_u64).unwrap_or(0),
+            // Plan-cache counters (PR 4): tolerate older artifacts.
+            plan_builds: v.get("plan_builds").and_then(Json::as_u64).unwrap_or(0),
+            plan_hits: v.get("plan_hits").and_then(Json::as_u64).unwrap_or(0),
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
             stats: None,
         })
@@ -310,15 +350,8 @@ mod tests {
 
     fn tiny_spec(model: CommModel) -> JobSpec {
         let w = dmdp_workloads::by_name("lib", Scale::Test).unwrap();
-        JobSpec::new(
-            "lib",
-            w.suite,
-            model,
-            Scale::Test,
-            "main",
-            CoreConfig::new(model),
-            Arc::new(w.program),
-        )
+        let image = PlannedImage::new(Arc::new(w.program));
+        JobSpec::new("lib", w.suite, model, Scale::Test, "main", CoreConfig::new(model), &image)
     }
 
     #[test]
@@ -331,15 +364,9 @@ mod tests {
         let w = dmdp_workloads::by_name("lib", Scale::Test).unwrap();
         let mut cfg = CoreConfig::new(CommModel::Dmdp);
         CfgPatch { rob: Some(128), ..CfgPatch::default() }.apply(&mut cfg);
-        let patched = JobSpec::new(
-            "lib",
-            w.suite,
-            CommModel::Dmdp,
-            Scale::Test,
-            "rob128",
-            cfg,
-            Arc::new(w.program),
-        );
+        let image = PlannedImage::new(Arc::new(w.program));
+        let patched =
+            JobSpec::new("lib", w.suite, CommModel::Dmdp, Scale::Test, "rob128", cfg, &image);
         assert_ne!(a.digest, patched.digest);
     }
 
@@ -349,6 +376,10 @@ mod tests {
         assert!(r.cycles > 0 && r.retired_insns > 0);
         assert!((r.ipc - r.retired_insns as f64 / r.cycles as f64).abs() < 1e-12);
         assert!(!r.cached);
+        // The prebuilt cache was shared in, so this pipeline built no
+        // plans but fetched every dynamic instruction through them.
+        assert_eq!(r.plan_builds, 0);
+        assert!(r.plan_hits >= r.retired_insns);
         let stats = r.stats.as_ref().expect("live run keeps full stats");
         assert_eq!(stats.cycles, r.cycles);
     }

@@ -48,7 +48,7 @@ mod job;
 
 pub use campaign::{Campaign, CampaignSpec, RunOptions, StageWall};
 pub use digest::Digest64;
-pub use job::{CfgPatch, JobResult, JobSpec};
+pub use job::{CfgPatch, JobResult, JobSpec, PlannedImage};
 pub use json::Json;
 pub use pool::{default_workers, map_ordered, map_ordered_with, JobEvent};
 pub use report::render_campaign;

@@ -182,9 +182,13 @@ impl StoreBuffer {
     }
 
     /// Advances the buffer by one cycle: issues cache writes according to
-    /// the consistency model and returns the SSNs of stores that finished
-    /// committing this cycle, oldest first. `SSN_commit` may be advanced
-    /// to the last returned value.
+    /// the consistency model and appends the SSNs of stores that finished
+    /// committing this cycle to `committed`, oldest first. `SSN_commit`
+    /// may be advanced to the last appended value.
+    ///
+    /// Takes the output buffer from the caller so the per-cycle commit
+    /// path never allocates — the core reuses one scratch `Vec` for the
+    /// whole run.
     ///
     /// Architectural bytes are applied to `data` at issue (in SSN order),
     /// so same-address ordering is preserved even under RMO's overlapped
@@ -194,7 +198,8 @@ impl StoreBuffer {
         cycle: u64,
         mem: &mut MemHierarchy,
         data: &mut SparseMem,
-    ) -> Vec<u32> {
+        committed: &mut Vec<u32>,
+    ) {
         // Issue phase.
         let can_issue = match self.consistency {
             Consistency::Tso => self.in_flight.is_empty(),
@@ -211,7 +216,6 @@ impl StoreBuffer {
         }
         // Completion phase: pop the prefix of finished stores so that
         // SSN_commit stays "one preceding the oldest store in the buffer".
-        let mut committed = Vec::new();
         while let Some(front) = self.in_flight.front() {
             if front.done_at <= cycle {
                 committed.push(front.ssn);
@@ -220,7 +224,6 @@ impl StoreBuffer {
                 break;
             }
         }
-        committed
     }
 }
 
@@ -235,9 +238,11 @@ mod tests {
 
     fn drain(sb: &mut StoreBuffer, mem: &mut MemHierarchy, data: &mut SparseMem) -> Vec<(u64, u32)> {
         let mut out = Vec::new();
+        let mut batch = Vec::new();
         let mut cycle = 0;
         while !sb.is_empty() {
-            for ssn in sb.tick(cycle, mem, data) {
+            sb.tick(cycle, mem, data, &mut batch);
+            for ssn in batch.drain(..) {
                 out.push((cycle, ssn));
             }
             cycle += 1;

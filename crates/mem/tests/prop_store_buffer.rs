@@ -36,7 +36,7 @@ fn drain_all(
     let mut committed = Vec::new();
     let mut cycle = start;
     while !sb.is_empty() {
-        committed.extend(sb.tick(cycle, mem, data));
+        sb.tick(cycle, mem, data, &mut committed);
         cycle += 1;
         assert!(cycle < start + 1_000_000, "drain must terminate");
     }
@@ -52,7 +52,7 @@ fn run_model(stores: &[St], consistency: Consistency, coalesce: bool) -> (Sparse
     for (i, s) in stores.iter().enumerate() {
         let entry = SbEntry::new(i as u32 + 1, s.addr, s.width, s.value);
         while !sb.push(entry, coalesce) {
-            committed.extend(sb.tick(cycle, &mut mem, &mut data));
+            sb.tick(cycle, &mut mem, &mut data, &mut committed);
             cycle += 1;
             assert!(cycle < 1_000_000, "a full buffer must drain");
         }

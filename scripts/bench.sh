@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory recorder: runs the simulator-throughput bench plus a
-# timed test-scale campaign and appends one record to BENCH_PR3.json.
+# timed test-scale campaign and appends one record to BENCH_PR4.json.
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
@@ -10,23 +10,24 @@
 # per giga-op/s of host integer speed — so numbers recorded on
 # different machines (or a loaded CI box) stay comparable.
 #
-# Since PR 3 every pipeline stage carries a (disabled) probe, so this
-# run measures the no-op-probe build; the record's `probe_overhead`
-# block compares its host-normalised throughput against the last PR-2
-# record in BENCH_PR2.json — the ratio must stay within noise of 1.0.
+# Since PR 4 the simulator decodes through the static µop plan cache and
+# its recovery/commit hot paths are allocation-free; the record's
+# `plan_cache_speedup` block compares host-normalised throughput against
+# the last PR-3 record in BENCH_PR3.json (target: ratio >= 1.25).
+# Throughput is measured min-of-3 (`--repeats 3`) to strip host noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr3}"
+label="${1:-pr4}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR3.json
-prev=BENCH_PR2.json
+out=BENCH_PR4.json
+prev=BENCH_PR3.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 cargo build --release -q
-cargo bench -p dmdp-bench --bench sim_throughput -- "$@" | tee "$raw"
+cargo bench -p dmdp-bench --bench sim_throughput -- --repeats 3 "$@" | tee "$raw"
 
 camp_out=bench-results/bench-sh-campaign.json
 rm -f "$camp_out"
@@ -44,11 +45,11 @@ entries=$(awk -v calib="$calib" '$4 == "ms/run" {
         $1, $2, $3, $5, $5 * 1000 / calib
 }' "$raw" | jq -s '.')
 
-# No-op-probe overhead vs the last PR-2 record: mean host-normalised
-# MIPS over the kernel × model entries both records share.
-probe_overhead=null
+# Plan-cache speedup vs the last PR-3 record: mean host-normalised MIPS
+# over the kernel × model entries both records share.
+plan_cache_speedup=null
 if [ -s "$prev" ]; then
-    probe_overhead=$(jq --argjson entries "$entries" '
+    plan_cache_speedup=$(jq --argjson entries "$entries" '
         .[-1] as $p |
         ($p.entries | map({key: "\(.kernel)/\(.model)", value: .norm}) | from_entries) as $base |
         [$entries[] | select($base[("\(.kernel)/\(.model)")] != null)
@@ -56,7 +57,7 @@ if [ -s "$prev" ]; then
         if ($pairs | length) == 0 then null else
         {baseline_label: $p.label,
          baseline_norm_mean: (($pairs | map(.base) | add) / ($pairs | length)),
-         noop_probe_norm_mean: (($pairs | map(.cur) | add) / ($pairs | length)),
+         plan_cache_norm_mean: (($pairs | map(.cur) | add) / ($pairs | length)),
          ratio: ((($pairs | map(.cur) | add)) / (($pairs | map(.base) | add)))}
         end' "$prev")
 fi
@@ -68,10 +69,10 @@ record=$(jq -n \
     --argjson calib "$calib" \
     --argjson camp_s "$camp_s" \
     --argjson entries "$entries" \
-    --argjson po "$probe_overhead" \
+    --argjson pcs "$plan_cache_speedup" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
-      "probe_overhead": $po,
+      "plan_cache_speedup": $pcs,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"

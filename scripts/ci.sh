@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Lint gate: the workspace must be clippy-clean (all targets — lib,
+# bins, tests, benches, examples) with warnings promoted to errors.
+cargo clippy --workspace --all-targets -- -D warnings
+
 # Timing-regression gate: the golden-stats digests pin the simulated
 # timing of every (kernel × model) test-scale job. Already part of the
 # suite above, but run by name so a digest mismatch fails CI loudly and
@@ -19,10 +23,31 @@ cargo test -q -p dmdp-core --test golden_stats
 
 out=bench-results/ci-smoke.json
 rm -f "$out"
+smoke_start=$(date +%s.%N)
 cargo run --release -p dmdp-bench --bin dmdp -- \
     campaign --name ci-smoke --scale test --model all \
     --jobs "$(nproc)" --out "$out" --quiet
+smoke_end=$(date +%s.%N)
 test -s "$out"
+
+# Host-throughput smoke: the test-scale campaign must not run more than
+# 3x slower than the wall time recorded by the last PR-3 bench record.
+# A coarse gate — it only catches order-of-magnitude regressions (an
+# accidental debug-assert hot path, a reintroduced per-cycle allocation)
+# without flaking on loaded CI boxes.
+if [ -s BENCH_PR3.json ]; then
+    smoke_s=$(awk -v a="$smoke_start" -v b="$smoke_end" 'BEGIN { printf "%.3f", b - a }')
+    ref_s=$(jq -r '.[-1].campaign_test_scale_wall_s' BENCH_PR3.json)
+    if [ "$ref_s" != "null" ] && [ -n "$ref_s" ]; then
+        awk -v cur="$smoke_s" -v ref="$ref_s" 'BEGIN {
+            if (cur > 3 * ref) {
+                printf "ci: FAIL: smoke campaign took %.3fs, >3x the recorded %.3fs\n", cur, ref
+                exit 1
+            }
+            printf "ci: smoke campaign %.3fs (reference %.3fs, limit 3x)\n", cur, ref
+        }'
+    fi
+fi
 
 # Probe smoke: a traced + sampled test-scale run must emit non-empty,
 # well-formed JSON artifacts. (That probes leave simulated timing
