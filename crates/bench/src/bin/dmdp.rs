@@ -8,6 +8,7 @@ use dmdp_core::{CommModel, CoreConfig, Probe, Sample, SimReport, Simulator};
 use dmdp_harness::json::obj;
 use dmdp_harness::{render_campaign, Campaign, CampaignSpec, CfgPatch, Json, RunOptions};
 use dmdp_isa::{asm, Program};
+use dmdp_server::{serve, Client, ServeOptions, SubmitRequest};
 use dmdp_workloads::Scale;
 
 const TOP_HELP: &str = "\
@@ -20,6 +21,8 @@ SUBCOMMANDS:
     workloads    List the 21 SPEC-2006 analogue kernels
     run          Simulate one workload (or an .s/.img file) and print a report
     campaign     Run a parallel experiment campaign, write a JSON artifact
+    serve        Run a campaign daemon with a persistent result store
+    submit       Submit a campaign to a running daemon, save the artifact
     report       Render a campaign JSON artifact as human-readable tables
     asm          Assemble a source file into a binary program image
     disasm       Print the disassembly listing of a program image
@@ -83,6 +86,58 @@ reused from the existing artifact at --out: a repeated campaign executes
 zero jobs and still rewrites a complete artifact.
 ";
 
+const SERVE_HELP: &str = "\
+dmdp serve — long-running campaign daemon with a persistent
+content-addressed result store
+
+USAGE:
+    dmdp serve [OPTIONS]
+
+OPTIONS:
+    --socket <PATH>   unix socket to listen on        [default: dmdp.sock]
+    --tcp <ADDR>      also listen on TCP (e.g. 127.0.0.1:7199)
+    --store <DIR>     result store directory          [default: dmdp-store]
+    --cap-mb <N>      LRU store size cap in MiB       [default: unbounded]
+    --jobs <N>        worker threads per submission   [default: all cores]
+    --quiet           suppress per-request log lines
+    -h, --help        print this help
+
+The daemon keeps workload images and µop plan caches resident across
+requests, persists every job result under its content digest
+(store/<d[0..2]>/<digest>.json), and dedups identical in-flight jobs
+across concurrent clients — each distinct job digest is simulated at
+most once, ever. Stop it with `dmdp submit --shutdown`; running
+submissions drain first.
+";
+
+const SUBMIT_HELP: &str = "\
+dmdp submit — submit a campaign to a running `dmdp serve` daemon
+
+USAGE:
+    dmdp submit [OPTIONS]
+    dmdp submit --stats | --shutdown | --ping
+
+OPTIONS:
+    --socket <PATH>   daemon unix socket              [default: dmdp.sock]
+    --tcp <ADDR>      connect over TCP instead
+    --name <NAME>     campaign name                   [default: campaign]
+    --model <M>       baseline | nosq | dmdp | perfect | all  [default: all]
+    --scale <S>       test | small | full             [default: small]
+    --kernel <W>      restrict to one kernel (repeatable)
+    --out <FILE>      artifact path   [default: bench-results/<name>.json]
+    --quiet           suppress per-job progress lines
+    --width/--rob/--prf/--sb <N>, --rmo
+                      configuration overrides, as in `dmdp campaign`
+    --stats           print daemon statistics and exit
+    --shutdown        drain the daemon and stop it
+    --ping            liveness check
+    -h, --help        print this help
+
+The saved artifact is byte-compatible with `dmdp campaign` output —
+`dmdp report` renders it unchanged. Jobs already in the daemon's store
+are not re-simulated, so a repeated submission executes zero jobs.
+";
+
 const REPORT_HELP: &str = "\
 dmdp report — render a campaign JSON artifact as human-readable tables
 
@@ -128,6 +183,8 @@ fn main() -> ExitCode {
         Some("workloads") => helped(&args[1..], WORKLOADS_HELP, |_| cmd_workloads()),
         Some("run") => helped(&args[1..], RUN_HELP, cmd_run),
         Some("campaign") => helped(&args[1..], CAMPAIGN_HELP, cmd_campaign),
+        Some("serve") => helped(&args[1..], SERVE_HELP, cmd_serve),
+        Some("submit") => helped(&args[1..], SUBMIT_HELP, cmd_submit),
         Some("report") => helped(&args[1..], REPORT_HELP, cmd_report),
         Some("asm") => helped(&args[1..], ASM_HELP, cmd_asm),
         Some("disasm") => helped(&args[1..], DISASM_HELP, cmd_disasm),
@@ -452,6 +509,155 @@ fn cmd_campaign(args: &[String]) -> CliResult {
             println!("{:9} geomean IPC: Int {int:.3}  FP {fp:.3}{speedup}", model.name());
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut opts = ServeOptions {
+        socket: PathBuf::from("dmdp.sock"),
+        tcp: None,
+        store_dir: PathBuf::from("dmdp-store"),
+        jobs: 0, // 0 = all cores, resolved by the daemon
+        store_cap_bytes: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--socket" => opts.socket = PathBuf::from(val()?),
+            "--tcp" => opts.tcp = Some(val()?),
+            "--store" => opts.store_dir = PathBuf::from(val()?),
+            "--cap-mb" => {
+                let mb: u64 = val()?.parse().map_err(|e| format!("--cap-mb: {e}"))?;
+                opts.store_cap_bytes = Some(mb * 1024 * 1024);
+            }
+            "--jobs" => {
+                opts.jobs = val()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}` (see `dmdp serve --help`)").into()),
+        }
+    }
+    serve(&opts)?;
+    Ok(())
+}
+
+struct SubmitOpts {
+    socket: PathBuf,
+    tcp: Option<String>,
+    request: SubmitRequest,
+    kernels: Vec<String>,
+    patch: CfgPatch,
+    out: Option<PathBuf>,
+    quiet: bool,
+    mode: SubmitMode,
+}
+
+enum SubmitMode {
+    Campaign,
+    Stats,
+    Shutdown,
+    Ping,
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
+    let mut o = SubmitOpts {
+        socket: PathBuf::from("dmdp.sock"),
+        tcp: None,
+        request: SubmitRequest::new("campaign", Scale::Small),
+        kernels: Vec::new(),
+        patch: CfgPatch::default(),
+        out: None,
+        quiet: false,
+        mode: SubmitMode::Campaign,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--socket" => o.socket = PathBuf::from(val()?),
+            "--tcp" => o.tcp = Some(val()?),
+            "--name" => o.request.name = val()?,
+            "--model" => o.request.models = parse_models(&val()?)?,
+            "--scale" => o.request.scale = parse_scale(&val()?)?,
+            "--kernel" => o.kernels.push(val()?),
+            "--out" => o.out = Some(PathBuf::from(val()?)),
+            "--quiet" => o.quiet = true,
+            "--width" => o.patch.width = Some(val()?.parse().map_err(|e| format!("--width: {e}"))?),
+            "--rob" => o.patch.rob = Some(val()?.parse().map_err(|e| format!("--rob: {e}"))?),
+            "--prf" => o.patch.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
+            "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
+            "--rmo" => o.patch.rmo = true,
+            "--stats" => o.mode = SubmitMode::Stats,
+            "--shutdown" => o.mode = SubmitMode::Shutdown,
+            "--ping" => o.mode = SubmitMode::Ping,
+            other => return Err(format!("unknown option `{other}` (see `dmdp submit --help`)")),
+        }
+    }
+    if !o.kernels.is_empty() {
+        o.request.kernels = Some(o.kernels.clone());
+    }
+    if !o.patch.is_empty() {
+        o.request.variants = vec![("custom".to_string(), o.patch.clone())];
+    }
+    o.request.watch = !o.quiet;
+    Ok(o)
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    let o = parse_submit(args)?;
+    let mut client = match &o.tcp {
+        Some(addr) => Client::connect_tcp(addr)?,
+        None => Client::connect_unix(&o.socket)?,
+    };
+    match o.mode {
+        SubmitMode::Ping => {
+            let protocol = client.ping()?;
+            println!("daemon is up (protocol {protocol})");
+            return Ok(());
+        }
+        SubmitMode::Stats => {
+            print!("{}", client.stats()?.pretty());
+            println!();
+            return Ok(());
+        }
+        SubmitMode::Shutdown => {
+            client.shutdown()?;
+            println!("daemon drained and stopped");
+            return Ok(());
+        }
+        SubmitMode::Campaign => {}
+    }
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("bench-results/{}.json", o.request.name)));
+    let campaign = client.submit(&o.request, |ev| {
+        if ev.get("type").and_then(Json::as_str) == Some("finished") {
+            let field = |k: &str| ev.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            println!(
+                "{:>9} × {:<8} [{}]  IPC {:.3}  ({})",
+                field("workload"),
+                field("model"),
+                field("variant"),
+                ev.get("ipc").and_then(Json::as_f64).unwrap_or(0.0),
+                field("source"),
+            );
+        }
+    })?;
+    campaign.save(&out)?;
+    println!(
+        "{}: {} jobs, {} executed, {} cached, {:.2}s wall (daemon)",
+        out.display(),
+        campaign.jobs.len(),
+        campaign.executed,
+        campaign.cached,
+        campaign.wall_s
+    );
     Ok(())
 }
 

@@ -135,6 +135,128 @@ fn report_renders_a_campaign_artifact() {
     std::fs::remove_file(&artifact).ok();
 }
 
+/// Kills the daemon child on panic so a failed assertion can't leak a
+/// process holding the socket.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// The deterministic slice of a `dmdp report` rendering: from the IPC
+/// tables through the scheduler-occupancy section. The header and the
+/// slowest-jobs table depend on wall-clock and are excluded.
+fn deterministic_report(artifact: &std::path::Path) -> String {
+    let out = dmdp(&["report", artifact.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let from = text.find("IPC by workload").expect("IPC section present");
+    let to = text.find("slowest jobs").expect("slowest-jobs section present");
+    text[from..to].to_string()
+}
+
+/// Sorted (digest, cycles, ipc) triples of an artifact's job rows.
+fn job_triples(artifact: &std::path::Path) -> Vec<(String, u64, f64)> {
+    let text = std::fs::read_to_string(artifact).expect("artifact readable");
+    let v = dmdp_harness::Json::parse(&text).expect("artifact parses");
+    let mut rows: Vec<(String, u64, f64)> = v
+        .get("jobs")
+        .and_then(dmdp_harness::Json::as_arr)
+        .expect("jobs array")
+        .iter()
+        .map(|j| {
+            (
+                j.get("digest").and_then(dmdp_harness::Json::as_str).unwrap().to_string(),
+                j.get("cycles").and_then(dmdp_harness::Json::as_u64).unwrap(),
+                j.get("ipc").and_then(dmdp_harness::Json::as_f64).unwrap(),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+#[test]
+fn submitted_artifact_matches_a_local_campaign_and_reuses_the_store() {
+    let dir = temp("daemon");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("dmdp.sock");
+    let store = dir.join("store");
+    let local = dir.join("local.json");
+    let remote = dir.join("remote.json");
+    let remote2 = dir.join("remote2.json");
+
+    // A cold local campaign is the golden reference.
+    let spec: &[&str] =
+        &["--name", "golden", "--scale", "test", "--kernel", "lib", "--kernel", "hmmer", "--quiet"];
+    let out = dmdp(
+        &[&["campaign"], spec, &["--force", "--out", local.to_str().unwrap()]].concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let child = Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .current_dir(std::env::temp_dir())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Same sweep through the daemon: the artifact must carry the same
+    // digests and numbers and render the same report.
+    let submit: &[&str] = &["submit", "--socket", socket.to_str().unwrap()];
+    let out = dmdp(&[submit, spec, &["--out", remote.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(job_triples(&local), job_triples(&remote), "daemon results diverge from local");
+    assert_eq!(
+        deterministic_report(&local),
+        deterministic_report(&remote),
+        "submitted artifact renders differently"
+    );
+
+    // A second identical submission executes nothing — all store hits.
+    let out = dmdp(&[submit, spec, &["--out", remote2.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 executed, 8 cached"), "{}", stdout(&out));
+    assert_eq!(job_triples(&remote), job_triples(&remote2));
+
+    // Graceful stop: the daemon acknowledges, exits cleanly, and removes
+    // its socket file.
+    let out = dmdp(&[submit, &["--shutdown"]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let status = child.0.wait().expect("daemon reaps");
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file left behind");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_without_a_daemon_fails_cleanly() {
+    let socket = temp("no-daemon.sock");
+    std::fs::remove_file(&socket).ok();
+    let out = dmdp(&["submit", "--socket", socket.to_str().unwrap(), "--ping"]);
+    assert!(!out.status.success(), "ping with no daemon must fail");
+    assert!(stderr(&out).contains("no-daemon.sock"), "{}", stderr(&out));
+}
+
 #[test]
 fn report_fails_on_missing_or_malformed_artifact() {
     let out = dmdp(&["report", "definitely-not-here.json"]);

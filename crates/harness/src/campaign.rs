@@ -136,10 +136,14 @@ impl CampaignSpec {
         let build_s = start.elapsed().as_secs_f64();
 
         let cache_start = Instant::now();
+        let mut cache_warning: Option<String> = None;
         let cached: Vec<Option<JobResult>> = match &opts.cache {
-            Some(path) if path.exists() => {
-                let prior = Campaign::load(path)?;
-                specs
+            // A cache artifact that fails to load — a schema version from
+            // a different binary generation, a truncated write, plain
+            // garbage — must not abort the campaign: it is only a cache.
+            // Warn, pretend it was absent and recompute every job.
+            Some(path) if path.exists() => match Campaign::load(path) {
+                Ok(prior) => specs
                     .iter()
                     .map(|s| {
                         prior.jobs.iter().find(|r| r.digest == s.digest).map(|r| JobResult {
@@ -148,8 +152,17 @@ impl CampaignSpec {
                             ..r.clone()
                         })
                     })
-                    .collect()
-            }
+                    .collect(),
+                Err(e) => {
+                    let msg = format!(
+                        "cache artifact {} is unusable ({e}); re-running every job",
+                        path.display()
+                    );
+                    eprintln!("dmdp: warning: {msg}");
+                    cache_warning = Some(msg);
+                    specs.iter().map(|_| None).collect()
+                }
+            },
             _ => specs.iter().map(|_| None).collect(),
         };
         let cache_s = cache_start.elapsed().as_secs_f64();
@@ -220,6 +233,7 @@ impl CampaignSpec {
             stages: StageWall { build_s, cache_s, exec_s, aggregate_s: 0.0 },
             executed: jobs.len() - cached_hits,
             cached: cached_hits,
+            cache_warning,
             jobs,
         };
         campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
@@ -278,6 +292,10 @@ pub struct Campaign {
     pub executed: usize,
     /// Jobs satisfied from the digest cache.
     pub cached: usize,
+    /// Why the digest cache was ignored this run, if it was (an
+    /// unreadable or schema-mismatched prior artifact). Transient — not
+    /// serialized into the artifact.
+    pub cache_warning: Option<String>,
     /// Per-job results, in job-list order.
     pub jobs: Vec<JobResult>,
 }
@@ -482,6 +500,7 @@ impl Campaign {
             },
             executed: v.get("executed").and_then(Json::as_u64).unwrap_or(0) as usize,
             cached: v.get("cached").and_then(Json::as_u64).unwrap_or(0) as usize,
+            cache_warning: None,
             jobs,
         })
     }

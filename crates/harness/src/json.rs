@@ -6,6 +6,11 @@
 //! escapes, finite numbers, booleans and null. Numbers are stored as
 //! `f64`; every count the harness serializes is far below 2^53, where
 //! `f64` is exact.
+//!
+//! The parser also reads bytes off a socket (the `dmdp serve` protocol),
+//! so it must reject — never panic on — arbitrary garbage: every
+//! malformed document returns a positioned error, and nesting depth is
+//! capped so a bracket bomb cannot overflow the parse recursion.
 
 use std::fmt::Write as _;
 
@@ -84,6 +89,46 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no whitespace — the framing
+    /// the newline-delimited `dmdp serve` protocol needs (one document
+    /// per line, never an embedded `\n`).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -133,7 +178,7 @@ impl Json {
 
     /// Parses a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -178,14 +223,28 @@ fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Real artifacts nest
+/// four or five levels; the cap only exists so a hostile `[[[[…` off a
+/// socket errors out instead of overflowing the recursion stack.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> String {
         format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -303,10 +362,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -317,6 +378,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -326,10 +388,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -345,6 +409,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -414,6 +479,34 @@ mod tests {
             let e = Json::parse(bad).unwrap_err();
             assert!(e.contains("JSON parse error"), "{bad}: {e}");
         }
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let v = obj([
+            ("name", Json::Str("a \"b\"\nc".into())),
+            ("jobs", Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Bool(true)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Json::parse(&line).unwrap(), v);
+        assert_eq!(Json::Arr(vec![]).compact(), "[]");
+        assert_eq!(
+            obj([("a", Json::Num(1.0)), ("b", Json::Str("x".into()))]).compact(),
+            r#"{"a":1,"b":"x"}"#
+        );
+    }
+
+    #[test]
+    fn bracket_bombs_error_instead_of_overflowing() {
+        for bomb in ["[".repeat(100_000), "[{\"k\": ".repeat(50_000)] {
+            let e = Json::parse(&bomb).unwrap_err();
+            assert!(e.contains("nesting"), "{e}");
+        }
+        // Deep-but-legal nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -134,6 +134,47 @@ fn unchanged_campaign_hits_the_cache_completely() {
 }
 
 #[test]
+fn unusable_cache_artifact_warns_and_recomputes() {
+    let dir = tmp_dir("doctored");
+    let path = dir.join("old.json");
+
+    // A doctored artifact from an older binary generation: valid JSON,
+    // wrong schema version. `--resume` against it must not abort the
+    // campaign and must not silently pretend the cache was empty either
+    // — it recomputes everything and says why.
+    std::fs::write(&path, "{\"schema\": 99, \"campaign\": \"old\", \"jobs\": []}\n").unwrap();
+    let spec = CampaignSpec::new("doctored", Scale::Test)
+        .models([CommModel::Dmdp])
+        .kernels(["lib", "mcf"]);
+    let campaign = spec
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .expect("schema mismatch must degrade to a cold run, not an error");
+    assert_eq!(campaign.executed, 2);
+    assert_eq!(campaign.cached, 0);
+    let warning = campaign.cache_warning.as_deref().expect("warning recorded");
+    assert!(warning.contains("schema"), "{warning}");
+    assert!(warning.contains("re-running"), "{warning}");
+
+    // Garbage bytes behave the same way.
+    std::fs::write(&path, "}{ not json").unwrap();
+    let campaign = spec
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .unwrap();
+    assert_eq!(campaign.executed, 2);
+    assert!(campaign.cache_warning.is_some());
+
+    // A healthy artifact keeps `cache_warning` empty.
+    campaign.save(&path).unwrap();
+    let warm = spec
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .unwrap();
+    assert_eq!(warm.executed, 0);
+    assert!(warm.cache_warning.is_none());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cache_is_keyed_by_content_not_position() {
     let dir = tmp_dir("content");
     let path = dir.join("c.json");

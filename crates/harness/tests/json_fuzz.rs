@@ -1,0 +1,150 @@
+//! Fuzz-style robustness tests for `harness::json`.
+//!
+//! The parser now reads bytes off the `dmdp serve` socket, so any input
+//! — truncated, bit-flipped, spliced, or outright garbage — must come
+//! back as `Ok` or a positioned `Err`, never a panic or a stack
+//! overflow. The mutations are deterministic (in-repo xoshiro PRNG), so
+//! a failure reproduces exactly.
+
+use dmdp_harness::json::obj;
+use dmdp_harness::Json;
+use dmdp_prng::Prng;
+
+/// A document shaped like the real wire traffic: nested objects, arrays,
+/// every scalar kind, escapes and non-ASCII text.
+fn seed_document() -> String {
+    obj([
+        ("schema", Json::Num(1.0)),
+        ("campaign", Json::Str("fuzz \"quoted\" \n\t\\ λ".into())),
+        ("wall_s", Json::Num(0.03125)),
+        ("negative", Json::Num(-17.5)),
+        ("big", Json::Num(9.007199254740991e15)),
+        ("tiny", Json::Num(1.0e-9)),
+        ("flag", Json::Bool(true)),
+        ("off", Json::Bool(false)),
+        ("nothing", Json::Null),
+        (
+            "jobs",
+            Json::Arr(vec![
+                obj([
+                    ("workload", Json::Str("hmmer".into())),
+                    ("digest", Json::Str("0123456789abcdef".into())),
+                    ("ipc", Json::Num(2.125)),
+                    ("cached", Json::Bool(false)),
+                ]),
+                Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str(String::new())]),
+                Json::Obj(vec![]),
+            ]),
+        ),
+    ])
+    .pretty()
+}
+
+/// Asserts the contract: the parser returns, and failures carry the
+/// standard positioned message.
+fn must_not_panic(text: &str) {
+    if let Err(e) = Json::parse(text) {
+        assert!(e.contains("JSON parse error"), "unpositioned error for {text:?}: {e}");
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_document_is_handled() {
+    let doc = seed_document();
+    for cut in 0..doc.len() {
+        if doc.is_char_boundary(cut) {
+            must_not_panic(&doc[..cut]);
+        }
+    }
+}
+
+#[test]
+fn random_byte_mutations_are_handled() {
+    let doc = seed_document();
+    let mut rng = Prng::new(0xf00d_2026);
+    for _ in 0..2_000 {
+        let mut bytes = doc.clone().into_bytes();
+        // 1–4 point mutations: overwrite, insert, or delete a byte.
+        for _ in 0..1 + rng.index(4) {
+            let kind = rng.index(3);
+            let at = rng.index(bytes.len().max(1));
+            let b = (rng.next_u32() & 0xff) as u8;
+            match kind {
+                0 => {
+                    if at < bytes.len() {
+                        bytes[at] = b;
+                    }
+                }
+                1 => bytes.insert(at.min(bytes.len()), b),
+                _ => {
+                    if at < bytes.len() {
+                        bytes.remove(at);
+                    }
+                }
+            }
+        }
+        // Socket framing decodes UTF-8 first; non-UTF-8 mutants are
+        // rejected there, before the parser ever sees them.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            must_not_panic(text);
+        }
+    }
+}
+
+#[test]
+fn random_document_splices_are_handled() {
+    let doc = seed_document();
+    let mut rng = Prng::new(0xbeef_cafe);
+    for _ in 0..2_000 {
+        let a = rng.index(doc.len() + 1);
+        let b = rng.index(doc.len() + 1);
+        let (a, b) = (a.min(b), a.max(b));
+        if doc.is_char_boundary(a) && doc.is_char_boundary(b) {
+            // Cut [a, b) out, or double it in place.
+            let cut = format!("{}{}", &doc[..a], &doc[b..]);
+            must_not_panic(&cut);
+            let doubled = format!("{}{}{}", &doc[..b], &doc[a..b], &doc[b..]);
+            must_not_panic(&doubled);
+        }
+    }
+}
+
+#[test]
+fn adversarial_corpus_is_rejected_not_panicked() {
+    for bad in [
+        "",
+        " ",
+        "\u{feff}{}",
+        "nul",
+        "truefalse",
+        "\"\\u12",
+        "\"\\u123g\"",
+        "\"\\",
+        "-",
+        "+1",
+        "1e",
+        "1e999",
+        "0x10",
+        "--5",
+        "1.2.3",
+        "[,]",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\"}",
+        "{:1}",
+        "{1:2}",
+        "[}",
+        "{]",
+        "\"unterminated",
+        "{\"k\": \"v\"",
+        "[[[[[",
+        "{\"a\": {\"b\": ",
+        "null null",
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted garbage: {bad:?}");
+        must_not_panic(bad);
+    }
+    // Huge flat array: legal, must parse without deep recursion.
+    let flat = format!("[{}1]", "1,".repeat(50_000));
+    assert!(Json::parse(&flat).is_ok());
+}

@@ -1,0 +1,158 @@
+//! The `dmdp submit` client side of the daemon protocol.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use dmdp_harness::{Campaign, Json};
+
+use crate::protocol::{self, LineEvent, LineReader, Request, SubmitRequest};
+
+/// A connected daemon client. One connection can carry any number of
+/// requests in sequence.
+pub struct Client {
+    reader: LineReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects over a unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, stringified with the socket path.
+    pub fn connect_unix(path: &Path) -> Result<Client, String> {
+        let stream =
+            UnixStream::connect(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let read_half = stream.try_clone().map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Client {
+            reader: LineReader::new(Box::new(read_half)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Connects over TCP (e.g. `127.0.0.1:7199`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, stringified with the address.
+    pub fn connect_tcp(addr: &str) -> Result<Client, String> {
+        let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+        Ok(Client {
+            reader: LineReader::new(Box::new(read_half)),
+            writer: Box::new(stream),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        protocol::write_msg(&mut self.writer, &req.to_json())
+    }
+
+    /// The next complete message from the daemon. Blocks; `Idle` never
+    /// surfaces here because client sockets have no read timeout.
+    fn next_msg(&mut self) -> Result<Json, String> {
+        loop {
+            match self.reader.read_line()? {
+                LineEvent::Line(text) => {
+                    return Json::parse(&text)
+                        .map_err(|e| format!("daemon sent a malformed message: {e}"));
+                }
+                LineEvent::Eof => return Err("daemon closed the connection".to_string()),
+                LineEvent::Idle => continue,
+            }
+        }
+    }
+
+    /// If the message is an `error`, surfaces it as `Err`.
+    fn check_error(msg: &Json) -> Result<(), String> {
+        if msg.get("type").and_then(Json::as_str) == Some("error") {
+            let detail = msg
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("(no detail)");
+            return Err(format!("daemon error: {detail}"));
+        }
+        Ok(())
+    }
+
+    /// Liveness check; returns the daemon's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`pong` reply.
+    pub fn ping(&mut self) -> Result<u64, String> {
+        self.send(&Request::Ping)?;
+        let msg = self.next_msg()?;
+        Self::check_error(&msg)?;
+        match msg.get("type").and_then(Json::as_str) {
+            Some("pong") => Ok(msg.get("protocol").and_then(Json::as_u64).unwrap_or(0)),
+            other => Err(format!("expected pong, got `{}`", other.unwrap_or("?"))),
+        }
+    }
+
+    /// Fetches the daemon's stats document.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`stats` reply.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.send(&Request::Stats)?;
+        let msg = self.next_msg()?;
+        Self::check_error(&msg)?;
+        match msg.get("type").and_then(Json::as_str) {
+            Some("stats") => Ok(msg),
+            other => Err(format!("expected stats, got `{}`", other.unwrap_or("?"))),
+        }
+    }
+
+    /// Asks the daemon to drain running submissions and exit. Returns
+    /// once the daemon acknowledges — i.e. after the drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`ok` reply.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.send(&Request::Shutdown)?;
+        let msg = self.next_msg()?;
+        Self::check_error(&msg)?;
+        match msg.get("type").and_then(Json::as_str) {
+            Some("ok") => Ok(()),
+            other => Err(format!("expected ok, got `{}`", other.unwrap_or("?"))),
+        }
+    }
+
+    /// Submits a campaign and blocks until the daemon returns the
+    /// complete artifact. When the request asked to `watch`, every
+    /// `started`/`finished` event is handed to `on_event` as it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a daemon-side `error` reply, or an artifact
+    /// that does not deserialize.
+    pub fn submit(
+        &mut self,
+        req: &SubmitRequest,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Campaign, String> {
+        self.send(&Request::Submit(req.clone()))?;
+        loop {
+            let msg = self.next_msg()?;
+            Self::check_error(&msg)?;
+            match msg.get("type").and_then(Json::as_str) {
+                Some("started") | Some("finished") => on_event(&msg),
+                Some("artifact") => {
+                    let campaign =
+                        msg.get("campaign").ok_or("artifact reply without a campaign")?;
+                    return Campaign::from_json(campaign);
+                }
+                other => {
+                    return Err(format!(
+                        "unexpected daemon message `{}`",
+                        other.unwrap_or("?")
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The `dmdp serve` campaign daemon.
+//!
+//! A long-running process that listens on a unix socket (and optionally
+//! a TCP port), accepts newline-delimited JSON campaign requests, and
+//! executes them on the harness's work-stealing pool. What makes it more
+//! than `dmdp campaign` in a loop:
+//!
+//! * **Resident images** — each workload's [`PlannedImage`] (assembled
+//!   program + static µop plan cache) is built once per scale and kept
+//!   `Arc`-shared across every request that needs it, so repeat sweeps
+//!   never pay generation or decode again.
+//! * **Persistent results** — every completed job lands in the
+//!   content-addressed [`Store`]; any later request for the same digest
+//!   (this client or another, before or after a restart) is a disk read.
+//! * **In-flight dedup** — concurrent clients submitting overlapping
+//!   sweeps race on a digest-keyed in-flight table: the first request
+//!   executes a job, everyone else blocks on it and shares the result,
+//!   so each digest is simulated at most once.
+//! * **Graceful shutdown** — a `shutdown` request stops new submissions
+//!   and drains running ones; every connected client still receives its
+//!   complete artifact (or an explicit error) before the daemon exits.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dmdp_core::{CoreConfig, SIM_VERSION};
+use dmdp_harness::json::obj;
+use dmdp_harness::{pool, Campaign, JobResult, JobSpec, Json, PlannedImage, StageWall};
+use dmdp_workloads::{Scale, Suite};
+
+use crate::protocol::{self, LineEvent, LineReader, Request, SubmitRequest, PROTOCOL_VERSION};
+use crate::store::Store;
+
+/// Configuration of one [`serve`] invocation.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Optional additional TCP listen address (e.g. `127.0.0.1:7199`).
+    pub tcp: Option<String>,
+    /// Root directory of the content-addressed result store.
+    pub store_dir: PathBuf,
+    /// Worker threads per submit request.
+    pub jobs: usize,
+    /// LRU byte cap for the store (`None` = unbounded).
+    pub store_cap_bytes: Option<u64>,
+    /// Suppress per-request log lines.
+    pub quiet: bool,
+}
+
+/// Final counters, returned when the daemon drains and exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonReport {
+    /// Protocol requests handled (all types).
+    pub requests: u64,
+    /// Submit requests completed.
+    pub submits: u64,
+    /// Jobs actually simulated.
+    pub executed: u64,
+    /// Jobs satisfied from the persistent store.
+    pub store_hits: u64,
+    /// Jobs satisfied by waiting on another request's identical
+    /// in-flight job.
+    pub dedup_hits: u64,
+}
+
+/// One digest's in-flight slot: the owner executes, everyone else waits
+/// on the condvar until the (summary) result is published.
+#[derive(Default)]
+struct Inflight {
+    slot: Mutex<Option<Result<JobResult, String>>>,
+    cv: Condvar,
+}
+
+struct ResidentImage {
+    name: String,
+    suite: Suite,
+    image: PlannedImage,
+}
+
+struct Shared {
+    store: Store,
+    jobs: usize,
+    quiet: bool,
+    /// Workload images resident per scale, in the paper's reporting
+    /// order — the same order `CampaignSpec::jobs` produces, so daemon
+    /// artifacts are row-for-row comparable with local campaigns.
+    images: Mutex<HashMap<&'static str, Arc<Vec<ResidentImage>>>>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    shutdown: AtomicBool,
+    active_submits: AtomicUsize,
+    requests: AtomicU64,
+    submits: AtomicU64,
+    executed: AtomicU64,
+    store_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+}
+
+/// Runs the daemon until a client asks it to shut down. Binds the unix
+/// socket (replacing a stale socket file from a dead daemon), opens the
+/// store, then serves connections — each on its own thread — until a
+/// `shutdown` request drains the running submits.
+///
+/// # Errors
+///
+/// Socket/store setup failures, or another live daemon on the socket.
+pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
+    let store = Store::open(&opts.store_dir, opts.store_cap_bytes)?;
+    if opts.socket.exists() {
+        if UnixStream::connect(&opts.socket).is_ok() {
+            return Err(format!(
+                "{}: a daemon is already listening there",
+                opts.socket.display()
+            ));
+        }
+        // Dead daemon's leftover — safe to replace.
+        std::fs::remove_file(&opts.socket)
+            .map_err(|e| format!("{}: {e}", opts.socket.display()))?;
+    }
+    if let Some(dir) = opts.socket.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    let listener = UnixListener::bind(&opts.socket)
+        .map_err(|e| format!("{}: {e}", opts.socket.display()))?;
+    listener.set_nonblocking(true).map_err(|e| format!("socket: {e}"))?;
+    let tcp = match &opts.tcp {
+        Some(addr) => {
+            let l = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            l.set_nonblocking(true).map_err(|e| format!("{addr}: {e}"))?;
+            Some(l)
+        }
+        None => None,
+    };
+    let shared = Shared {
+        store,
+        jobs: if opts.jobs == 0 { pool::default_workers() } else { opts.jobs },
+        quiet: opts.quiet,
+        images: Mutex::new(HashMap::new()),
+        inflight: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        active_submits: AtomicUsize::new(0),
+        requests: AtomicU64::new(0),
+        submits: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
+        store_hits: AtomicU64::new(0),
+        dedup_hits: AtomicU64::new(0),
+    };
+    if !opts.quiet {
+        let tcp_note = opts.tcp.as_deref().map(|a| format!(" and tcp {a}")).unwrap_or_default();
+        println!(
+            "dmdp serve: listening on {}{tcp_note}  (store {}: {} results, {} workers)",
+            opts.socket.display(),
+            opts.store_dir.display(),
+            shared.store.len(),
+            shared.jobs
+        );
+    }
+    std::thread::scope(|scope| {
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut accepted = false;
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    let shared = &shared;
+                    scope.spawn(move || handle_unix(shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => {}
+            }
+            if let Some(tcp) = &tcp {
+                match tcp.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        let shared = &shared;
+                        scope.spawn(move || handle_tcp(shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if !accepted {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    });
+    std::fs::remove_file(&opts.socket).ok();
+    let report = DaemonReport {
+        requests: shared.requests.load(Ordering::Relaxed),
+        submits: shared.submits.load(Ordering::Relaxed),
+        executed: shared.executed.load(Ordering::Relaxed),
+        store_hits: shared.store_hits.load(Ordering::Relaxed),
+        dedup_hits: shared.dedup_hits.load(Ordering::Relaxed),
+    };
+    if !opts.quiet {
+        println!(
+            "dmdp serve: drained and stopped  ({} submits: {} executed, {} store hits, {} in-flight dedups)",
+            report.submits, report.executed, report.store_hits, report.dedup_hits
+        );
+    }
+    Ok(report)
+}
+
+fn handle_unix(shared: &Shared, stream: UnixStream) {
+    // The accepted socket must block with a timeout: the read loop polls
+    // the shutdown flag between timeouts instead of hanging forever on
+    // an idle client.
+    stream.set_nonblocking(false).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+    let Ok(writer) = stream.try_clone() else { return };
+    handle(shared, stream, writer);
+}
+
+fn handle_tcp(shared: &Shared, stream: std::net::TcpStream) {
+    stream.set_nonblocking(false).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+    let Ok(writer) = stream.try_clone() else { return };
+    handle(shared, stream, writer);
+}
+
+fn write_locked<W: Write>(writer: &Mutex<W>, msg: &Json) -> Result<(), String> {
+    protocol::write_msg(&mut *writer.lock().unwrap(), msg)
+}
+
+/// Serves one connection: a sequence of requests, each answered in
+/// order. Protocol-level failures (unparseable line, truncated message)
+/// get an `error` reply and close the connection; request-level failures
+/// (unknown kernel, aborted job) get an `error` reply and the
+/// conversation continues.
+fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
+    let mut reader = LineReader::new(reader);
+    let writer = Mutex::new(writer);
+    loop {
+        match reader.read_line() {
+            Ok(LineEvent::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = write_locked(&writer, &protocol::error_msg("daemon is shutting down"));
+                    return;
+                }
+            }
+            Ok(LineEvent::Eof) => return,
+            Err(e) => {
+                let _ = write_locked(&writer, &protocol::error_msg(&e));
+                return;
+            }
+            Ok(LineEvent::Line(text)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let request = Json::parse(&text).and_then(|v| Request::from_json(&v));
+                match request {
+                    Err(e) => {
+                        let _ = write_locked(&writer, &protocol::error_msg(&e));
+                        return;
+                    }
+                    Ok(Request::Ping) => {
+                        if write_locked(&writer, &protocol::pong_msg()).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Request::Stats) => {
+                        if write_locked(&writer, &stats_msg(shared)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Request::Shutdown) => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        while shared.active_submits.load(Ordering::SeqCst) > 0 {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        let _ = write_locked(&writer, &protocol::ok_msg());
+                        return;
+                    }
+                    Ok(Request::Submit(req)) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            let _ = write_locked(
+                                &writer,
+                                &protocol::error_msg("daemon is shutting down"),
+                            );
+                            continue;
+                        }
+                        if let Err(e) = run_submit(shared, &req, &writer) {
+                            let _ = write_locked(&writer, &protocol::error_msg(&e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The resident image set for one scale, building (and keeping) all 21
+/// workloads on first use. Holding the map lock across the build also
+/// serializes concurrent first requests, so the images are built once.
+fn resident_images(shared: &Shared, scale: Scale) -> Arc<Vec<ResidentImage>> {
+    let mut map = shared.images.lock().unwrap();
+    if let Some(v) = map.get(scale.name()) {
+        return Arc::clone(v);
+    }
+    let built: Vec<ResidentImage> = dmdp_workloads::all(scale)
+        .into_iter()
+        .map(|w| ResidentImage {
+            name: w.name.to_string(),
+            suite: w.suite,
+            image: PlannedImage::new(Arc::new(w.program)),
+        })
+        .collect();
+    let arc = Arc::new(built);
+    map.insert(scale.name(), Arc::clone(&arc));
+    arc
+}
+
+/// Materializes a request's job list against the resident images — the
+/// same cross product, order and digests as `CampaignSpec::jobs`.
+fn build_jobs(shared: &Shared, req: &SubmitRequest) -> Result<Vec<JobSpec>, String> {
+    let resident = resident_images(shared, req.scale);
+    if let Some(filter) = &req.kernels {
+        for name in filter {
+            if !resident.iter().any(|w| &w.name == name) {
+                let known: Vec<&str> = resident.iter().map(|w| w.name.as_str()).collect();
+                return Err(format!(
+                    "unknown workload `{name}`; valid kernels: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    let mut jobs = Vec::new();
+    for w in resident.iter() {
+        if let Some(filter) = &req.kernels {
+            if !filter.iter().any(|n| n == &w.name) {
+                continue;
+            }
+        }
+        for &model in &req.models {
+            for (label, patch) in &req.variants {
+                let mut cfg = CoreConfig::new(model);
+                patch.apply(&mut cfg);
+                jobs.push(JobSpec::new(&w.name, w.suite, model, req.scale, label, cfg, &w.image));
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// How a job was satisfied, for events, log lines and stats.
+const SRC_EXECUTED: &str = "executed";
+const SRC_STORE: &str = "store";
+const SRC_DEDUP: &str = "dedup";
+
+/// Satisfies one job: persistent store first, then the in-flight table
+/// (wait on an identical running job), then actually simulate — and
+/// publish the result to both waiters and the store.
+fn run_job(shared: &Shared, spec: &JobSpec) -> Result<(JobResult, &'static str), String> {
+    if let Some(hit) = shared.store.get(&spec.digest) {
+        shared.store_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((hit, SRC_STORE));
+    }
+    let (slot, owner) = {
+        let mut map = shared.inflight.lock().unwrap();
+        match map.get(&spec.digest) {
+            Some(arc) => (Arc::clone(arc), false),
+            None => {
+                let arc = Arc::new(Inflight::default());
+                map.insert(spec.digest.clone(), Arc::clone(&arc));
+                (arc, true)
+            }
+        }
+    };
+    if owner {
+        let result = spec.execute();
+        if let Ok(r) = &result {
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = shared.store.put(r) {
+                // Persistence failure degrades durability, not the run.
+                eprintln!("dmdp serve: warning: {e}");
+            }
+        }
+        // Publish a summary copy (waiters never need the full stats),
+        // then retire the in-flight entry.
+        let summary = result
+            .clone()
+            .map(|mut r| {
+                r.stats = None;
+                r
+            });
+        *slot.slot.lock().unwrap() = Some(summary);
+        slot.cv.notify_all();
+        shared.inflight.lock().unwrap().remove(&spec.digest);
+        result.map(|r| (r, SRC_EXECUTED))
+    } else {
+        shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        let mut guard = slot.slot.lock().unwrap();
+        while guard.is_none() {
+            guard = slot.cv.wait(guard).unwrap();
+        }
+        match guard.as_ref().expect("published above") {
+            Ok(r) => {
+                let mut r = r.clone();
+                r.cached = true;
+                Ok((r, SRC_DEDUP))
+            }
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// Runs a submit request end to end: build the job list against resident
+/// images, fan it out on the pool (streaming events if asked), assemble
+/// a campaign artifact and send it back.
+fn run_submit<W: Write + Send>(
+    shared: &Shared,
+    req: &SubmitRequest,
+    writer: &Mutex<W>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    shared.active_submits.fetch_add(1, Ordering::SeqCst);
+    let outcome = run_submit_inner(shared, req, writer, start);
+    shared.active_submits.fetch_sub(1, Ordering::SeqCst);
+    outcome
+}
+
+fn run_submit_inner<W: Write + Send>(
+    shared: &Shared,
+    req: &SubmitRequest,
+    writer: &Mutex<W>,
+    start: Instant,
+) -> Result<(), String> {
+    let specs = build_jobs(shared, req)?;
+    let build_s = start.elapsed().as_secs_f64();
+    let exec_start = Instant::now();
+    let outcomes = pool::map_ordered(&specs, shared.jobs, |i, spec| {
+        if req.watch {
+            let _ = write_locked(
+                writer,
+                &protocol::started_msg(i, &spec.workload, spec.model, &spec.variant),
+            );
+        }
+        let claimed_s = exec_start.elapsed().as_secs_f64();
+        let out = run_job(shared, spec).map(|(mut r, src)| {
+            if src == SRC_EXECUTED {
+                r.started_s = claimed_s;
+                r.finished_s = exec_start.elapsed().as_secs_f64();
+            }
+            (r, src)
+        });
+        if req.watch {
+            if let Ok((r, src)) = &out {
+                let _ = write_locked(writer, &protocol::finished_msg(i, r, src));
+            }
+        }
+        out
+    });
+    let exec_s = exec_start.elapsed().as_secs_f64();
+
+    let agg_start = Instant::now();
+    let mut jobs = Vec::with_capacity(outcomes.len());
+    let (mut executed, mut from_store, mut from_dedup) = (0usize, 0usize, 0usize);
+    for outcome in outcomes {
+        let (r, src) = outcome?;
+        match src {
+            SRC_EXECUTED => executed += 1,
+            SRC_STORE => from_store += 1,
+            _ => from_dedup += 1,
+        }
+        jobs.push(r);
+    }
+    let mut campaign = Campaign {
+        name: req.name.clone(),
+        scale: req.scale,
+        sim_version: SIM_VERSION.to_string(),
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        wall_s: start.elapsed().as_secs_f64(),
+        stages: StageWall { build_s, cache_s: 0.0, exec_s, aggregate_s: 0.0 },
+        executed,
+        cached: from_store + from_dedup,
+        cache_warning: None,
+        jobs,
+    };
+    campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
+    shared.submits.fetch_add(1, Ordering::Relaxed);
+    if !shared.quiet {
+        println!(
+            "dmdp serve: submit `{}`: {} jobs  ({executed} executed, {from_store} store, {from_dedup} dedup)  {:.2}s",
+            req.name,
+            campaign.jobs.len(),
+            campaign.wall_s
+        );
+    }
+    write_locked(writer, &protocol::artifact_msg(campaign.to_json()))
+}
+
+fn stats_msg(shared: &Shared) -> Json {
+    let store = shared.store.stats();
+    let resident: usize = shared.images.lock().unwrap().values().map(|v| v.len()).sum();
+    obj([
+        ("type", Json::Str("stats".into())),
+        ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+        ("sim_version", Json::Str(SIM_VERSION.to_string())),
+        ("requests", Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
+        ("submits", Json::Num(shared.submits.load(Ordering::Relaxed) as f64)),
+        ("executed", Json::Num(shared.executed.load(Ordering::Relaxed) as f64)),
+        ("store_hits", Json::Num(shared.store_hits.load(Ordering::Relaxed) as f64)),
+        ("dedup_hits", Json::Num(shared.dedup_hits.load(Ordering::Relaxed) as f64)),
+        ("active_submits", Json::Num(shared.active_submits.load(Ordering::SeqCst) as f64)),
+        ("inflight", Json::Num(shared.inflight.lock().unwrap().len() as f64)),
+        ("resident_images", Json::Num(resident as f64)),
+        (
+            "store",
+            obj([
+                ("entries", Json::Num(store.entries as f64)),
+                ("bytes", Json::Num(store.bytes as f64)),
+                ("hits", Json::Num(store.hits as f64)),
+                ("misses", Json::Num(store.misses as f64)),
+                ("writes", Json::Num(store.writes as f64)),
+                ("evictions", Json::Num(store.evictions as f64)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # dmdp-server
+//!
+//! The `dmdp serve` campaign daemon and its `dmdp submit` client: a
+//! long-running process that keeps workload images and µop plan caches
+//! resident across requests, persists every job result in a
+//! content-addressed on-disk [`Store`], and dedups identical in-flight
+//! jobs across concurrent clients — so a fleet of sweeps shares one
+//! simulation per distinct job digest, forever.
+//!
+//! The wire is hand-rolled newline-delimited JSON over a unix socket
+//! (optionally TCP), built entirely on `dmdp_harness::json` — no new
+//! dependencies. Artifacts fetched through [`Client::submit`] are
+//! byte-compatible with `dmdp campaign` output, so `dmdp report` works
+//! on them unchanged.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod store;
+
+pub use client::Client;
+pub use daemon::{serve, DaemonReport, ServeOptions};
+pub use protocol::{Request, SubmitRequest, PROTOCOL_VERSION};
+pub use store::{Store, StoreStats};

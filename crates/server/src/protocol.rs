@@ -1,0 +1,457 @@
+//! The newline-delimited JSON wire protocol between `dmdp submit` and
+//! `dmdp serve`.
+//!
+//! Framing is one JSON document per line ([`Json::compact`] never emits
+//! an embedded newline), read back with a [`LineReader`] that survives
+//! socket read timeouts without losing partial lines. Everything rides
+//! on `harness::json` — no new dependencies, and the documents are the
+//! same shapes the campaign artifacts already use.
+//!
+//! Requests (client → daemon): `submit`, `stats`, `shutdown`, `ping`.
+//! Responses (daemon → client): `started`/`finished` job events (when
+//! the submit asked to watch), a final `artifact` carrying the complete
+//! assembled campaign, `stats`, `ok`, `pong`, or `error`.
+
+use std::io::{Read, Write};
+
+use dmdp_core::CommModel;
+use dmdp_harness::json::obj;
+use dmdp_harness::{CfgPatch, JobResult, Json};
+use dmdp_workloads::Scale;
+
+/// Bumped when the wire format changes incompatibly. The daemon answers
+/// `ping` with its version so clients can refuse to talk across a gap.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A line longer than this is a protocol violation, not a message —
+/// the largest legitimate document (a full-campaign artifact) is well
+/// under a megabyte.
+pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// A campaign submission: the declarative spec fields of
+/// [`dmdp_harness::CampaignSpec`], plus whether the client wants per-job
+/// progress events streamed back before the artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Campaign name (also the client's default artifact stem).
+    pub name: String,
+    /// Workload scale for every job.
+    pub scale: Scale,
+    /// Communication models to sweep.
+    pub models: Vec<CommModel>,
+    /// Workload-name filter; `None` means all 21 kernels.
+    pub kernels: Option<Vec<String>>,
+    /// Configuration variants as `(label, patch)`.
+    pub variants: Vec<(String, CfgPatch)>,
+    /// Stream `started`/`finished` events before the artifact.
+    pub watch: bool,
+}
+
+impl SubmitRequest {
+    /// A request over all kernels, all models, the main variant.
+    pub fn new(name: &str, scale: Scale) -> SubmitRequest {
+        SubmitRequest {
+            name: name.to_string(),
+            scale,
+            models: CommModel::ALL.to_vec(),
+            kernels: None,
+            variants: vec![("main".to_string(), CfgPatch::default())],
+            watch: false,
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or fetch) a campaign.
+    Submit(SubmitRequest),
+    /// Report daemon statistics.
+    Stats,
+    /// Drain running jobs, then exit.
+    Shutdown,
+    /// Liveness / version check.
+    Ping,
+}
+
+fn patch_json(patch: &CfgPatch) -> Json {
+    let mut members = Vec::new();
+    let mut push = |k: &str, v: Option<usize>| {
+        if let Some(n) = v {
+            members.push((k.to_string(), Json::Num(n as f64)));
+        }
+    };
+    push("width", patch.width);
+    push("rob", patch.rob);
+    push("prf", patch.prf);
+    push("sb", patch.sb);
+    if patch.rmo {
+        members.push(("rmo".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(members)
+}
+
+fn patch_from_json(v: &Json) -> Result<CfgPatch, String> {
+    let dim = |k: &str| -> Result<Option<usize>, String> {
+        match v.get(k) {
+            None => Ok(None),
+            Some(n) => n
+                .as_u64()
+                .map(|n| Some(n as usize))
+                .ok_or_else(|| format!("patch: `{k}` must be a non-negative integer")),
+        }
+    };
+    Ok(CfgPatch {
+        width: dim("width")?,
+        rob: dim("rob")?,
+        prf: dim("prf")?,
+        sb: dim("sb")?,
+        rmo: v.get("rmo").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+impl Request {
+    /// Serializes the request to one wire document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Stats => obj([("type", Json::Str("stats".into()))]),
+            Request::Shutdown => obj([("type", Json::Str("shutdown".into()))]),
+            Request::Ping => obj([
+                ("type", Json::Str("ping".into())),
+                ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+            ]),
+            Request::Submit(req) => {
+                let mut members = vec![
+                    ("type".to_string(), Json::Str("submit".into())),
+                    ("name".to_string(), Json::Str(req.name.clone())),
+                    ("scale".to_string(), Json::Str(req.scale.name().to_string())),
+                    (
+                        "models".to_string(),
+                        Json::Arr(
+                            req.models.iter().map(|m| Json::Str(m.name().to_string())).collect(),
+                        ),
+                    ),
+                    (
+                        "variants".to_string(),
+                        Json::Arr(
+                            req.variants
+                                .iter()
+                                .map(|(label, patch)| {
+                                    obj([
+                                        ("label", Json::Str(label.clone())),
+                                        ("patch", patch_json(patch)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("watch".to_string(), Json::Bool(req.watch)),
+                ];
+                if let Some(kernels) = &req.kernels {
+                    members.push((
+                        "kernels".to_string(),
+                        Json::Arr(kernels.iter().map(|k| Json::Str(k.clone())).collect()),
+                    ));
+                }
+                Json::Obj(members)
+            }
+        }
+    }
+
+    /// Parses one wire document into a request.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("ping") => Ok(Request::Ping),
+            Some("submit") => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("submit: missing `name`")?
+                    .to_string();
+                let scale_name =
+                    v.get("scale").and_then(Json::as_str).ok_or("submit: missing `scale`")?;
+                let scale = Scale::from_name(scale_name)
+                    .ok_or_else(|| format!("submit: unknown scale `{scale_name}`"))?;
+                let models = v
+                    .get("models")
+                    .and_then(Json::as_arr)
+                    .ok_or("submit: missing `models` array")?
+                    .iter()
+                    .map(|m| {
+                        let name = m.as_str().ok_or("submit: model names must be strings")?;
+                        CommModel::from_name(name)
+                            .ok_or_else(|| format!("submit: unknown model `{name}`"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                if models.is_empty() {
+                    return Err("submit: empty `models` array".to_string());
+                }
+                let kernels = match v.get("kernels") {
+                    None => None,
+                    Some(arr) => Some(
+                        arr.as_arr()
+                            .ok_or("submit: `kernels` must be an array")?
+                            .iter()
+                            .map(|k| {
+                                k.as_str()
+                                    .map(str::to_string)
+                                    .ok_or_else(|| "submit: kernel names must be strings".to_string())
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                    ),
+                };
+                let variants = match v.get("variants") {
+                    None => vec![("main".to_string(), CfgPatch::default())],
+                    Some(arr) => arr
+                        .as_arr()
+                        .ok_or("submit: `variants` must be an array")?
+                        .iter()
+                        .map(|entry| {
+                            let label = entry
+                                .get("label")
+                                .and_then(Json::as_str)
+                                .ok_or("submit: variant missing `label`")?
+                                .to_string();
+                            let patch = match entry.get("patch") {
+                                Some(p) => patch_from_json(p)?,
+                                None => CfgPatch::default(),
+                            };
+                            Ok((label, patch))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                };
+                if variants.is_empty() {
+                    return Err("submit: empty `variants` array".to_string());
+                }
+                Ok(Request::Submit(SubmitRequest {
+                    name,
+                    scale,
+                    models,
+                    kernels,
+                    variants,
+                    watch: v.get("watch").and_then(Json::as_bool).unwrap_or(false),
+                }))
+            }
+            Some(other) => Err(format!("unknown request type `{other}`")),
+            None => Err("request has no `type`".to_string()),
+        }
+    }
+}
+
+/// `started` event: a worker claimed the job.
+pub fn started_msg(index: usize, workload: &str, model: CommModel, variant: &str) -> Json {
+    obj([
+        ("type", Json::Str("started".into())),
+        ("index", Json::Num(index as f64)),
+        ("workload", Json::Str(workload.to_string())),
+        ("model", Json::Str(model.name().to_string())),
+        ("variant", Json::Str(variant.to_string())),
+    ])
+}
+
+/// `finished` event: the job's result is in. `source` says how it was
+/// satisfied: `"executed"`, `"store"`, or `"dedup"` (another client's
+/// identical in-flight job).
+pub fn finished_msg(index: usize, result: &JobResult, source: &str) -> Json {
+    obj([
+        ("type", Json::Str("finished".into())),
+        ("index", Json::Num(index as f64)),
+        ("workload", Json::Str(result.workload.clone())),
+        ("model", Json::Str(result.model.name().to_string())),
+        ("variant", Json::Str(result.variant.clone())),
+        ("digest", Json::Str(result.digest.clone())),
+        ("ipc", Json::Num(result.ipc)),
+        ("wall_s", Json::Num(result.wall_s)),
+        ("source", Json::Str(source.to_string())),
+    ])
+}
+
+/// Final submit response: the complete assembled campaign artifact.
+pub fn artifact_msg(campaign: Json) -> Json {
+    obj([("type", Json::Str("artifact".into())), ("campaign", campaign)])
+}
+
+/// Error response. The connection may close after a protocol-level error.
+pub fn error_msg(message: &str) -> Json {
+    obj([("type", Json::Str("error".into())), ("message", Json::Str(message.to_string()))])
+}
+
+/// Bare acknowledgement.
+pub fn ok_msg() -> Json {
+    obj([("type", Json::Str("ok".into()))])
+}
+
+/// `ping` response with the daemon's protocol version.
+pub fn pong_msg() -> Json {
+    obj([
+        ("type", Json::Str("pong".into())),
+        ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+    ])
+}
+
+/// Writes one message as a single line and flushes it onto the wire.
+///
+/// # Errors
+///
+/// Propagates I/O errors, stringified.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Json) -> Result<(), String> {
+    let mut line = msg.compact();
+    line.push('\n');
+    w.write_all(line.as_bytes()).and_then(|()| w.flush()).map_err(|e| format!("write: {e}"))
+}
+
+/// What one [`LineReader::read_line`] call produced.
+#[derive(Debug)]
+pub enum LineEvent {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The peer closed the connection at a line boundary.
+    Eof,
+    /// A read timeout expired with no complete line yet; any partial
+    /// line is retained for the next call. Lets the daemon poll its
+    /// shutdown flag without losing buffered bytes.
+    Idle,
+}
+
+/// A newline-framed reader that tolerates read timeouts: bytes received
+/// before a timeout stay buffered, so a message split across TCP
+/// segments (or delivered slowly) is reassembled correctly.
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a raw byte stream.
+    pub fn new(inner: R) -> LineReader<R> {
+        LineReader { inner, buf: Vec::new() }
+    }
+
+    /// Reads until a newline, EOF, or a socket timeout.
+    ///
+    /// # Errors
+    ///
+    /// Mid-line EOF (truncated message), a line over [`MAX_LINE_BYTES`],
+    /// invalid UTF-8, or any other I/O error.
+    pub fn read_line(&mut self) -> Result<LineEvent, String> {
+        loop {
+            if let Some(at) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(at + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|_| "protocol: invalid UTF-8 on the wire".to_string())?;
+                return Ok(LineEvent::Line(text));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(format!("protocol: line exceeds {MAX_LINE_BYTES} bytes"));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(LineEvent::Eof)
+                    } else {
+                        Err("protocol: connection closed mid-message".to_string())
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineEvent::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping,
+            Request::Submit(SubmitRequest::new("full", Scale::Test)),
+            Request::Submit(SubmitRequest {
+                name: "sweep".into(),
+                scale: Scale::Small,
+                models: vec![CommModel::NoSq, CommModel::Dmdp],
+                kernels: Some(vec!["lib".into(), "mcf".into()]),
+                variants: vec![
+                    ("main".into(), CfgPatch::default()),
+                    ("rob128".into(), CfgPatch { rob: Some(128), ..CfgPatch::default() }),
+                    ("rmo".into(), CfgPatch { rmo: true, ..CfgPatch::default() }),
+                ],
+                watch: true,
+            }),
+        ];
+        for req in reqs {
+            let wire = req.to_json().compact();
+            let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, req, "{wire}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"type": "launch"}"#,
+            r#"{"type": "submit"}"#,
+            r#"{"type": "submit", "name": "x", "scale": "galactic", "models": ["dmdp"]}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": []}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": ["warp"]}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "variants": []}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "kernels": [7]}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn line_reader_reassembles_split_messages() {
+        // A reader whose source yields one byte at a time still frames
+        // whole lines.
+        struct Trickle(Vec<u8>, usize);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut r = LineReader::new(Trickle(b"{\"a\":1}\r\n{\"b\":2}\n".to_vec(), 0));
+        let Ok(LineEvent::Line(a)) = r.read_line() else { panic!() };
+        assert_eq!(a, "{\"a\":1}");
+        let Ok(LineEvent::Line(b)) = r.read_line() else { panic!() };
+        assert_eq!(b, "{\"b\":2}");
+        assert!(matches!(r.read_line(), Ok(LineEvent::Eof)));
+    }
+
+    #[test]
+    fn mid_line_eof_is_an_error() {
+        let mut r = LineReader::new(std::io::Cursor::new(b"{\"a\": 1".to_vec()));
+        assert!(r.read_line().is_err());
+    }
+}

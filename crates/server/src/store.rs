@@ -1,0 +1,272 @@
+//! The persistent content-addressed result store.
+//!
+//! Every completed [`JobResult`] is persisted under
+//! `store/<digest[0..2]>/<digest>.json`, where the digest is the job's
+//! FNV-1a content digest — the same key the campaign artifact cache uses,
+//! so two jobs with equal digests are interchangeable by construction.
+//! Writes go to a unique `.tmp` sibling first and land with an atomic
+//! rename, so a crash can never leave a half-written entry under a final
+//! name; leftover temporaries are swept on startup. The in-memory index
+//! is rebuilt by scanning the tree on [`Store::open`], which is what
+//! makes results survive daemon restarts.
+//!
+//! An optional byte cap turns the store into an LRU cache: once the
+//! tree exceeds the cap, least-recently-used entries (by access order,
+//! seeded from file mtimes at startup) are deleted until it fits.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dmdp_harness::{JobResult, Json};
+
+/// A snapshot of the store's counters, for daemon stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries currently indexed.
+    pub entries: usize,
+    /// Total bytes of indexed entries.
+    pub bytes: u64,
+    /// Lookups satisfied from disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results newly persisted.
+    pub writes: u64,
+    /// Entries deleted by the LRU cap.
+    pub evictions: u64,
+}
+
+struct Entry {
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Index {
+    entries: HashMap<String, Entry>,
+    total_bytes: u64,
+    clock: u64,
+}
+
+/// A content-addressed, crash-safe, optionally size-capped store of
+/// [`JobResult`] summaries. All methods take `&self` and are safe to
+/// call from many threads at once.
+pub struct Store {
+    root: PathBuf,
+    cap_bytes: Option<u64>,
+    index: Mutex<Index>,
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A digest is sixteen lowercase hex characters ([`dmdp_harness::Digest64::hex`]).
+fn valid_digest(digest: &str) -> bool {
+    digest.len() == 16 && digest.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+impl Store {
+    /// Opens (or creates) a store rooted at `root`, rebuilding the index
+    /// by scanning the tree. Leftover `.tmp` files from a crashed writer
+    /// are deleted; entries that don't look like `<digest>.json` are
+    /// ignored. With `cap_bytes`, the store immediately evicts down to
+    /// the cap (oldest mtime first).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, stringified.
+    pub fn open(root: &Path, cap_bytes: Option<u64>) -> Result<Store, String> {
+        std::fs::create_dir_all(root).map_err(|e| format!("{}: {e}", root.display()))?;
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        let dirs = std::fs::read_dir(root).map_err(|e| format!("{}: {e}", root.display()))?;
+        for dir in dirs.flatten() {
+            if !dir.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            let Ok(files) = std::fs::read_dir(dir.path()) else { continue };
+            for file in files.flatten() {
+                let path = file.path();
+                let name = file.file_name();
+                let name = name.to_string_lossy();
+                let Some(digest) = name.strip_suffix(".json") else {
+                    // Anything else in the tree is a crashed writer's
+                    // temporary (`<digest>.json.tmp.<n>`) — sweep it.
+                    if name.contains(".tmp") {
+                        std::fs::remove_file(&path).ok();
+                    }
+                    continue;
+                };
+                if !valid_digest(digest) {
+                    continue;
+                }
+                let Ok(meta) = file.metadata() else { continue };
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                found.push((digest.to_string(), meta.len(), mtime));
+            }
+        }
+        // Seed the LRU order from mtimes: oldest files get the smallest
+        // clock values and are first in line for eviction.
+        found.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut index =
+            Index { entries: HashMap::new(), total_bytes: 0, clock: 0 };
+        for (digest, bytes, _) in found {
+            index.clock += 1;
+            index.total_bytes += bytes;
+            index.entries.insert(digest, Entry { bytes, last_used: index.clock });
+        }
+        let store = Store {
+            root: root.to_path_buf(),
+            cap_bytes,
+            index: Mutex::new(index),
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        store.enforce_cap(&mut store.index.lock().unwrap());
+        Ok(store)
+    }
+
+    /// `<root>/<digest[0..2]>/<digest>.json`.
+    pub fn path_of(&self, digest: &str) -> PathBuf {
+        self.root.join(&digest[..2]).join(format!("{digest}.json"))
+    }
+
+    /// Looks a result up by digest. The returned row is marked `cached`
+    /// (it was not executed by the caller). An entry that has vanished
+    /// or no longer parses is dropped from the index and reported as a
+    /// miss.
+    pub fn get(&self, digest: &str) -> Option<JobResult> {
+        if !valid_digest(digest) || !self.index.lock().unwrap().entries.contains_key(digest) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let loaded = std::fs::read_to_string(self.path_of(digest))
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|v| JobResult::from_json(&v).ok());
+        let mut index = self.index.lock().unwrap();
+        match loaded {
+            Some(mut result) => {
+                index.clock += 1;
+                let clock = index.clock;
+                if let Some(entry) = index.entries.get_mut(digest) {
+                    entry.last_used = clock;
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                result.cached = true;
+                Some(result)
+            }
+            None => {
+                // Deleted or corrupted behind our back: forget it.
+                if let Some(entry) = index.entries.remove(digest) {
+                    index.total_bytes -= entry.bytes;
+                }
+                std::fs::remove_file(self.path_of(digest)).ok();
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a result under its digest. Returns `true` if the entry
+    /// was newly written, `false` if it was already present (concurrent
+    /// writers of one digest are expected — results with equal digests
+    /// are bit-identical, so whoever lands the rename wins nothing and
+    /// loses nothing).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, stringified. An invalid digest is an error —
+    /// it would escape the two-level layout.
+    pub fn put(&self, result: &JobResult) -> Result<bool, String> {
+        if !valid_digest(&result.digest) {
+            return Err(format!("store: invalid digest `{}`", result.digest));
+        }
+        if self.index.lock().unwrap().entries.contains_key(&result.digest) {
+            return Ok(false);
+        }
+        let path = self.path_of(&result.digest);
+        let dir = path.parent().expect("store paths have a shard directory");
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        // Unique temporary per writer, atomic rename to the final name.
+        let tmp = dir.join(format!(
+            "{}.json.tmp.{}",
+            result.digest,
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let text = result.to_json().pretty();
+        std::fs::write(&tmp, &text).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut index = self.index.lock().unwrap();
+        index.clock += 1;
+        let clock = index.clock;
+        let old = index.entries.insert(
+            result.digest.clone(),
+            Entry { bytes: text.len() as u64, last_used: clock },
+        );
+        index.total_bytes += text.len() as u64;
+        if let Some(old) = old {
+            // A concurrent writer beat us between the contains check and
+            // here; both wrote identical bytes.
+            index.total_bytes -= old.bytes;
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_cap(&mut index);
+        Ok(true)
+    }
+
+    /// Evicts least-recently-used entries until the tree fits the cap.
+    /// The most recently touched entry is never evicted, so a store
+    /// whose cap is smaller than one entry still makes progress.
+    fn enforce_cap(&self, index: &mut Index) {
+        let Some(cap) = self.cap_bytes else { return };
+        while index.total_bytes > cap && index.entries.len() > 1 {
+            let Some(victim) = index
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(digest, _)| digest.clone())
+            else {
+                return;
+            };
+            if let Some(entry) = index.entries.remove(&victim) {
+                index.total_bytes -= entry.bytes;
+            }
+            std::fs::remove_file(self.path_of(&victim)).ok();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.lock().unwrap().entries.len()
+    }
+
+    /// True if the store indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `digest` is indexed (no LRU touch, no disk read).
+    pub fn contains(&self, digest: &str) -> bool {
+        self.index.lock().unwrap().entries.contains_key(digest)
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        let index = self.index.lock().unwrap();
+        StoreStats {
+            entries: index.entries.len(),
+            bytes: index.total_bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}

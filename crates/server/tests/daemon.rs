@@ -1,0 +1,303 @@
+//! End-to-end daemon tests: an in-process [`serve`] on a temp-dir unix
+//! socket, talked to through the real [`Client`] — store reuse across
+//! submits, in-flight dedup across concurrent clients, graceful drain on
+//! shutdown, and protocol-error isolation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use dmdp_core::CommModel;
+use dmdp_harness::Json;
+use dmdp_server::{serve, Client, DaemonReport, ServeOptions, SubmitRequest};
+use dmdp_workloads::Scale;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmdp-daemon-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn serve_opts(dir: &Path) -> ServeOptions {
+    ServeOptions {
+        socket: dir.join("dmdp.sock"),
+        tcp: None,
+        store_dir: dir.join("store"),
+        jobs: 2,
+        store_cap_bytes: None,
+        quiet: true,
+    }
+}
+
+/// Connects to the daemon, waiting for it to finish binding.
+fn connect(socket: &Path) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut client) = Client::connect_unix(socket) {
+            if client.ping().is_ok() {
+                return client;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never came up on {}", socket.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn small_request(name: &str) -> SubmitRequest {
+    SubmitRequest {
+        kernels: Some(vec!["lib".into(), "hmmer".into()]),
+        models: vec![CommModel::Baseline, CommModel::Dmdp],
+        watch: true,
+        ..SubmitRequest::new(name, Scale::Test)
+    }
+}
+
+#[test]
+fn second_submit_is_satisfied_entirely_from_the_store() {
+    let dir = tmp_dir("resubmit");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+
+    let mut events: Vec<String> = Vec::new();
+    let cold = client
+        .submit(&small_request("cold"), |ev| {
+            if ev.get("type").and_then(Json::as_str) == Some("finished") {
+                events.push(
+                    ev.get("source").and_then(Json::as_str).unwrap_or("?").to_string(),
+                );
+            }
+        })
+        .unwrap();
+    assert_eq!(cold.jobs.len(), 4);
+    assert_eq!(cold.executed, 4);
+    assert_eq!(cold.cached, 0);
+    assert_eq!(events, ["executed"; 4], "cold jobs are all freshly executed");
+    assert!(cold.jobs.iter().all(|j| !j.cached));
+
+    events.clear();
+    let warm = client
+        .submit(&small_request("warm"), |ev| {
+            if ev.get("type").and_then(Json::as_str) == Some("finished") {
+                events.push(
+                    ev.get("source").and_then(Json::as_str).unwrap_or("?").to_string(),
+                );
+            }
+        })
+        .unwrap();
+    assert_eq!(warm.executed, 0, "second identical submit executes nothing");
+    assert_eq!(warm.cached, 4);
+    assert_eq!(events, ["store"; 4], "every job came from the persistent store");
+    assert!(warm.jobs.iter().all(|j| j.cached));
+    for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.ipc, b.ipc);
+    }
+
+    client.shutdown().unwrap();
+    let report = daemon.join().unwrap();
+    assert_eq!(report, DaemonReport {
+        requests: report.requests,
+        submits: 2,
+        executed: 4,
+        store_hits: 4,
+        dedup_hits: 0,
+    });
+    assert!(!opts.socket.exists(), "socket file is removed on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn results_survive_a_daemon_restart() {
+    let dir = tmp_dir("restart");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+    let cold = client.submit(&small_request("gen1"), |_| {}).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+
+    // A brand-new daemon over the same store directory rebuilds its
+    // index from disk — the warm submit still executes nothing.
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+    let warm = client.submit(&small_request("gen2"), |_| {}).unwrap();
+    assert_eq!(warm.executed, 0);
+    assert_eq!(warm.cached, cold.jobs.len());
+    client.shutdown().unwrap();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.executed, 0);
+    assert_eq!(report.store_hits, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_simulate_each_digest_at_most_once() {
+    let dir = tmp_dir("dedup");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    connect(&opts.socket);
+
+    // Four clients race identical overlapping sweeps (4 distinct
+    // digests). Whatever the interleaving — in-flight waits or store
+    // hits — each digest is simulated at most once.
+    let socket = opts.socket.clone();
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let mut client = connect(&socket);
+                let campaign =
+                    client.submit(&small_request(&format!("racer-{i}")), |_| {}).unwrap();
+                assert_eq!(campaign.jobs.len(), 4);
+                assert_eq!(campaign.executed + campaign.cached, 4);
+            });
+        }
+    });
+
+    let mut client = connect(&opts.socket);
+    let stats = client.stats().unwrap();
+    let counter = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("{k}"));
+    assert_eq!(counter("executed"), 4, "4 distinct digests, 4 simulations total");
+    assert_eq!(counter("submits"), 4);
+    assert_eq!(
+        counter("store_hits") + counter("dedup_hits"),
+        12,
+        "the other 12 job slots were shared, not re-simulated"
+    );
+    client.shutdown().unwrap();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.executed, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_drains_a_running_submit() {
+    let dir = tmp_dir("drain");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    connect(&opts.socket);
+
+    // Client A submits the full 21-kernel campaign and signals as soon
+    // as the first job event arrives — the submit is then provably in
+    // flight when client B asks the daemon to shut down.
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let socket = opts.socket.clone();
+    let submitter = std::thread::spawn(move || {
+        let mut client = connect(&socket);
+        let req = SubmitRequest {
+            models: vec![CommModel::Dmdp],
+            watch: true,
+            ..SubmitRequest::new("draining", Scale::Test)
+        };
+        let mut signalled = false;
+        client.submit(&req, |_| {
+            if !signalled {
+                signalled = true;
+                tx.send(()).unwrap();
+            }
+        })
+    });
+    rx.recv_timeout(Duration::from_secs(30)).expect("submit started");
+
+    let mut client = connect(&opts.socket);
+    client.shutdown().expect("shutdown acknowledges after the drain");
+
+    let campaign = submitter
+        .join()
+        .unwrap()
+        .expect("the in-flight submit still completes with its full artifact");
+    assert_eq!(campaign.jobs.len(), 21, "drain delivered every job");
+    let report = daemon.join().unwrap();
+    assert_eq!(report.submits, 1);
+    assert!(!opts.socket.exists());
+
+    // The daemon is really gone: connecting fails.
+    assert!(Client::connect_unix(&opts.socket).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn protocol_garbage_gets_an_error_and_spares_the_daemon() {
+    let dir = tmp_dir("garbage");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    connect(&opts.socket);
+
+    // A raw connection speaking nonsense gets a structured error reply.
+    let mut raw = UnixStream::connect(&opts.socket).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    raw.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap()).read_line(&mut line).unwrap();
+    let reply = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+    drop(raw);
+
+    // An unparseable-but-valid-JSON request also errors, with detail.
+    let mut raw = UnixStream::connect(&opts.socket).unwrap();
+    raw.write_all(b"{\"type\": \"launch\"}\n").unwrap();
+    raw.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap()).read_line(&mut line).unwrap();
+    let reply = Json::parse(line.trim_end()).unwrap();
+    assert!(
+        reply.get("message").and_then(Json::as_str).unwrap().contains("launch"),
+        "{line}"
+    );
+    drop(raw);
+
+    // The daemon survived both and still serves well-formed clients.
+    let mut client = connect(&opts.socket);
+    assert!(client.ping().is_ok());
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_with_unknown_kernel_is_a_request_error_not_a_hangup() {
+    let dir = tmp_dir("badkernel");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+
+    let bad = SubmitRequest {
+        kernels: Some(vec!["nope".into()]),
+        ..SubmitRequest::new("bad", Scale::Test)
+    };
+    let err = client.submit(&bad, |_| {}).unwrap_err();
+    assert!(err.contains("nope"), "{err}");
+    assert!(err.contains("valid kernels"), "{err}");
+
+    // Same connection keeps working after a request-level error.
+    let ok = client.submit(&small_request("after-error"), |_| {}).unwrap();
+    assert_eq!(ok.jobs.len(), 4);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,148 @@
+//! Persistence tests for the content-addressed result store: round
+//! trips across reopen, crash-leftover sweeping, concurrent writers of
+//! one digest, and LRU size-cap eviction.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dmdp_core::{CommModel, CoreConfig};
+use dmdp_harness::{JobResult, JobSpec, PlannedImage};
+use dmdp_server::Store;
+use dmdp_workloads::Scale;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmdp-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Executes one real job so the stored document is the genuine article.
+fn result_for(kernel: &str, model: CommModel) -> JobResult {
+    let w = dmdp_workloads::by_name(kernel, Scale::Test).unwrap();
+    let image = PlannedImage::new(Arc::new(w.program));
+    JobSpec::new(kernel, w.suite, model, Scale::Test, "main", CoreConfig::new(model), &image)
+        .execute()
+        .unwrap()
+}
+
+#[test]
+fn round_trips_across_reopen() {
+    let dir = tmp_dir("roundtrip");
+    let fresh = result_for("lib", CommModel::Dmdp);
+
+    let store = Store::open(&dir, None).unwrap();
+    assert!(store.is_empty());
+    assert!(store.get(&fresh.digest).is_none(), "miss before put");
+    assert!(store.put(&fresh).unwrap(), "first put writes");
+    assert!(!store.put(&fresh).unwrap(), "second put is a no-op");
+    let hit = store.get(&fresh.digest).expect("hit after put");
+    assert!(hit.cached, "store rows come back marked cached");
+    assert!(hit.stats.is_none(), "artifacts keep only the summary");
+    assert_eq!(hit.digest, fresh.digest);
+    assert_eq!(hit.cycles, fresh.cycles);
+    assert_eq!(hit.ipc, fresh.ipc);
+    drop(store);
+
+    // A new process (simulated by reopening) rebuilds the index by
+    // scanning the tree — the result survives.
+    let reopened = Store::open(&dir, None).unwrap();
+    assert_eq!(reopened.len(), 1);
+    assert!(reopened.contains(&fresh.digest));
+    let hit = reopened.get(&fresh.digest).expect("hit across reopen");
+    assert_eq!(hit.cycles, fresh.cycles);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn startup_scan_sweeps_crash_leftovers() {
+    let dir = tmp_dir("crash");
+    let fresh = result_for("mcf", CommModel::Baseline);
+    {
+        let store = Store::open(&dir, None).unwrap();
+        store.put(&fresh).unwrap();
+    }
+    // Simulate a writer that died mid-put: a temporary next to the real
+    // entry, plus stray files that are not store entries at all.
+    let shard = dir.join(&fresh.digest[..2]);
+    let tmp = shard.join(format!("{}.json.tmp.7", fresh.digest));
+    std::fs::write(&tmp, "{\"half\": writ").unwrap();
+    std::fs::write(shard.join("README"), "not an entry").unwrap();
+    std::fs::write(shard.join("UPPERCASE0DIGEST.json"), "{}").unwrap();
+
+    let store = Store::open(&dir, None).unwrap();
+    assert!(!tmp.exists(), "crash leftovers are swept on startup");
+    assert_eq!(store.len(), 1, "only the real entry is indexed");
+    assert!(store.get(&fresh.digest).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_writers_of_one_digest_agree() {
+    let dir = tmp_dir("racers");
+    let fresh = result_for("hmmer", CommModel::Dmdp);
+    let store = Store::open(&dir, None).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| store.put(&fresh).expect("concurrent put must not error"));
+        }
+    });
+    assert_eq!(store.len(), 1, "eight writers, one entry");
+    let hit = store.get(&fresh.digest).expect("entry parses after the race");
+    assert_eq!(hit.cycles, fresh.cycles);
+    let stats = store.stats();
+    assert_eq!(stats.entries, 1);
+    assert!(stats.writes >= 1);
+    // Byte accounting survived any double-insert: the index total equals
+    // the one file's size.
+    let on_disk = std::fs::metadata(store.path_of(&fresh.digest)).unwrap().len();
+    assert_eq!(stats.bytes, on_disk);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn size_cap_evicts_least_recently_used() {
+    let dir = tmp_dir("lru");
+    let results: Vec<JobResult> = [
+        ("lib", CommModel::Baseline),
+        ("lib", CommModel::Dmdp),
+        ("mcf", CommModel::Baseline),
+        ("mcf", CommModel::Dmdp),
+    ]
+    .into_iter()
+    .map(|(k, m)| result_for(k, m))
+    .collect();
+    let entry_bytes = results[0].to_json().pretty().len() as u64;
+    // Room for two entries and change — never four.
+    let cap = entry_bytes * 5 / 2;
+
+    let store = Store::open(&dir, Some(cap)).unwrap();
+    for r in &results {
+        store.put(r).unwrap();
+    }
+    assert!(store.len() <= 2, "cap holds at most two entries");
+    assert!(
+        store.contains(&results[3].digest),
+        "the most recently written entry is never the victim"
+    );
+    assert!(!store.contains(&results[0].digest), "the oldest entry was evicted");
+    assert!(
+        !store.path_of(&results[0].digest).exists(),
+        "eviction deletes the file, not just the index entry"
+    );
+    assert!(store.stats().evictions >= 2);
+
+    // Touching an entry protects it from the next eviction round.
+    let keep = &results[2];
+    if store.contains(&keep.digest) {
+        store.get(&keep.digest).unwrap();
+        store.put(&result_for("hmmer", CommModel::Dmdp)).unwrap();
+        assert!(store.contains(&keep.digest), "recently-read entry survives");
+    }
+
+    // Reopening under the same cap keeps the tree within it.
+    drop(store);
+    let reopened = Store::open(&dir, Some(cap)).unwrap();
+    assert!(reopened.stats().bytes <= cap);
+    std::fs::remove_dir_all(&dir).ok();
+}

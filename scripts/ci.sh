@@ -69,4 +69,55 @@ jq -e 'type == "array" and length > 0 and all(has("cycle") and has("ipc"))' \
 cargo run --release -q -p dmdp-bench --bin dmdp -- report "$out" \
     | grep -q "IPC by workload"
 
-echo "ci: build + tests + smoke campaign + probe artifacts OK ($out)"
+# Daemon smoke: serve on a temp socket, submit the smoke campaign twice.
+# The second submission must be satisfied entirely from the persistent
+# store (0 executed), carry numbers identical to the local smoke
+# artifact, and the daemon must drain and exit cleanly on shutdown.
+dmdp_bin=target/release/dmdp
+serve_dir=$(mktemp -d)
+serve_sock="$serve_dir/dmdp.sock"
+serve_pid=
+cleanup_serve() {
+    if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$serve_dir"
+}
+trap cleanup_serve EXIT
+
+"$dmdp_bin" serve --socket "$serve_sock" --store "$serve_dir/store" \
+    --jobs "$(nproc)" --quiet &
+serve_pid=$!
+for _ in $(seq 1 200); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.05
+done
+test -S "$serve_sock"
+
+submit="$dmdp_bin submit --socket $serve_sock --scale test --model all --quiet"
+$submit --name ci-serve-1 --out "$serve_dir/first.json"
+$submit --name ci-serve-2 --out "$serve_dir/second.json"
+
+# Second submission: zero executed, everything cached.
+jq -e '.executed == 0 and .cached == (.jobs | length)' \
+    "$serve_dir/second.json" >/dev/null \
+    || { echo "ci: FAIL: second submission re-executed jobs"; exit 1; }
+# Daemon numbers must match the locally-run smoke campaign exactly.
+digests_of() { jq -S '[.jobs[] | {digest, cycles, ipc}] | sort_by(.digest)' "$1"; }
+diff <(digests_of "$out") <(digests_of "$serve_dir/second.json") \
+    || { echo "ci: FAIL: daemon results diverge from local campaign"; exit 1; }
+
+# Graceful shutdown: acknowledged, clean exit code, socket removed.
+"$dmdp_bin" submit --socket "$serve_sock" --shutdown
+wait "$serve_pid"
+serve_pid=
+[ ! -e "$serve_sock" ] || { echo "ci: FAIL: daemon left its socket behind"; exit 1; }
+
+# A client without a daemon must fail with a non-zero exit.
+if "$dmdp_bin" submit --socket "$serve_sock" --ping 2>/dev/null; then
+    echo "ci: FAIL: submit succeeded against a dead socket"
+    exit 1
+fi
+
+echo "ci: build + tests + smoke campaign + probe artifacts + daemon smoke OK ($out)"
