@@ -77,8 +77,17 @@ OPTIONS:
     --out <FILE>      artifact path   [default: bench-results/<name>.json]
     --force           ignore the digest cache; re-run every job
     --quiet           suppress per-job progress lines
+    --variant <LABEL=KNOBS>
+                      add a config variant to the sweep (repeatable).
+                      KNOBS is comma-separated width/rob/prf/sb:<N> and
+                      rmo, e.g. --variant rob64=rob:64,sb:8 --variant main=
+    --batch-variants <on|off>
+                      run each (workload, model)'s variants as one batched
+                      lockstep simulation (bit-identical results; `off`
+                      falls back to job-per-variant)       [default: on]
     --width/--rob/--prf/--sb <N>, --rmo
                       configuration overrides, as in `dmdp run`
+                      (shorthand for a single `custom` variant)
     -h, --help        print this help
 
 Unchanged jobs (same simulator version, config and workload content) are
@@ -126,6 +135,12 @@ OPTIONS:
     --kernel <W>      restrict to one kernel (repeatable)
     --out <FILE>      artifact path   [default: bench-results/<name>.json]
     --quiet           suppress per-job progress lines
+    --variant <LABEL=KNOBS>
+                      add a config variant to the sweep (repeatable),
+                      as in `dmdp campaign`
+    --batch-variants <on|off>
+                      daemon-side batched lockstep execution of each
+                      (workload, model)'s variants          [default: on]
     --width/--rob/--prf/--sb <N>, --rmo
                       configuration overrides, as in `dmdp campaign`
     --stats           print daemon statistics and exit
@@ -411,6 +426,45 @@ fn cmd_report(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Parse a `--variant LABEL=KNOBS` spec. KNOBS is a comma-separated list of
+/// `width:<N>`, `rob:<N>`, `prf:<N>`, `sb:<N>` and bare `rmo`; an empty KNOBS
+/// (`main=`) is the default configuration.
+fn parse_variant(spec: &str) -> Result<(String, CfgPatch), String> {
+    let Some((label, knobs)) = spec.split_once('=') else {
+        return Err(format!("--variant `{spec}`: expected LABEL=KNOBS (e.g. rob64=rob:64,sb:8)"));
+    };
+    if label.is_empty() {
+        return Err(format!("--variant `{spec}`: label must not be empty"));
+    }
+    let mut patch = CfgPatch::default();
+    for knob in knobs.split(',').filter(|k| !k.is_empty()) {
+        if knob == "rmo" {
+            patch.rmo = true;
+            continue;
+        }
+        let Some((key, val)) = knob.split_once(':') else {
+            return Err(format!("--variant `{spec}`: knob `{knob}` is not key:value or rmo"));
+        };
+        let n: usize = val.parse().map_err(|e| format!("--variant `{spec}`: {key}: {e}"))?;
+        match key {
+            "width" => patch.width = Some(n),
+            "rob" => patch.rob = Some(n),
+            "prf" => patch.prf = Some(n),
+            "sb" => patch.sb = Some(n),
+            other => return Err(format!("--variant `{spec}`: unknown knob `{other}` (width/rob/prf/sb/rmo)")),
+        }
+    }
+    Ok((label.to_string(), patch))
+}
+
+fn parse_on_off(flag: &str, val: &str) -> Result<bool, String> {
+    match val {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("{flag}: expected `on` or `off`, got `{other}`")),
+    }
+}
+
 struct CampaignOpts {
     name: String,
     models: Vec<CommModel>,
@@ -421,6 +475,8 @@ struct CampaignOpts {
     force: bool,
     quiet: bool,
     patch: CfgPatch,
+    variants: Vec<(String, CfgPatch)>,
+    batch_variants: bool,
 }
 
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
@@ -434,6 +490,8 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
         force: false,
         quiet: false,
         patch: CfgPatch::default(),
+        variants: Vec::new(),
+        batch_variants: true,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -457,8 +515,13 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
             "--prf" => o.patch.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
             "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
             "--rmo" => o.patch.rmo = true,
+            "--variant" => o.variants.push(parse_variant(&val()?)?),
+            "--batch-variants" => o.batch_variants = parse_on_off("--batch-variants", &val()?)?,
             other => return Err(format!("unknown option `{other}` (see `dmdp campaign --help`)")),
         }
+    }
+    if !o.variants.is_empty() && !o.patch.is_empty() {
+        return Err("--variant cannot be combined with bare --width/--rob/--prf/--sb/--rmo; fold the overrides into a variant spec".to_string());
     }
     Ok(o)
 }
@@ -470,16 +533,23 @@ fn cmd_campaign(args: &[String]) -> CliResult {
     if !o.kernels.is_empty() {
         spec = spec.kernels(o.kernels.clone());
     }
-    if !o.patch.is_empty() {
+    let n_variants = if !o.variants.is_empty() {
+        spec = spec.variants(o.variants.clone());
+        o.variants.len()
+    } else if !o.patch.is_empty() {
         spec = spec.variants([("custom".to_string(), o.patch.clone())]);
-    }
+        1
+    } else {
+        1
+    };
     let n_jobs = spec.jobs()?.len();
     println!(
-        "campaign `{}`: {} jobs ({} kernels × {} models), scale {}, {} workers -> {}",
+        "campaign `{}`: {} jobs ({} kernels × {} models × {} variants), scale {}, {} workers -> {}",
         o.name,
         n_jobs,
-        n_jobs / o.models.len().max(1),
+        n_jobs / (o.models.len() * n_variants).max(1),
         o.models.len(),
+        n_variants,
         o.scale.name(),
         o.jobs,
         out.display()
@@ -488,6 +558,7 @@ fn cmd_campaign(args: &[String]) -> CliResult {
         jobs: o.jobs,
         cache: (!o.force).then(|| out.clone()),
         progress: !o.quiet,
+        batch_variants: o.batch_variants,
     };
     let campaign = spec.run(&opts)?;
     campaign.save(&out)?;
@@ -552,6 +623,7 @@ struct SubmitOpts {
     request: SubmitRequest,
     kernels: Vec<String>,
     patch: CfgPatch,
+    variants: Vec<(String, CfgPatch)>,
     out: Option<PathBuf>,
     quiet: bool,
     mode: SubmitMode,
@@ -571,6 +643,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
         request: SubmitRequest::new("campaign", Scale::Small),
         kernels: Vec::new(),
         patch: CfgPatch::default(),
+        variants: Vec::new(),
         out: None,
         quiet: false,
         mode: SubmitMode::Campaign,
@@ -592,6 +665,8 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
             "--prf" => o.patch.prf = Some(val()?.parse().map_err(|e| format!("--prf: {e}"))?),
             "--sb" => o.patch.sb = Some(val()?.parse().map_err(|e| format!("--sb: {e}"))?),
             "--rmo" => o.patch.rmo = true,
+            "--variant" => o.variants.push(parse_variant(&val()?)?),
+            "--batch-variants" => o.request.batch_variants = parse_on_off("--batch-variants", &val()?)?,
             "--stats" => o.mode = SubmitMode::Stats,
             "--shutdown" => o.mode = SubmitMode::Shutdown,
             "--ping" => o.mode = SubmitMode::Ping,
@@ -601,7 +676,12 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
     if !o.kernels.is_empty() {
         o.request.kernels = Some(o.kernels.clone());
     }
-    if !o.patch.is_empty() {
+    if !o.variants.is_empty() && !o.patch.is_empty() {
+        return Err("--variant cannot be combined with bare --width/--rob/--prf/--sb/--rmo; fold the overrides into a variant spec".to_string());
+    }
+    if !o.variants.is_empty() {
+        o.request.variants = o.variants.clone();
+    } else if !o.patch.is_empty() {
         o.request.variants = vec![("custom".to_string(), o.patch.clone())];
     }
     o.request.watch = !o.quiet;

@@ -39,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 mod config;
 mod pipeline;
 /// The static µop plan cache: per-PC decode plans built once per program
@@ -58,6 +59,7 @@ mod sim;
 pub mod srb;
 mod stats;
 
+pub use batch::BatchSimulator;
 pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
 pub use plan::{FetchClass, InsnPlan, PlanCache, PlanKind};

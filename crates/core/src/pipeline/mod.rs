@@ -126,8 +126,9 @@ pub struct Pipeline {
     pub(crate) ssn_rename: u32,
     pub(crate) ssn_retire: u32,
     pub(crate) ssn_commit: u32,
-    // Oracle (Perfect model).
-    pub(crate) oracle: Option<OracleTrace>,
+    // Oracle (Perfect model). Arc-shared so a batch of Perfect-model
+    // variant lanes pays the functional pre-pass once.
+    pub(crate) oracle: Option<Arc<OracleTrace>>,
     pub(crate) next_load_idx: u64,
     // Retire-time verification in progress.
     pub(crate) verify: Option<VerifyState>,
@@ -141,6 +142,9 @@ pub struct Pipeline {
     pub(crate) commit_buf: Vec<u32>,
     // Measurements.
     pub(crate) stats: SimStats,
+    // Resource-demand high-water marks for the batch engine's
+    // never-bound variant deduplication (see `crate::batch`).
+    pub(crate) hw: crate::batch::HwDemand,
     // Observability sinks (no-op by default; see `crate::probe`).
     pub(crate) probe: Probe,
     // Co-simulation against the functional emulator (tests).
@@ -184,17 +188,44 @@ impl Pipeline {
     /// As [`Pipeline::new`]; additionally if `plans` was not built from
     /// `program`.
     pub fn new_planned(cfg: CoreConfig, program: Arc<Program>, plans: Arc<PlanCache>) -> Pipeline {
-        cfg.validate();
-        assert_eq!(plans.len(), program.len(), "plan cache must match the program");
-        let oracle = match cfg.comm {
+        let oracle = Pipeline::build_oracle(&cfg, &program);
+        Pipeline::new_planned_with_oracle(cfg, program, plans, oracle)
+    }
+
+    /// The Perfect model's functional pre-pass for `program`, bounded by
+    /// `cfg.max_cycles` emulated instructions; `None` for every other
+    /// model. Exposed so batch drivers can run it once and share the
+    /// trace across many variant lanes of the same `max_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pre-pass fails (the program must halt).
+    pub fn build_oracle(cfg: &CoreConfig, program: &Program) -> Option<Arc<OracleTrace>> {
+        match cfg.comm {
             CommModel::Perfect => {
-                let mut emu = Emulator::new(&program);
+                let mut emu = Emulator::new(program);
                 let (_, trace) =
                     emu.run_with_trace(cfg.max_cycles).expect("oracle pre-pass must complete");
-                Some(trace)
+                Some(Arc::new(trace))
             }
             _ => None,
-        };
+        }
+    }
+
+    /// [`Pipeline::new_planned`] with the oracle pre-pass (or `None`)
+    /// supplied by the caller instead of computed here.
+    ///
+    /// # Panics
+    ///
+    /// As [`Pipeline::new_planned`].
+    pub fn new_planned_with_oracle(
+        cfg: CoreConfig,
+        program: Arc<Program>,
+        plans: Arc<PlanCache>,
+        oracle: Option<Arc<OracleTrace>>,
+    ) -> Pipeline {
+        cfg.validate();
+        assert_eq!(plans.len(), program.len(), "plan cache must match the program");
         Pipeline {
             rf: RegFile::new(cfg.phys_regs),
             rob: Rob::new(cfg.rob_entries),
@@ -225,6 +256,7 @@ impl Pipeline {
             squash_buf: Vec::new(),
             commit_buf: Vec::new(),
             stats: SimStats::default(),
+            hw: crate::batch::HwDemand::default(),
             cycle: 0,
             program,
             plans,
@@ -372,7 +404,7 @@ impl Pipeline {
         }
     }
 
-    fn finalize(&mut self) {
+    pub(crate) fn finalize(&mut self) {
         // Close the sampler's final (possibly partial) window.
         if self.probe.sample_pending(self.cycle) {
             self.probe_take_sample();

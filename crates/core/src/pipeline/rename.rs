@@ -40,6 +40,12 @@ impl Pipeline {
             if worst > budget && budget < self.cfg.width {
                 break; // let the group start on a fresh cycle
             }
+            self.hw.note_rename(
+                self.rob.len(),
+                self.sched.iq_len,
+                self.cfg.phys_regs - self.rf.free_count(),
+                worst,
+            );
             if self.rob.free() < worst
                 || self.rf.free_count() < 4
                 || self.sched.iq_free(self.cfg.iq_entries) < worst

@@ -61,6 +61,9 @@ impl Pipeline {
             // A retiring store needs a store-buffer slot.
             let has_store = (head..=group_end)
                 .any(|s| self.rob.get(s).is_some_and(|e| e.store.is_some()));
+            if has_store {
+                self.hw.note_store_retire(self.sb.occupancy());
+            }
             if has_store && self.sb.is_full() {
                 self.stats.sb_full_stall_cycles += 1;
                 return;

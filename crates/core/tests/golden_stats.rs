@@ -16,7 +16,9 @@
 //!
 //! and paste the printed table over `GOLDEN`.
 
-use dmdp_core::{CommModel, Probe, SimStats, Simulator};
+use std::sync::Arc;
+
+use dmdp_core::{BatchSimulator, CommModel, CoreConfig, PlanCache, Probe, SimStats, Simulator};
 use dmdp_energy::Event;
 use dmdp_workloads::Scale;
 
@@ -136,6 +138,125 @@ fn scheduler_reproduces_golden_timing() {
     assert!(
         failures.is_empty(),
         "scheduler timing diverged from golden stats:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Non-default configuration variants covered by the variant golden
+/// table. Both shrink a structural resource, so they exercise the
+/// back-pressure paths (ROB-full rename stalls, SB-full retire stalls)
+/// that the default configuration rarely hits at test scale.
+const VARIANTS: &[&str] = &["rob32", "sb2"];
+
+/// Kernel subset for the variant table: a mix of Int and FP kernels with
+/// high and low store pressure, kept small so the sweep (kernels ×
+/// variants × models, solo *and* batched) stays fast.
+const VARIANT_KERNELS: &[&str] = &["perl", "mcf", "lib", "astar", "milc", "sphinx3"];
+
+fn variant_config(model: CommModel, variant: &str) -> CoreConfig {
+    let mut cfg = CoreConfig::new(model);
+    match variant {
+        "rob32" => cfg.rob_entries = 32,
+        "sb2" => cfg.store_buffer_entries = 2,
+        other => panic!("unknown variant `{other}`"),
+    }
+    cfg
+}
+
+/// (kernel, variant, per-model digests in `CommModel::ALL` order) —
+/// captured from the solo reference path (`Simulator::with_config`).
+const VARIANT_GOLDEN: &[(&str, &str, [u64; 4])] = &[
+    ("perl", "rob32", [0x37fc3603e5fadaac, 0xc2cbdb432efcd63b, 0x1fd015ddfbf752c5, 0x27cc21bd1ebe3c75]),
+    ("perl", "sb2", [0xa6dde7cafae6affb, 0x807dfd82a29beec7, 0xfdeb303eae384fa0, 0xbcd8936f115ca429]),
+    ("mcf", "rob32", [0xf68847b461c8bc0c, 0xa508a7fce1eeee33, 0xdbbd0c8913da3dcf, 0x4d35f84101e9939c]),
+    ("mcf", "sb2", [0x13fa7263493f93c8, 0x45662ff2ab58555c, 0x59ec7d72100848e9, 0x9339c493c5adf129]),
+    ("lib", "rob32", [0x858fd8ecd2d22913, 0x39517b39a0982512, 0x39517b39a0982512, 0x9b6c79902a9b8993]),
+    ("lib", "sb2", [0xc17b341b16ce7b77, 0xb0111eca7ca8b9ed, 0xb0111eca7ca8b9ed, 0x5e844387866cb43e]),
+    ("astar", "rob32", [0xb57d3274734c927a, 0x47fc9138d5ea2694, 0x8f7e6c595371ed98, 0xada596ad7b43a477]),
+    ("astar", "sb2", [0x24923b15d02e499e, 0x35e19f9d7ca25a6c, 0x077cf780d8cfa5cb, 0xaac80b756316101c]),
+    ("milc", "rob32", [0x2beef83bcc95a4b4, 0xf6f5e23b57ee978b, 0xf6f5e23b57ee978b, 0x195ee611698c657b]),
+    ("milc", "sb2", [0x13abece2eb454024, 0x42ce9f6bac52225f, 0x42ce9f6bac52225f, 0x5fd08da359686997]),
+    ("sphinx3", "rob32", [0xd5da6d41b4f11d01, 0x5295b34d58961485, 0x5295b34d58961485, 0x796a59ce819725ea]),
+    ("sphinx3", "sb2", [0x3f080371ad6d35ae, 0xe9e66d2650b058b8, 0xe9e66d2650b058b8, 0x0389685cccf1f6a2]),
+];
+
+/// Pins the timing of non-default configuration variants under every
+/// model, and demands that [`BatchSimulator`] — which steps all lanes of
+/// a kernel through one shared front-end and fast-forwards confirmed dead
+/// cycles — reproduces the *same* digests bit-for-bit as the solo path.
+#[test]
+fn variant_timing_is_pinned_for_solo_and_batched_paths() {
+    if std::env::var("GOLDEN_RECORD").is_ok() {
+        println!("const VARIANT_GOLDEN: &[(&str, &str, [u64; 4])] = &[");
+        for kernel in VARIANT_KERNELS {
+            let w = dmdp_workloads::by_name(kernel, Scale::Test).expect("known kernel");
+            for variant in VARIANTS {
+                let d: Vec<String> = CommModel::ALL
+                    .iter()
+                    .map(|&m| {
+                        let cfg = variant_config(m, variant);
+                        let report =
+                            Simulator::with_config(cfg).run(&w.program).expect("kernel halts");
+                        format!("{:#018x}", stats_digest(&report.stats))
+                    })
+                    .collect();
+                println!("    (\"{kernel}\", \"{variant}\", [{}]),", d.join(", "));
+            }
+        }
+        println!("];");
+        return;
+    }
+    assert_eq!(
+        VARIANT_GOLDEN.len(),
+        VARIANT_KERNELS.len() * VARIANTS.len(),
+        "variant golden table must cover the full kernel × variant cross-product"
+    );
+    let mut failures = Vec::new();
+    for kernel in VARIANT_KERNELS {
+        let w = dmdp_workloads::by_name(kernel, Scale::Test).expect("known kernel");
+        let program = Arc::new(w.program);
+        let plans = PlanCache::shared(&program);
+
+        // One batch per kernel: every (variant × model) lane shares the
+        // front-end, exactly as a harness sweep groups them.
+        let mut batch = BatchSimulator::new(Arc::clone(&program), Arc::clone(&plans));
+        let mut lanes = Vec::new();
+        for &(golden_kernel, variant, digests) in VARIANT_GOLDEN {
+            if golden_kernel != *kernel {
+                continue;
+            }
+            for (i, &model) in CommModel::ALL.iter().enumerate() {
+                batch.push(variant_config(model, variant));
+                lanes.push((variant, model, digests[i]));
+            }
+        }
+        let batched = batch.run();
+        assert_eq!(batched.len(), lanes.len());
+
+        for ((variant, model, golden), result) in lanes.into_iter().zip(batched) {
+            let stats = result.expect("kernel halts");
+            let got = stats_digest(&stats);
+            if got != golden {
+                failures.push(format!(
+                    "{kernel} × {} [{variant}] (batched): got {got:#018x}, golden {golden:#018x}",
+                    model.name()
+                ));
+            }
+            let solo = Simulator::with_config(variant_config(model, variant))
+                .run(&program)
+                .expect("kernel halts");
+            let solo_got = stats_digest(&solo.stats);
+            if solo_got != golden {
+                failures.push(format!(
+                    "{kernel} × {} [{variant}] (solo): got {solo_got:#018x}, golden {golden:#018x}",
+                    model.name()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "variant timing diverged from golden stats:\n{}",
         failures.join("\n")
     );
 }

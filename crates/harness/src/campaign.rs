@@ -88,6 +88,16 @@ impl CampaignSpec {
     ///
     /// If a kernel filter names an unknown workload.
     pub fn jobs(&self) -> Result<Vec<JobSpec>, String> {
+        // Duplicate variant labels would silently collide in artifacts,
+        // reports and the sweep table — reject them up front.
+        for (i, (label, _)) in self.variants.iter().enumerate() {
+            if self.variants[..i].iter().any(|(prior, _)| prior == label) {
+                return Err(format!(
+                    "duplicate variant label `{label}`: variant labels must be unique \
+                     within a campaign"
+                ));
+            }
+        }
         let all = dmdp_workloads::all(self.scale);
         if let Some(filter) = &self.kernels {
             for name in filter {
@@ -167,58 +177,100 @@ impl CampaignSpec {
         };
         let cache_s = cache_start.elapsed().as_secs_f64();
 
+        // The pool's unit of work is a *unit*: either one job (cached rows
+        // and non-batched execution) or a run of consecutive non-cached
+        // variant jobs of the same (workload, model), which execute as one
+        // batched lockstep simulation. Cached members drop out before
+        // grouping, so an all-hit sweep runs zero work and a partial hit
+        // batches only the misses.
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        for i in 0..specs.len() {
+            if opts.batch_variants && cached[i].is_none() {
+                if let Some(unit) = units.last_mut() {
+                    let j = unit[0];
+                    if cached[j].is_none()
+                        && specs[j].workload == specs[i].workload
+                        && specs[j].model == specs[i].model
+                        && Arc::ptr_eq(&specs[j].program, &specs[i].program)
+                    {
+                        unit.push(i);
+                        continue;
+                    }
+                }
+            }
+            units.push(vec![i]);
+        }
+
         let to_run = cached.iter().filter(|c| c.is_none()).count();
         let started = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let exec_start = Instant::now();
-        let outcomes: Vec<Result<JobResult, String>> = pool::map_ordered_with(
-            &specs,
+        let progress_line = |result: &Result<JobResult, String>| {
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let running = started.load(Ordering::Relaxed).saturating_sub(n);
+            match result {
+                Ok(r) => println!(
+                    "[{n}/{to_run}] {:>9} × {:<8} [{}]  IPC {:.3}  {:.2}s  {:.2} MIPS  ({running} running, {} queued)",
+                    r.workload,
+                    r.model.name(),
+                    r.variant,
+                    r.ipc,
+                    r.wall_s,
+                    r.mips,
+                    (to_run - n).saturating_sub(running)
+                ),
+                Err(e) => println!("[{n}/{to_run}] FAILED: {e}"),
+            }
+        };
+        let unit_outcomes: Vec<Vec<(usize, Result<JobResult, String>)>> = pool::map_ordered_with(
+            &units,
             opts.jobs,
-            |i, spec| match &cached[i] {
-                Some(hit) => Ok(hit.clone()),
-                None => {
-                    let claimed_s = exec_start.elapsed().as_secs_f64();
-                    let result = spec.execute().map(|mut r| {
-                        r.started_s = claimed_s;
-                        r.finished_s = exec_start.elapsed().as_secs_f64();
-                        r
-                    });
-                    if opts.progress {
-                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        let running = started.load(Ordering::Relaxed).saturating_sub(n);
-                        match &result {
-                            Ok(r) => println!(
-                                "[{n}/{to_run}] {:>9} × {:<8} [{}]  IPC {:.3}  {:.2}s  {:.2} MIPS  ({running} running, {} queued)",
-                                r.workload,
-                                r.model.name(),
-                                r.variant,
-                                r.ipc,
-                                r.wall_s,
-                                r.mips,
-                                to_run - n - running
-                            ),
-                            Err(e) => println!("[{n}/{to_run}] FAILED: {e}"),
-                        }
-                    }
-                    result
+            |_, unit| {
+                if unit.len() == 1 && cached[unit[0]].is_some() {
+                    let i = unit[0];
+                    return vec![(i, Ok(cached[i].clone().expect("checked cached")))];
                 }
+                let claimed_s = exec_start.elapsed().as_secs_f64();
+                let members: Vec<&JobSpec> = unit.iter().map(|&i| &specs[i]).collect();
+                let results = JobSpec::execute_batch(&members);
+                let finished = exec_start.elapsed().as_secs_f64();
+                unit.iter()
+                    .zip(results)
+                    .map(|(&i, result)| {
+                        let result = result.map(|mut r| {
+                            r.started_s = claimed_s;
+                            r.finished_s = finished;
+                            r
+                        });
+                        if opts.progress {
+                            progress_line(&result);
+                        }
+                        (i, result)
+                    })
+                    .collect()
             },
             // Pool lifecycle observer: count claims of non-cached jobs so
             // the progress line can show how many are in flight.
             |ev| {
                 if let pool::JobEvent::Started { index } = ev {
-                    if cached[index].is_none() {
-                        started.fetch_add(1, Ordering::Relaxed);
-                    }
+                    let live = units[index].iter().filter(|&&i| cached[i].is_none()).count();
+                    started.fetch_add(live, Ordering::Relaxed);
                 }
             },
         );
         let exec_s = exec_start.elapsed().as_secs_f64();
 
         let agg_start = Instant::now();
-        let mut jobs = Vec::with_capacity(outcomes.len());
-        for outcome in outcomes {
-            jobs.push(outcome?);
+        let mut slots: Vec<Option<Result<JobResult, String>>> =
+            (0..specs.len()).map(|_| None).collect();
+        for unit in unit_outcomes {
+            for (i, outcome) in unit {
+                slots[i] = Some(outcome);
+            }
+        }
+        let mut jobs = Vec::with_capacity(slots.len());
+        for slot in slots {
+            jobs.push(slot.expect("every spec executed or was cached")?);
         }
         let cached_hits = jobs.iter().filter(|j| j.cached).count();
         let mut campaign = Campaign {
@@ -251,11 +303,21 @@ pub struct RunOptions {
     pub cache: Option<PathBuf>,
     /// Print one line per finished job.
     pub progress: bool,
+    /// Run the config variants of each (workload, model) as one batched
+    /// lockstep job ([`JobSpec::execute_batch`]) instead of independent
+    /// jobs. Per-variant results and digests are identical either way;
+    /// `false` is the A/B and bisection fallback.
+    pub batch_variants: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { jobs: pool::default_workers(), cache: None, progress: false }
+        RunOptions {
+            jobs: pool::default_workers(),
+            cache: None,
+            progress: false,
+            batch_variants: true,
+        }
     }
 }
 
@@ -558,6 +620,90 @@ mod tests {
         digests.sort_unstable();
         digests.dedup();
         assert_eq!(digests.len(), jobs.len());
+    }
+
+    #[test]
+    fn duplicate_variant_labels_are_rejected() {
+        let err = CampaignSpec::new("x", Scale::Test)
+            .variants([
+                ("main".to_string(), CfgPatch::default()),
+                ("rob64".to_string(), CfgPatch { rob: Some(64), ..CfgPatch::default() }),
+                ("rob64".to_string(), CfgPatch { rob: Some(128), ..CfgPatch::default() }),
+            ])
+            .jobs()
+            .unwrap_err();
+        assert!(err.contains("duplicate variant label `rob64`"), "{err}");
+        // And `run` surfaces the same rejection.
+        let err = CampaignSpec::new("x", Scale::Test)
+            .kernels(["lib"])
+            .variants([
+                ("a".to_string(), CfgPatch::default()),
+                ("a".to_string(), CfgPatch::default()),
+            ])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap_err();
+        assert!(err.contains("duplicate variant label `a`"), "{err}");
+    }
+
+    fn sweep_spec(name: &str) -> CampaignSpec {
+        CampaignSpec::new(name, Scale::Test)
+            .models([CommModel::NoSq, CommModel::Dmdp])
+            .kernels(["lib", "mcf"])
+            .variants([
+                ("main".to_string(), CfgPatch::default()),
+                ("rob32".to_string(), CfgPatch { rob: Some(32), ..CfgPatch::default() }),
+                ("sb2".to_string(), CfgPatch { sb: Some(2), ..CfgPatch::default() }),
+            ])
+    }
+
+    #[test]
+    fn batched_campaign_matches_job_per_variant() {
+        let batched = sweep_spec("b")
+            .run(&RunOptions { jobs: 2, ..RunOptions::default() })
+            .unwrap();
+        let unbatched = sweep_spec("u")
+            .run(&RunOptions { jobs: 2, batch_variants: false, ..RunOptions::default() })
+            .unwrap();
+        assert_eq!(batched.jobs.len(), 2 * 2 * 3);
+        assert_eq!(batched.jobs.len(), unbatched.jobs.len());
+        for (b, u) in batched.jobs.iter().zip(&unbatched.jobs) {
+            assert_eq!(b.digest, u.digest);
+            assert_eq!(b.variant, u.variant);
+            // Full-stats bit-identity between the two execution paths.
+            assert_eq!(b.stats, u.stats, "{} × {} [{}]", b.workload, b.model.name(), b.variant);
+        }
+    }
+
+    #[test]
+    fn partial_cache_hit_batches_only_the_misses() {
+        let dir = std::env::temp_dir().join(format!("dmdp-batch-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("sweep.json");
+        // Seed the cache with the main-variant rows only.
+        let seed = sweep_spec("seed")
+            .variants([("main".to_string(), CfgPatch::default())])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        seed.save(&artifact).unwrap();
+        // The full sweep reuses those rows and batch-executes the rest.
+        let full = sweep_spec("seed")
+            .run(&RunOptions { jobs: 1, cache: Some(artifact.clone()), ..RunOptions::default() })
+            .unwrap();
+        assert_eq!(full.cached, 4, "main rows come from the artifact");
+        assert_eq!(full.executed, 8, "variant rows are executed");
+        for job in &full.jobs {
+            assert_eq!(job.cached, job.variant == "main");
+        }
+        // And the batched misses match a fresh unbatched run bit-for-bit.
+        let reference = sweep_spec("ref")
+            .run(&RunOptions { jobs: 1, batch_variants: false, ..RunOptions::default() })
+            .unwrap();
+        for (got, want) in full.jobs.iter().zip(&reference.jobs) {
+            assert_eq!(got.digest, want.digest);
+            assert_eq!(got.cycles, want.cycles);
+            assert_eq!(got.ipc, want.ipc);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

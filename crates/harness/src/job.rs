@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dmdp_core::{CommModel, CoreConfig, PlanCache, SimStats, Simulator, SIM_VERSION};
+use dmdp_core::{BatchSimulator, CommModel, CoreConfig, PlanCache, SimStats, Simulator, SIM_VERSION};
 use dmdp_isa::Program;
 use dmdp_workloads::{Scale, Suite};
 
@@ -149,6 +149,59 @@ impl JobSpec {
             .map_err(|e| format!("{} × {} [{}]: {e}", self.workload, self.model.name(), self.variant))?;
         let wall = start.elapsed().as_secs_f64();
         Ok(JobResult::from_stats(self, report.stats, wall))
+    }
+
+    /// Runs a group of variant jobs of one (workload, model) through the
+    /// batched lockstep engine ([`BatchSimulator`]): one shared front-end
+    /// (program image, decode plans, Perfect-model oracle pre-pass), one
+    /// per-variant timing lane each. Results are bit-identical to
+    /// [`JobSpec::execute`] per variant; the batch's wall-clock is
+    /// attributed to each job proportionally to its simulated cycles, so
+    /// per-job MIPS stay meaningful and the shares sum to the batch wall.
+    ///
+    /// A singleton group takes the plain path — callers need no special
+    /// case for non-sweep campaigns.
+    pub fn execute_batch(specs: &[&JobSpec]) -> Vec<Result<JobResult, String>> {
+        if specs.len() == 1 {
+            return vec![specs[0].execute()];
+        }
+        let Some(first) = specs.first() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            specs.iter().all(|s| Arc::ptr_eq(&s.program, &first.program)
+                && Arc::ptr_eq(&s.plans, &first.plans)),
+            "a batch group must share one planned image"
+        );
+        let start = Instant::now();
+        let mut batch = BatchSimulator::new(Arc::clone(&first.program), Arc::clone(&first.plans));
+        for spec in specs {
+            batch.push(spec.cfg.clone());
+        }
+        let outcomes = batch.run();
+        let wall = start.elapsed().as_secs_f64();
+        let total_cycles: u64 =
+            outcomes.iter().filter_map(|r| r.as_ref().ok()).map(|s| s.cycles).sum();
+        specs
+            .iter()
+            .zip(outcomes)
+            .map(|(spec, outcome)| match outcome {
+                Ok(stats) => {
+                    let share = if total_cycles > 0 {
+                        stats.cycles as f64 / total_cycles as f64
+                    } else {
+                        1.0 / specs.len() as f64
+                    };
+                    Ok(JobResult::from_stats(spec, stats, wall * share))
+                }
+                Err(e) => Err(format!(
+                    "{} × {} [{}]: {e}",
+                    spec.workload,
+                    spec.model.name(),
+                    spec.variant
+                )),
+            })
+            .collect()
     }
 }
 
@@ -382,6 +435,45 @@ mod tests {
         assert!(r.plan_hits >= r.retired_insns);
         let stats = r.stats.as_ref().expect("live run keeps full stats");
         assert_eq!(stats.cycles, r.cycles);
+    }
+
+    #[test]
+    fn batched_execution_matches_job_per_variant_bit_for_bit() {
+        let variants = [
+            ("main", CfgPatch::default()),
+            ("rob32", CfgPatch { rob: Some(32), ..CfgPatch::default() }),
+            ("sb2", CfgPatch { sb: Some(2), ..CfgPatch::default() }),
+            ("rmo", CfgPatch { rmo: true, ..CfgPatch::default() }),
+        ];
+        for model in CommModel::ALL {
+            let w = dmdp_workloads::by_name("mcf", Scale::Test).unwrap();
+            let image = PlannedImage::new(Arc::new(w.program));
+            let specs: Vec<JobSpec> = variants
+                .iter()
+                .map(|(label, patch)| {
+                    let mut cfg = CoreConfig::new(model);
+                    patch.apply(&mut cfg);
+                    JobSpec::new("mcf", w.suite, model, Scale::Test, label, cfg, &image)
+                })
+                .collect();
+            let refs: Vec<&JobSpec> = specs.iter().collect();
+            let batched = JobSpec::execute_batch(&refs);
+            assert_eq!(batched.len(), specs.len());
+            for (spec, outcome) in specs.iter().zip(&batched) {
+                let got = outcome.as_ref().expect("batch lane runs");
+                let solo = spec.execute().expect("solo run");
+                // Full-stats bit-identity, not just the summary row.
+                assert_eq!(
+                    got.stats, solo.stats,
+                    "batched diverged from solo: {} [{}]",
+                    model.name(),
+                    spec.variant
+                );
+                assert_eq!(got.digest, solo.digest);
+                assert_eq!(got.cycles, solo.cycles);
+                assert_eq!(got.ipc, solo.ipc);
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn render_campaign(c: &Campaign) -> String {
     for variant in c.variants() {
         ipc_table(&mut out, c, &models, &variant);
     }
+    variant_sweep(&mut out, c, &models);
     geomeans(&mut out, c, &models);
     sched_occupancy(&mut out, c, &models);
     slowest(&mut out, c);
@@ -97,6 +98,76 @@ fn ipc_table(out: &mut String, c: &Campaign, models: &[CommModel], variant: &str
                 Some(r) => match base_ipc {
                     Some(b) => format!("{:.3} {:>+6.1}%", r.ipc, (r.ipc / b - 1.0) * 100.0),
                     None => format!("{:.3}", r.ipc),
+                },
+            };
+            let _ = write!(line, "  {cell:>15}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Geometric mean of one variant's per-workload IPCs under one model.
+fn variant_geomean(c: &Campaign, m: CommModel, variant: &str) -> Option<f64> {
+    let logs: Vec<f64> = c
+        .jobs
+        .iter()
+        .filter(|r| r.model == m && r.variant == variant && r.ipc > 0.0)
+        .map(|r| r.ipc.ln())
+        .collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+/// Geomean of per-workload IPC ratios of `variant` over `main` under one
+/// model, computed pairwise so a workload missing from either side drops
+/// out of both.
+fn variant_delta_vs_main(c: &Campaign, m: CommModel, variant: &str) -> Option<f64> {
+    let mut logs = Vec::new();
+    for w in workloads_of(c, variant) {
+        let (Some(v), Some(b)) = (c.get_variant(&w, m, variant), c.get_variant(&w, m, "main"))
+        else {
+            continue;
+        };
+        if v.ipc > 0.0 && b.ipc > 0.0 {
+            logs.push((v.ipc / b.ipc).ln());
+        }
+    }
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+/// Per-variant sweep summary: one row per variant, one column per model,
+/// each cell the variant's geomean IPC plus its pairwise geomean delta
+/// against the `main` variant of the same model. Rendered only for
+/// multi-variant campaigns, so single-variant (and older) artifacts are
+/// untouched; campaigns without a `main` variant show geomeans alone.
+fn variant_sweep(out: &mut String, c: &Campaign, models: &[CommModel]) {
+    let variants = c.variants();
+    if variants.len() < 2 || models.is_empty() {
+        return;
+    }
+    let name_w = variants.iter().map(String::len).max().unwrap_or(8).max(8);
+    let _ = writeln!(out, "\nvariant sweep (geomean IPC, delta vs variant `main`)");
+    let mut head = format!("  {:<name_w$}", "variant");
+    for m in models {
+        let _ = write!(head, "  {:>15}", m.name());
+    }
+    let _ = writeln!(out, "{head}");
+    for variant in &variants {
+        let mut line = format!("  {variant:<name_w$}");
+        for &m in models {
+            let cell = match variant_geomean(c, m, variant) {
+                None => "-".to_string(),
+                Some(g) if variant == "main" => format!("{g:.3}"),
+                Some(g) => match variant_delta_vs_main(c, m, variant) {
+                    Some(d) => format!("{g:.3} {:>+6.1}%", (d - 1.0) * 100.0),
+                    None => format!("{g:.3}"),
                 },
             };
             let _ = write!(line, "  {cell:>15}");
@@ -220,6 +291,43 @@ mod tests {
         assert!(text.contains("stages: build"), "{text}");
         assert!(text.contains("lib"), "{text}");
         assert!(text.contains("bwaves"), "{text}");
+    }
+
+    #[test]
+    fn variant_sweep_renders_deltas_against_main() {
+        use crate::CfgPatch;
+        let campaign = CampaignSpec::new("sweep", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "mcf"])
+            .variants([
+                ("main".to_string(), CfgPatch::default()),
+                ("rob32".to_string(), CfgPatch { rob: Some(32), ..CfgPatch::default() }),
+                ("sb2".to_string(), CfgPatch { sb: Some(2), ..CfgPatch::default() }),
+            ])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let text = render_campaign(&campaign);
+        assert!(text.contains("variant sweep"), "{text}");
+        assert!(text.contains("rob32"), "{text}");
+        assert!(text.contains("sb2"), "{text}");
+        // Non-main rows carry a percentage delta against main.
+        let sweep = text.split("variant sweep").nth(1).unwrap();
+        let rob_row = sweep.lines().find(|l| l.trim_start().starts_with("rob32")).unwrap();
+        assert!(rob_row.contains('%'), "{rob_row}");
+        // The main row is the reference: geomean only, no delta.
+        let main_row = sweep.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+        assert!(!main_row.contains('%'), "{main_row}");
+    }
+
+    #[test]
+    fn single_variant_artifacts_skip_the_sweep_section() {
+        let campaign = CampaignSpec::new("solo", Scale::Test)
+            .models([CommModel::Dmdp])
+            .kernels(["lib"])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let text = render_campaign(&campaign);
+        assert!(!text.contains("variant sweep"), "{text}");
     }
 
     #[test]

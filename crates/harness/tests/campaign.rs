@@ -28,10 +28,10 @@ fn tmp_dir(tag: &str) -> std::path::PathBuf {
 #[test]
 fn parallel_equals_serial_bit_for_bit() {
     let serial = small_spec("det")
-        .run(&RunOptions { jobs: 1, cache: None, progress: false })
+        .run(&RunOptions { jobs: 1, cache: None, ..RunOptions::default() })
         .unwrap();
     let parallel = small_spec("det")
-        .run(&RunOptions { jobs: 4, cache: None, progress: false })
+        .run(&RunOptions { jobs: 4, cache: None, ..RunOptions::default() })
         .unwrap();
     assert_eq!(serial.jobs.len(), 12);
     assert_eq!(serial.jobs.len(), parallel.jobs.len());
@@ -56,7 +56,7 @@ fn parallel_equals_serial_bit_for_bit() {
 #[test]
 fn artifact_round_trips_through_json() {
     let campaign = small_spec("roundtrip")
-        .run(&RunOptions { jobs: 2, cache: None, progress: false })
+        .run(&RunOptions { jobs: 2, cache: None, ..RunOptions::default() })
         .unwrap();
     let dir = tmp_dir("roundtrip");
     let path = dir.join("campaign.json");
@@ -102,7 +102,7 @@ fn unchanged_campaign_hits_the_cache_completely() {
     let path = dir.join("cache.json");
 
     let first = small_spec("cache")
-        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(first.executed, 12);
     assert_eq!(first.cached, 0);
@@ -110,7 +110,7 @@ fn unchanged_campaign_hits_the_cache_completely() {
 
     // Identical spec, artifact present: every digest matches, zero runs.
     let second = small_spec("cache")
-        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(second.executed, 0, "unchanged campaign must execute zero jobs");
     assert_eq!(second.cached, 12);
@@ -125,7 +125,7 @@ fn unchanged_campaign_hits_the_cache_completely() {
     // A config change invalidates every row (new digests).
     let patched = small_spec("cache")
         .variants([("rob128".to_string(), CfgPatch { rob: Some(128), ..CfgPatch::default() })])
-        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(patched.executed, 12, "a changed config must miss the cache");
     assert_eq!(patched.cached, 0);
@@ -147,7 +147,7 @@ fn unusable_cache_artifact_warns_and_recomputes() {
         .models([CommModel::Dmdp])
         .kernels(["lib", "mcf"]);
     let campaign = spec
-        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), ..RunOptions::default() })
         .expect("schema mismatch must degrade to a cold run, not an error");
     assert_eq!(campaign.executed, 2);
     assert_eq!(campaign.cached, 0);
@@ -158,7 +158,7 @@ fn unusable_cache_artifact_warns_and_recomputes() {
     // Garbage bytes behave the same way.
     std::fs::write(&path, "}{ not json").unwrap();
     let campaign = spec
-        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(campaign.executed, 2);
     assert!(campaign.cache_warning.is_some());
@@ -166,7 +166,7 @@ fn unusable_cache_artifact_warns_and_recomputes() {
     // A healthy artifact keeps `cache_warning` empty.
     campaign.save(&path).unwrap();
     let warm = spec
-        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 1, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(warm.executed, 0);
     assert!(warm.cache_warning.is_none());
@@ -179,7 +179,7 @@ fn cache_is_keyed_by_content_not_position() {
     let dir = tmp_dir("content");
     let path = dir.join("c.json");
     let full = small_spec("content")
-        .run(&RunOptions { jobs: 2, cache: None, progress: false })
+        .run(&RunOptions { jobs: 2, cache: None, ..RunOptions::default() })
         .unwrap();
     full.save(&path).unwrap();
 
@@ -188,7 +188,7 @@ fn cache_is_keyed_by_content_not_position() {
     let subset = CampaignSpec::new("content", Scale::Test)
         .models([CommModel::Dmdp, CommModel::Baseline])
         .kernels(["bwaves", "lib"])
-        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), progress: false })
+        .run(&RunOptions { jobs: 2, cache: Some(path.clone()), ..RunOptions::default() })
         .unwrap();
     assert_eq!(subset.jobs.len(), 4);
     assert_eq!(subset.executed, 0);

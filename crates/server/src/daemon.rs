@@ -412,9 +412,107 @@ fn run_job(shared: &Shared, spec: &JobSpec) -> Result<(JobResult, &'static str),
     }
 }
 
+/// A batch-unit member's outcome: the job result plus its source tag
+/// (store hit, dedup wait, or executed), or the job's error string.
+type MemberOutcome = Result<(JobResult, &'static str), String>;
+
+/// Runs a batch unit — consecutive variant jobs of one (workload, model)
+/// — preserving the per-digest store/dedup semantics job-per-variant
+/// execution has: members found in the store drop out, members another
+/// request is already simulating are waited on, and only the remaining
+/// misses run, together, through one batched lockstep simulation
+/// ([`JobSpec::execute_batch`]). Waiting on foreign in-flight jobs
+/// happens *after* this unit's own results are published, so two
+/// interleaved submissions can never deadlock on each other.
+fn run_batch_unit(
+    shared: &Shared,
+    specs: &[JobSpec],
+    unit: &[usize],
+    exec_start: Instant,
+) -> Vec<(usize, MemberOutcome)> {
+    enum Member {
+        Done(Box<MemberOutcome>),
+        Own(Arc<Inflight>),
+        Wait(Arc<Inflight>),
+    }
+    let claimed_s = exec_start.elapsed().as_secs_f64();
+    let mut members: Vec<Member> = Vec::with_capacity(unit.len());
+    for &i in unit {
+        let spec = &specs[i];
+        if let Some(hit) = shared.store.get(&spec.digest) {
+            shared.store_hits.fetch_add(1, Ordering::Relaxed);
+            members.push(Member::Done(Box::new(Ok((hit, SRC_STORE)))));
+            continue;
+        }
+        let mut map = shared.inflight.lock().unwrap();
+        match map.get(&spec.digest) {
+            Some(arc) => members.push(Member::Wait(Arc::clone(arc))),
+            None => {
+                let arc = Arc::new(Inflight::default());
+                map.insert(spec.digest.clone(), Arc::clone(&arc));
+                members.push(Member::Own(arc));
+            }
+        }
+    }
+    // Batch-execute the owned misses in one lockstep run.
+    let owned: Vec<usize> = (0..unit.len())
+        .filter(|&k| matches!(members[k], Member::Own(_)))
+        .collect();
+    let owned_specs: Vec<&JobSpec> = owned.iter().map(|&k| &specs[unit[k]]).collect();
+    let mut results = JobSpec::execute_batch(&owned_specs).into_iter();
+    for &k in &owned {
+        let spec = &specs[unit[k]];
+        let mut result = results.next().expect("one result per owned lane");
+        if let Ok(r) = &mut result {
+            r.started_s = claimed_s;
+            r.finished_s = exec_start.elapsed().as_secs_f64();
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = shared.store.put(r) {
+                eprintln!("dmdp serve: warning: {e}");
+            }
+        }
+        let Member::Own(slot) = &members[k] else { unreachable!("filtered on Own") };
+        let summary = result.clone().map(|mut r| {
+            r.stats = None;
+            r
+        });
+        *slot.slot.lock().unwrap() = Some(summary);
+        slot.cv.notify_all();
+        shared.inflight.lock().unwrap().remove(&spec.digest);
+        members[k] = Member::Done(Box::new(result.map(|r| (r, SRC_EXECUTED))));
+    }
+    // Now (and only now) block on jobs other requests own.
+    unit.iter()
+        .zip(members)
+        .map(|(&i, member)| {
+            let outcome = match member {
+                Member::Done(outcome) => *outcome,
+                Member::Own(_) => unreachable!("resolved above"),
+                Member::Wait(slot) => {
+                    shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.slot.lock().unwrap();
+                    while guard.is_none() {
+                        guard = slot.cv.wait(guard).unwrap();
+                    }
+                    match guard.as_ref().expect("published by owner") {
+                        Ok(r) => {
+                            let mut r = r.clone();
+                            r.cached = true;
+                            Ok((r, SRC_DEDUP))
+                        }
+                        Err(e) => Err(e.clone()),
+                    }
+                }
+            };
+            (i, outcome)
+        })
+        .collect()
+}
+
 /// Runs a submit request end to end: build the job list against resident
 /// images, fan it out on the pool (streaming events if asked), assemble
-/// a campaign artifact and send it back.
+/// a campaign artifact and send it back. Multi-variant submits run as
+/// batch units (see [`run_batch_unit`]) unless the request opted out.
 fn run_submit<W: Write + Send>(
     shared: &Shared,
     req: &SubmitRequest,
@@ -435,36 +533,70 @@ fn run_submit_inner<W: Write + Send>(
 ) -> Result<(), String> {
     let specs = build_jobs(shared, req)?;
     let build_s = start.elapsed().as_secs_f64();
+    // Pool units: one per job, except that consecutive variant jobs of
+    // the same (workload, model) form one batch unit when the request
+    // left batching on.
+    let mut units: Vec<Vec<usize>> = Vec::new();
+    for i in 0..specs.len() {
+        if req.batch_variants {
+            if let Some(unit) = units.last_mut() {
+                let j = unit[0];
+                if specs[j].workload == specs[i].workload && specs[j].model == specs[i].model {
+                    unit.push(i);
+                    continue;
+                }
+            }
+        }
+        units.push(vec![i]);
+    }
     let exec_start = Instant::now();
-    let outcomes = pool::map_ordered(&specs, shared.jobs, |i, spec| {
+    let unit_outcomes = pool::map_ordered(&units, shared.jobs, |_, unit| {
         if req.watch {
-            let _ = write_locked(
-                writer,
-                &protocol::started_msg(i, &spec.workload, spec.model, &spec.variant),
-            );
-        }
-        let claimed_s = exec_start.elapsed().as_secs_f64();
-        let out = run_job(shared, spec).map(|(mut r, src)| {
-            if src == SRC_EXECUTED {
-                r.started_s = claimed_s;
-                r.finished_s = exec_start.elapsed().as_secs_f64();
-            }
-            (r, src)
-        });
-        if req.watch {
-            if let Ok((r, src)) = &out {
-                let _ = write_locked(writer, &protocol::finished_msg(i, r, src));
+            for &i in unit {
+                let spec = &specs[i];
+                let _ = write_locked(
+                    writer,
+                    &protocol::started_msg(i, &spec.workload, spec.model, &spec.variant),
+                );
             }
         }
-        out
+        let outcomes = if unit.len() == 1 {
+            let i = unit[0];
+            let claimed_s = exec_start.elapsed().as_secs_f64();
+            let out = run_job(shared, &specs[i]).map(|(mut r, src)| {
+                if src == SRC_EXECUTED {
+                    r.started_s = claimed_s;
+                    r.finished_s = exec_start.elapsed().as_secs_f64();
+                }
+                (r, src)
+            });
+            vec![(i, out)]
+        } else {
+            run_batch_unit(shared, &specs, unit, exec_start)
+        };
+        if req.watch {
+            for (i, out) in &outcomes {
+                if let Ok((r, src)) = out {
+                    let _ = write_locked(writer, &protocol::finished_msg(*i, r, src));
+                }
+            }
+        }
+        outcomes
     });
     let exec_s = exec_start.elapsed().as_secs_f64();
 
     let agg_start = Instant::now();
-    let mut jobs = Vec::with_capacity(outcomes.len());
+    let mut slots: Vec<Option<Result<(JobResult, &'static str), String>>> =
+        (0..specs.len()).map(|_| None).collect();
+    for unit in unit_outcomes {
+        for (i, outcome) in unit {
+            slots[i] = Some(outcome);
+        }
+    }
+    let mut jobs = Vec::with_capacity(slots.len());
     let (mut executed, mut from_store, mut from_dedup) = (0usize, 0usize, 0usize);
-    for outcome in outcomes {
-        let (r, src) = outcome?;
+    for slot in slots {
+        let (r, src) = slot.expect("every job satisfied")?;
         match src {
             SRC_EXECUTED => executed += 1,
             SRC_STORE => from_store += 1,

@@ -45,6 +45,11 @@ pub struct SubmitRequest {
     pub variants: Vec<(String, CfgPatch)>,
     /// Stream `started`/`finished` events before the artifact.
     pub watch: bool,
+    /// Run each (workload, model)'s variants as one batched lockstep
+    /// simulation instead of independent jobs (per-variant results and
+    /// digests are identical either way). Defaults to `true`; absent on
+    /// the wire means `true`, so old clients get batching for free.
+    pub batch_variants: bool,
 }
 
 impl SubmitRequest {
@@ -57,6 +62,7 @@ impl SubmitRequest {
             kernels: None,
             variants: vec![("main".to_string(), CfgPatch::default())],
             watch: false,
+            batch_variants: true,
         }
     }
 }
@@ -146,6 +152,7 @@ impl Request {
                         ),
                     ),
                     ("watch".to_string(), Json::Bool(req.watch)),
+                    ("batch_variants".to_string(), Json::Bool(req.batch_variants)),
                 ];
                 if let Some(kernels) = &req.kernels {
                     members.push((
@@ -229,6 +236,16 @@ impl Request {
                 if variants.is_empty() {
                     return Err("submit: empty `variants` array".to_string());
                 }
+                // Duplicate labels would collide silently in artifacts
+                // and reports — refuse the submission outright.
+                for (i, (label, _)) in variants.iter().enumerate() {
+                    if variants[..i].iter().any(|(prior, _)| prior == label) {
+                        return Err(format!(
+                            "submit: duplicate variant label `{label}`: variant labels \
+                             must be unique"
+                        ));
+                    }
+                }
                 Ok(Request::Submit(SubmitRequest {
                     name,
                     scale,
@@ -236,6 +253,10 @@ impl Request {
                     kernels,
                     variants,
                     watch: v.get("watch").and_then(Json::as_bool).unwrap_or(false),
+                    batch_variants: v
+                        .get("batch_variants")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(true),
                 }))
             }
             Some(other) => Err(format!("unknown request type `{other}`")),
@@ -400,6 +421,7 @@ mod tests {
                     ("rmo".into(), CfgPatch { rmo: true, ..CfgPatch::default() }),
                 ],
                 watch: true,
+                batch_variants: false,
             }),
         ];
         for req in reqs {
@@ -424,6 +446,25 @@ mod tests {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn duplicate_variant_labels_are_rejected() {
+        let wire = r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"],
+            "variants": [{"label": "a", "patch": {"rob": 64}},
+                         {"label": "b"},
+                         {"label": "a", "patch": {"rob": 128}}]}"#;
+        let err = Request::from_json(&Json::parse(wire).unwrap()).unwrap_err();
+        assert!(err.contains("duplicate variant label `a`"), "{err}");
+    }
+
+    #[test]
+    fn batch_variants_defaults_to_true_on_the_wire() {
+        let wire = r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"]}"#;
+        let Ok(Request::Submit(req)) = Request::from_json(&Json::parse(wire).unwrap()) else {
+            panic!("submit should parse");
+        };
+        assert!(req.batch_variants, "absent field means batching on");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory recorder: runs the simulator-throughput bench plus a
-# timed test-scale campaign and appends one record to BENCH_PR4.json.
+# timed test-scale campaign and appends one record to BENCH_PR7.json.
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
@@ -10,19 +10,22 @@
 # per giga-op/s of host integer speed — so numbers recorded on
 # different machines (or a loaded CI box) stay comparable.
 #
-# Since PR 4 the simulator decodes through the static µop plan cache and
-# its recovery/commit hot paths are allocation-free; the record's
-# `plan_cache_speedup` block compares host-normalised throughput against
-# the last PR-3 record in BENCH_PR3.json (target: ratio >= 1.25).
-# Throughput is measured min-of-3 (`--repeats 3`) to strip host noise.
+# Since PR 7 configuration sweeps run through the batched lockstep
+# engine; the record's `sweep_batch_speedup` block times a 9-point
+# store-buffer sizing sweep (paper §VI-g style) both batched and
+# job-per-variant — the PR-4-era execution model — and records the
+# wall-clock ratio (target: >= 2x). The `host_norm_speedup` block
+# compares per-(kernel × model) host-normalised throughput against the
+# last record in BENCH_PR4.json. Throughput is measured min-of-3
+# (`--repeats 3`) to strip host noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr4}"
+label="${1:-pr7}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR4.json
-prev=BENCH_PR3.json
+out=BENCH_PR7.json
+prev=BENCH_PR4.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -39,17 +42,47 @@ camp_end=$(date +%s.%N)
 camp_s=$(awk -v a="$camp_start" -v b="$camp_end" 'BEGIN { printf "%.3f", b - a }')
 test -s "$camp_out"
 
+# Sweep-batching A/B: the same 9-variant store-buffer sizing sweep, all
+# four models, run batched (lockstep units + never-bound derivation) and
+# job-per-variant. `--force` defeats the digest cache so both sides
+# simulate from scratch; the ci.sh smoke separately pins that the two
+# paths produce identical per-variant numbers.
+sweep_kernels="--kernel astar --kernel perl --kernel mcf --kernel namd"
+sweep_variants="--variant main= --variant sb1=sb:1 --variant sb2=sb:2 \
+    --variant sb4=sb:4 --variant sb6=sb:6 --variant sb8=sb:8 \
+    --variant sb12=sb:12 --variant sb24=sb:24 --variant sb32=sb:32"
+sweep_wall() {
+    local mode=$1 out_json=$2 t0 t1
+    rm -f "$out_json"
+    t0=$(date +%s.%N)
+    # shellcheck disable=SC2086
+    cargo run --release -q -p dmdp-bench --bin dmdp -- \
+        campaign --name bench-sweep-$mode --scale small --model all \
+        $sweep_kernels $sweep_variants --batch-variants "$mode" \
+        --force --quiet --out "$out_json" >/dev/null
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+sweep_on_s=$(sweep_wall on bench-results/bench-sweep-batched.json)
+sweep_off_s=$(sweep_wall off bench-results/bench-sweep-jpv.json)
+sweep_batch_speedup=$(jq -n \
+    --argjson on "$sweep_on_s" --argjson off "$sweep_off_s" \
+    '{sweep: {variants: 9, kernels: ["astar", "perl", "mcf", "namd"],
+              models: "all", scale: "small", knob: "store_buffer_entries"},
+      batched_wall_s: $on, job_per_variant_wall_s: $off,
+      ratio: ($off / $on), baseline_label: "pr4"}')
+
 calib=$(awk '$1 == "calib" { print $2 }' "$raw")
 entries=$(awk -v calib="$calib" '$4 == "ms/run" {
     printf "{\"kernel\":\"%s\",\"model\":\"%s\",\"ms_per_run\":%s,\"mips\":%s,\"norm\":%.3f}\n",
         $1, $2, $3, $5, $5 * 1000 / calib
 }' "$raw" | jq -s '.')
 
-# Plan-cache speedup vs the last PR-3 record: mean host-normalised MIPS
-# over the kernel × model entries both records share.
-plan_cache_speedup=null
+# Host-normalised throughput vs the last PR-4 record: mean over the
+# kernel × model entries both records share.
+host_norm_speedup=null
 if [ -s "$prev" ]; then
-    plan_cache_speedup=$(jq --argjson entries "$entries" '
+    host_norm_speedup=$(jq --argjson entries "$entries" '
         .[-1] as $p |
         ($p.entries | map({key: "\(.kernel)/\(.model)", value: .norm}) | from_entries) as $base |
         [$entries[] | select($base[("\(.kernel)/\(.model)")] != null)
@@ -57,7 +90,7 @@ if [ -s "$prev" ]; then
         if ($pairs | length) == 0 then null else
         {baseline_label: $p.label,
          baseline_norm_mean: (($pairs | map(.base) | add) / ($pairs | length)),
-         plan_cache_norm_mean: (($pairs | map(.cur) | add) / ($pairs | length)),
+         current_norm_mean: (($pairs | map(.cur) | add) / ($pairs | length)),
          ratio: ((($pairs | map(.cur) | add)) / (($pairs | map(.base) | add)))}
         end' "$prev")
 fi
@@ -69,13 +102,15 @@ record=$(jq -n \
     --argjson calib "$calib" \
     --argjson camp_s "$camp_s" \
     --argjson entries "$entries" \
-    --argjson pcs "$plan_cache_speedup" \
+    --argjson sbs "$sweep_batch_speedup" \
+    --argjson hns "$host_norm_speedup" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
-      "plan_cache_speedup": $pcs,
+      "sweep_batch_speedup": $sbs,
+      "host_norm_speedup": $hns,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"
 jq --argjson rec "$record" '. + [$rec]' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
 
-echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s)"
+echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s, sweep batched ${sweep_on_s}s vs jpv ${sweep_off_s}s)"

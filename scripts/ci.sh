@@ -69,6 +69,30 @@ jq -e 'type == "array" and length > 0 and all(has("cycle") and has("ipc"))' \
 cargo run --release -q -p dmdp-bench --bin dmdp -- report "$out" \
     | grep -q "IPC by workload"
 
+# Sweep-batching smoke: one multi-variant sizing sweep run twice — as
+# batched lockstep units and job-per-variant — must produce identical
+# per-variant numbers (digest, cycles, IPC). The sb64 upsize exercises
+# the never-bound derivation path; rob32/sb2 bind and run live lanes.
+sweep_on=bench-results/ci-sweep-batched.json
+sweep_off=bench-results/ci-sweep-jpv.json
+rm -f "$sweep_on" "$sweep_off"
+for mode in on off; do
+    case $mode in on) sweep_out=$sweep_on;; *) sweep_out=$sweep_off;; esac
+    cargo run --release -q -p dmdp-bench --bin dmdp -- \
+        campaign --name ci-sweep-$mode --scale test --model all \
+        --kernel mcf --kernel astar \
+        --variant main= --variant rob32=rob:32 --variant sb2=sb:2 \
+        --variant sb64=sb:64 \
+        --batch-variants $mode --force --quiet --out "$sweep_out"
+    test -s "$sweep_out"
+done
+variants_of() {
+    jq -S '[.jobs[] | {workload, model, variant, digest, cycles, ipc}]
+           | sort_by(.digest)' "$1"
+}
+diff <(variants_of "$sweep_on") <(variants_of "$sweep_off") \
+    || { echo "ci: FAIL: batched sweep diverges from job-per-variant"; exit 1; }
+
 # Daemon smoke: serve on a temp socket, submit the smoke campaign twice.
 # The second submission must be satisfied entirely from the persistent
 # store (0 executed), carry numbers identical to the local smoke
@@ -120,4 +144,4 @@ if "$dmdp_bin" submit --socket "$serve_sock" --ping 2>/dev/null; then
     exit 1
 fi
 
-echo "ci: build + tests + smoke campaign + probe artifacts + daemon smoke OK ($out)"
+echo "ci: build + tests + smoke campaign + probe artifacts + sweep batching + daemon smoke OK ($out)"
