@@ -249,6 +249,116 @@ fn submitted_artifact_matches_a_local_campaign_and_reuses_the_store() {
 }
 
 #[test]
+fn metrics_and_top_subcommands_read_a_live_daemon() {
+    let dir = temp("obs-cli");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("dmdp.sock");
+    let store = dir.join("store");
+    let events = dir.join("events.jsonl");
+    let artifact = dir.join("sweep.json");
+
+    let child = Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--log",
+            events.to_str().unwrap(),
+            "--log-level",
+            "debug",
+            "--slow-job-ms",
+            "0",
+        ])
+        .current_dir(std::env::temp_dir())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let submit: &[&str] = &["submit", "--socket", socket.to_str().unwrap()];
+    let spec: &[&str] = &["--name", "obs-cli", "--scale", "test", "--kernel", "lib", "--quiet"];
+    let out = dmdp(&[submit, spec, &["--out", artifact.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // `dmdp metrics` prints the JSON snapshot: parseable, with the
+    // daemon's request counters and latency histograms present.
+    let out = dmdp(&["metrics", "--socket", socket.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let v = dmdp_harness::Json::parse(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+    let names: Vec<&str> = v
+        .get("metrics")
+        .and_then(dmdp_harness::Json::as_arr)
+        .expect("metrics array")
+        .iter()
+        .filter_map(|m| m.get("name").and_then(dmdp_harness::Json::as_str))
+        .collect();
+    for want in ["dmdp_requests_total", "dmdp_jobs_total", "dmdp_queue_wait_us"] {
+        assert!(names.contains(&want), "missing `{want}` in {names:?}");
+    }
+
+    // `dmdp metrics --prom` scrapes the HTTP endpoint over the same
+    // unix socket and prints Prometheus text.
+    let out = dmdp(&["metrics", "--prom", "--socket", socket.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let prom = stdout(&out);
+    assert!(prom.contains("# TYPE dmdp_requests_total counter"), "{prom}");
+    assert!(prom.contains("# TYPE dmdp_queue_wait_us histogram"), "{prom}");
+    assert!(prom.contains("dmdp_jobs_total{source=\"executed\"}"), "{prom}");
+
+    // `dmdp top` renders two frames and exits; the second frame carries
+    // rates computed against the first.
+    let out = dmdp(&[
+        "top",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--iterations",
+        "2",
+        "--interval",
+        "0.1",
+        "--no-clear",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let top = stdout(&out);
+    for section in ["dmdp top — frame 2", "COUNTERS", "GAUGES", "HISTOGRAMS", "/s"] {
+        assert!(top.contains(section), "missing `{section}` in:\n{top}");
+    }
+
+    // The artifact's trace id appears in the daemon's event log, tying
+    // the submitted sweep to its structured trace — and with
+    // --slow-job-ms 0, every executed job logs a slow_job event.
+    let text = std::fs::read_to_string(&artifact).expect("artifact readable");
+    let trace = dmdp_harness::Json::parse(&text)
+        .expect("artifact parses")
+        .get("trace_id")
+        .and_then(dmdp_harness::Json::as_str)
+        .expect("artifact carries trace_id")
+        .to_string();
+    let log = std::fs::read_to_string(&events).expect("event log written");
+    assert!(
+        log.lines().any(|l| l.contains("submit_done") && l.contains(&trace)),
+        "trace {trace} missing from event log:\n{log}"
+    );
+    assert!(log.contains("slow_job"), "no slow_job event despite --slow-job-ms 0:\n{log}");
+
+    let out = dmdp(&[submit, &["--shutdown"]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    child.0.wait().expect("daemon reaps");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn submit_without_a_daemon_fails_cleanly() {
     let socket = temp("no-daemon.sock");
     std::fs::remove_file(&socket).ok();

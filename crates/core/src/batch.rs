@@ -221,13 +221,14 @@ impl BatchSimulator {
     /// Panics on an invalid configuration or a failing oracle pre-pass,
     /// as [`Pipeline::new_planned`].
     pub fn run(self) -> Vec<Result<SimStats, SimError>> {
-        self.run_counting().0
+        self.run_detailed().results
     }
 
-    /// [`BatchSimulator::run`] plus the number of lanes whose results
-    /// were derived from a never-bound reference run instead of being
-    /// simulated.
-    pub(crate) fn run_counting(self) -> (Vec<Result<SimStats, SimError>>, usize) {
+    /// [`BatchSimulator::run`] plus the batch-machinery tallies: how many
+    /// lanes were derived without simulation and how much work the
+    /// event-horizon fast-forward skipped. Service observability reads
+    /// these; per-variant timing is identical either way.
+    pub fn run_detailed(self) -> BatchRun {
         let BatchSimulator { program, plans, cfgs } = self;
         let keys: Vec<String> = cfgs.iter().map(sizing_group_key).collect();
         // Perfect-model lanes share one functional pre-pass per distinct
@@ -238,6 +239,8 @@ impl BatchSimulator {
         // Completed live runs usable as derivation references.
         let mut refs: Vec<(usize, HwDemand, SimStats)> = Vec::new();
         let mut derived = 0usize;
+        let mut ff_spans = 0u64;
+        let mut ff_cycles = 0u64;
         let mut remaining: Vec<usize> = (0..cfgs.len()).collect();
         while !remaining.is_empty() {
             // Derive every lane some completed reference already covers.
@@ -304,14 +307,36 @@ impl BatchSimulator {
                         if let Ok(stats) = &outcome {
                             refs.push((*idx, pipeline.hw.clone(), stats.clone()));
                         }
+                        ff_spans += pipeline.ff_spans;
+                        ff_cycles += pipeline.ff_cycles;
                         results[*idx] = Some(outcome);
                     }
                 }
                 live.retain(|&l| results[lanes[l].0].is_none());
             }
         }
-        (results.into_iter().map(|r| r.expect("every lane finished")).collect(), derived)
+        BatchRun {
+            results: results.into_iter().map(|r| r.expect("every lane finished")).collect(),
+            derived,
+            ff_spans,
+            ff_cycles,
+        }
     }
+}
+
+/// The outcome of [`BatchSimulator::run_detailed`]: per-lane results in
+/// push order plus tallies of what the batch machinery saved.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-lane results, in the order the lanes were pushed.
+    pub results: Vec<Result<SimStats, SimError>>,
+    /// Lanes whose statistics were derived from a never-bound reference
+    /// run instead of being simulated.
+    pub derived: usize,
+    /// Confirmed-dead spans applied by the event-horizon fast-forward.
+    pub ff_spans: u64,
+    /// Simulated cycles covered by those spans without stepping them.
+    pub ff_cycles: u64,
 }
 
 /// Advances one lane by up to `chunk` simulated cycles (fast-forwarded
@@ -474,6 +499,8 @@ impl Pipeline {
             self.cycle += span;
             self.stats.sb_full_stall_cycles += span * d_sb;
             self.stats.reexec_stall_cycles += span * d_reexec;
+            self.ff_spans += 1;
+            self.ff_cycles += span;
         }
     }
 }
@@ -576,10 +603,11 @@ mod tests {
         for cfg in &variants {
             batch.push(cfg.clone());
         }
-        let (results, derived) = batch.run_counting();
+        let run = batch.run_detailed();
+        let results = run.results;
         // The block never fills any default-sized resource, so the
         // roomiest lane's single live run covers every other lane.
-        assert_eq!(derived, 3, "expected all other lanes to be derived");
+        assert_eq!(run.derived, 3, "expected all other lanes to be derived");
         for (cfg, got) in variants.iter().zip(&results) {
             let solo = Simulator::with_config(cfg.clone())
                 .run_planned(&program, &plans)
@@ -601,8 +629,14 @@ mod tests {
         let mut batch = BatchSimulator::new(Arc::clone(&program), Arc::clone(&plans));
         batch.push(CoreConfig::new(CommModel::Dmdp));
         batch.push(CoreConfig { store_buffer_entries: 1, ..CoreConfig::new(CommModel::Dmdp) });
-        let (results, derived) = batch.run_counting();
-        assert_eq!(derived, 0, "a binding variant must not be derived");
+        let run = batch.run_detailed();
+        let results = run.results;
+        assert_eq!(run.derived, 0, "a binding variant must not be derived");
+        assert!(
+            run.ff_spans > 0 && run.ff_cycles >= run.ff_spans,
+            "the store-heavy strider must exercise the fast-forward ({} spans)",
+            run.ff_spans
+        );
         assert_ne!(
             results[0].as_ref().unwrap().cycles,
             results[1].as_ref().unwrap().cycles,

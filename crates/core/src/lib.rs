@@ -59,7 +59,7 @@ mod sim;
 pub mod srb;
 mod stats;
 
-pub use batch::BatchSimulator;
+pub use batch::{BatchRun, BatchSimulator};
 pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
 pub use plan::{FetchClass, InsnPlan, PlanCache, PlanKind};

@@ -145,6 +145,11 @@ pub struct Pipeline {
     // Resource-demand high-water marks for the batch engine's
     // never-bound variant deduplication (see `crate::batch`).
     pub(crate) hw: crate::batch::HwDemand,
+    // Event-horizon fast-forward tally (batch engine only; not part of
+    // SimStats — simulated timing is pinned independently of how many
+    // dead spans were skipped).
+    pub(crate) ff_spans: u64,
+    pub(crate) ff_cycles: u64,
     // Observability sinks (no-op by default; see `crate::probe`).
     pub(crate) probe: Probe,
     // Co-simulation against the functional emulator (tests).
@@ -257,6 +262,8 @@ impl Pipeline {
             commit_buf: Vec::new(),
             stats: SimStats::default(),
             hw: crate::batch::HwDemand::default(),
+            ff_spans: 0,
+            ff_cycles: 0,
             cycle: 0,
             program,
             plans,

@@ -286,6 +286,7 @@ impl CampaignSpec {
             executed: jobs.len() - cached_hits,
             cached: cached_hits,
             cache_warning,
+            trace_id: None,
             jobs,
         };
         campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
@@ -358,6 +359,10 @@ pub struct Campaign {
     /// unreadable or schema-mismatched prior artifact). Transient — not
     /// serialized into the artifact.
     pub cache_warning: Option<String>,
+    /// Trace id of the daemon request that produced this campaign
+    /// (`None` for local runs and older artifacts). Greppable against
+    /// the daemon's JSONL event log.
+    pub trace_id: Option<String>,
     /// Per-job results, in job-list order.
     pub jobs: Vec<JobResult>,
 }
@@ -487,7 +492,7 @@ impl Campaign {
                 })
                 .collect(),
         );
-        obj([
+        let mut members = vec![
             ("schema", Json::Num(1.0)),
             ("campaign", Json::Str(self.name.clone())),
             ("sim_version", Json::Str(self.sim_version.clone())),
@@ -505,10 +510,16 @@ impl Campaign {
             ),
             ("executed", Json::Num(self.executed as f64)),
             ("cached", Json::Num(self.cached as f64)),
+        ];
+        if let Some(trace) = &self.trace_id {
+            members.push(("trace_id", Json::Str(trace.clone())));
+        }
+        members.extend([
             ("jobs", Json::Arr(self.jobs.iter().map(JobResult::to_json).collect())),
             ("slowest_jobs", slowest),
             ("aggregates", Json::Arr(aggregates)),
-        ])
+        ]);
+        obj(members)
     }
 
     /// Deserializes a campaign artifact.
@@ -563,6 +574,8 @@ impl Campaign {
             executed: v.get("executed").and_then(Json::as_u64).unwrap_or(0) as usize,
             cached: v.get("cached").and_then(Json::as_u64).unwrap_or(0) as usize,
             cache_warning: None,
+            // Daemon-request trace id (PR 8): tolerate older artifacts.
+            trace_id: v.get("trace_id").and_then(Json::as_str).map(str::to_string),
             jobs,
         })
     }

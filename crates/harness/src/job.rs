@@ -15,6 +15,58 @@ use dmdp_workloads::{Scale, Suite};
 use crate::digest::Digest64;
 use crate::json::{obj, Json};
 
+/// Process-wide simulation-path metrics, registered lazily on first
+/// job execution. A handful of relaxed atomic adds per *job* (never per
+/// simulated cycle), so the simulator hot path is untouched whether or
+/// not anything ever scrapes them.
+struct SimMetrics {
+    jobs: &'static dmdp_obs::Counter,
+    exec_us: &'static dmdp_obs::LogHistogram,
+    batch_units: &'static dmdp_obs::Counter,
+    batch_lanes: &'static dmdp_obs::Counter,
+    batch_derived: &'static dmdp_obs::Counter,
+    batch_ff_spans: &'static dmdp_obs::Counter,
+    batch_ff_cycles: &'static dmdp_obs::Counter,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: std::sync::OnceLock<SimMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = dmdp_obs::registry();
+        SimMetrics {
+            jobs: r.counter("dmdp_sim_jobs_total", "simulation jobs executed in-process"),
+            exec_us: r.histogram(
+                "dmdp_sim_exec_us",
+                "per-job simulation wall-clock in microseconds",
+            ),
+            batch_units: r.counter(
+                "dmdp_batch_units_total",
+                "multi-variant groups run through the batched lockstep engine",
+            ),
+            batch_lanes: r.counter(
+                "dmdp_batch_lanes_total",
+                "variant lanes entering the batched lockstep engine",
+            ),
+            batch_derived: r.counter(
+                "dmdp_batch_derived_total",
+                "lanes derived from a never-bound reference instead of simulated",
+            ),
+            batch_ff_spans: r.counter(
+                "dmdp_batch_ff_spans_total",
+                "confirmed-dead spans applied by the event-horizon fast-forward",
+            ),
+            batch_ff_cycles: r.counter(
+                "dmdp_batch_ff_cycles_total",
+                "simulated cycles covered by fast-forwarded spans",
+            ),
+        }
+    })
+}
+
+fn wall_to_us(wall_s: f64) -> u64 {
+    (wall_s * 1e6).max(0.0) as u64
+}
+
 /// A sparse configuration override — the §VI-f/g alternative-machine
 /// knobs a campaign can sweep. Fields left `None`/`false` keep the
 /// paper's main configuration.
@@ -148,6 +200,9 @@ impl JobSpec {
             .run_planned(&self.program, &self.plans)
             .map_err(|e| format!("{} × {} [{}]: {e}", self.workload, self.model.name(), self.variant))?;
         let wall = start.elapsed().as_secs_f64();
+        let m = sim_metrics();
+        m.jobs.inc();
+        m.exec_us.observe(wall_to_us(wall));
         Ok(JobResult::from_stats(self, report.stats, wall))
     }
 
@@ -178,8 +233,16 @@ impl JobSpec {
         for spec in specs {
             batch.push(spec.cfg.clone());
         }
-        let outcomes = batch.run();
+        let run = batch.run_detailed();
         let wall = start.elapsed().as_secs_f64();
+        let m = sim_metrics();
+        m.jobs.add(specs.len() as u64);
+        m.batch_units.inc();
+        m.batch_lanes.add(specs.len() as u64);
+        m.batch_derived.add(run.derived as u64);
+        m.batch_ff_spans.add(run.ff_spans);
+        m.batch_ff_cycles.add(run.ff_cycles);
+        let outcomes = run.results;
         let total_cycles: u64 =
             outcomes.iter().filter_map(|r| r.as_ref().ok()).map(|s| s.cycles).sum();
         specs
@@ -192,6 +255,7 @@ impl JobSpec {
                     } else {
                         1.0 / specs.len() as f64
                     };
+                    m.exec_us.observe(wall_to_us(wall * share));
                     Ok(JobResult::from_stats(spec, stats, wall * share))
                 }
                 Err(e) => Err(format!(

@@ -249,7 +249,17 @@ fn slowest(out: &mut String, c: &Campaign) {
     if rows.is_empty() {
         return;
     }
-    let _ = writeln!(out, "\nslowest jobs (simulation wall-clock)");
+    match &c.trace_id {
+        Some(trace) => {
+            let _ = writeln!(
+                out,
+                "\nslowest jobs (simulation wall-clock; daemon trace {trace})"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "\nslowest jobs (simulation wall-clock)");
+        }
+    }
     for (i, r) in rows.iter().enumerate() {
         let mut line = format!(
             "  {}. {:>9} × {:<8} [{}]  {:.2}s  {:.2} MIPS",

@@ -1,0 +1,332 @@
+//! Leveled, structured JSONL event log.
+//!
+//! Every event is one JSON object per line — `ts` (unix seconds),
+//! `level`, `event`, plus arbitrary typed fields — written atomically
+//! under a sink mutex so concurrent connection threads never interleave
+//! bytes. Events below the configured level cost one relaxed atomic
+//! load and nothing else.
+//!
+//! Trace ids ([`next_trace_id`]) are `t-<boot-nonce>-<seq>`: unique per
+//! request within a process lifetime and greppable across the event
+//! log, job events and campaign artifacts.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::Str(v.clone())
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+enum Sink {
+    Stderr,
+    File(BufWriter<File>),
+}
+
+/// A leveled JSONL event sink (stderr or an append-mode file).
+pub struct EventLog {
+    min_level: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+impl EventLog {
+    /// Log to stderr (the default for interactive `dmdp serve`).
+    pub fn stderr(min_level: Level) -> EventLog {
+        EventLog {
+            min_level: AtomicU8::new(min_level as u8),
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    /// Log to `path`, appending (the file survives daemon restarts).
+    pub fn file(path: &Path, min_level: Level) -> Result<EventLog, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(EventLog {
+            min_level: AtomicU8::new(min_level as u8),
+            sink: Mutex::new(Sink::File(BufWriter::new(file))),
+        })
+    }
+
+    pub fn min_level(&self) -> Level {
+        Level::from_u8(self.min_level.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 >= self.min_level.load(Ordering::Relaxed)
+    }
+
+    /// Emit one event line. Fields render in call order after the
+    /// standard `ts`/`level`/`event` triple.
+    pub fn event(&self, level: Level, event: &str, fields: &[(&str, Value)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "{{\"ts\":{:.3}", unix_now());
+        let _ = write!(line, ",\"level\":\"{}\"", level.name());
+        line.push_str(",\"event\":\"");
+        escape_into(&mut line, event);
+        line.push('"');
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_into(&mut line, key);
+            line.push_str("\":");
+            match value {
+                Value::Str(s) => {
+                    line.push('"');
+                    escape_into(&mut line, s);
+                    line.push('"');
+                }
+                Value::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                Value::I64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                Value::F64(v) => {
+                    if v.is_finite() {
+                        let _ = write!(line, "{v}");
+                    } else {
+                        line.push_str("null");
+                    }
+                }
+                Value::Bool(v) => {
+                    let _ = write!(line, "{v}");
+                }
+            }
+        }
+        line.push_str("}\n");
+        let mut sink = self.sink.lock().unwrap();
+        match &mut *sink {
+            Sink::Stderr => {
+                let _ = std::io::stderr().write_all(line.as_bytes());
+            }
+            Sink::File(w) => {
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.flush();
+            }
+        }
+    }
+
+    pub fn debug(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Debug, event, fields);
+    }
+    pub fn info(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Info, event, fields);
+    }
+    pub fn warn(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Warn, event, fields);
+    }
+    pub fn error(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Error, event, fields);
+    }
+}
+
+fn unix_now() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Fresh process-unique trace id: `t-<boot-nonce>-<sequence>`.
+pub fn next_trace_id() -> String {
+    static NONCE: OnceNonce = OnceNonce::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("t-{:08x}-{:04x}", NONCE.get(), seq)
+}
+
+/// Lazily-computed 32-bit boot nonce (time ⊕ pid), without needing
+/// `OnceLock<u32>` gymnastics at every call site.
+struct OnceNonce {
+    value: AtomicU64,
+}
+
+impl OnceNonce {
+    const fn new() -> OnceNonce {
+        // 0 is the "unset" sentinel; the computed nonce is forced nonzero.
+        OnceNonce { value: AtomicU64::new(0) }
+    }
+
+    fn get(&self) -> u32 {
+        let v = self.value.load(Ordering::Relaxed);
+        if v != 0 {
+            return v as u32;
+        }
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0xdead_beef);
+        let mixed = (nanos ^ ((std::process::id() as u64) << 17)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let nonce = ((mixed >> 32) as u32) | 1;
+        // First writer wins; losers adopt the published value.
+        match self.value.compare_exchange(
+            0,
+            nonce as u64,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => nonce,
+            Err(existing) => existing as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_greppable() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("t-"), "{a}");
+        let nonce = |s: &str| s.split('-').nth(1).unwrap().to_string();
+        assert_eq!(nonce(&a), nonce(&b), "same boot nonce within a process");
+    }
+
+    #[test]
+    fn file_log_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir()
+            .join(format!("dmdp-obs-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        std::fs::remove_file(&path).ok();
+        let log = EventLog::file(&path, Level::Info).unwrap();
+        log.debug("dropped", &[]);
+        log.info("hello", &[
+            ("name", "wo\"rld\n".into()),
+            ("n", 7u64.into()),
+            ("neg", (-3i64).into()),
+            ("ratio", 0.5.into()),
+            ("ok", true.into()),
+        ]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug filtered below info: {text}");
+        assert!(lines[0].contains("\"event\":\"hello\""));
+        assert!(lines[0].contains("\"name\":\"wo\\\"rld\\n\""));
+        assert!(lines[0].contains("\"n\":7"));
+        assert!(lines[0].contains("\"neg\":-3"));
+        assert!(lines[0].contains("\"ok\":true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

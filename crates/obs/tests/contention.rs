@@ -1,0 +1,108 @@
+//! Registry under contention: writer threads hammer a counter, a gauge
+//! and a histogram while a snapshot loop reads concurrently. Snapshots
+//! must be monotonic (counters and histogram counts never go backwards)
+//! and internally consistent (no torn reads: a histogram's count always
+//! equals the sum of its buckets, and its sum always stays inside the
+//! envelope implied by the observed value range).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dmdp_obs::{Registry, SnapshotValue};
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 100_000;
+const OBSERVED_VALUE: u64 = 37;
+
+#[test]
+fn snapshots_are_monotonic_and_untorn_under_contention() {
+    // A private leaked registry: the test owns its totals completely,
+    // independent of anything the process-wide registry accumulates.
+    let registry: &'static Registry = Box::leak(Box::default());
+    let counter = registry.counter("contended_total", "hammered counter");
+    let gauge = registry.gauge("contended_level", "hammered gauge");
+    let histogram = registry.histogram("contended_us", "hammered histogram");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_counter = 0u64;
+            let mut last_hist_count = 0u64;
+            let mut last_hist_sum = 0u64;
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = registry.snapshot();
+                for e in &snap.entries {
+                    match (&e.name[..], &e.value) {
+                        ("contended_total", SnapshotValue::Counter(v)) => {
+                            assert!(
+                                *v >= last_counter,
+                                "counter went backwards: {v} < {last_counter}"
+                            );
+                            assert!(*v <= WRITERS as u64 * OPS_PER_WRITER);
+                            last_counter = *v;
+                        }
+                        ("contended_level", SnapshotValue::Gauge(v)) => {
+                            assert!(
+                                (0..=WRITERS as i64).contains(v),
+                                "gauge outside writer bounds: {v}"
+                            );
+                        }
+                        ("contended_us", SnapshotValue::Histogram(h)) => {
+                            let bucket_total: u64 = h.buckets.iter().sum();
+                            assert_eq!(
+                                h.count, bucket_total,
+                                "torn read: count disagrees with buckets"
+                            );
+                            assert!(h.count >= last_hist_count, "histogram count regressed");
+                            assert!(h.sum >= last_hist_sum, "histogram sum regressed");
+                            // Writers observe only 37..=39; the sum may lag the
+                            // bucket counts (sum is updated after the bucket) but
+                            // can never exceed what the count explains.
+                            assert!(h.sum <= h.count.saturating_mul(OBSERVED_VALUE + 2));
+                            last_hist_count = h.count;
+                            last_hist_sum = h.sum;
+                        }
+                        _ => {}
+                    }
+                }
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                for i in 0..OPS_PER_WRITER {
+                    counter.inc();
+                    histogram.observe(OBSERVED_VALUE + (i % 3));
+                    gauge.inc();
+                    gauge.dec();
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = reader.join().unwrap();
+    assert!(snapshots > 0, "the snapshot loop actually ran");
+
+    let final_snap = registry.snapshot();
+    for e in &final_snap.entries {
+        match (&e.name[..], &e.value) {
+            ("contended_total", SnapshotValue::Counter(v)) => {
+                assert_eq!(*v, WRITERS as u64 * OPS_PER_WRITER);
+            }
+            ("contended_level", SnapshotValue::Gauge(v)) => assert_eq!(*v, 0),
+            ("contended_us", SnapshotValue::Histogram(h)) => {
+                assert_eq!(h.count, WRITERS as u64 * OPS_PER_WRITER);
+                let per_writer: u64 =
+                    (0..OPS_PER_WRITER).map(|i| OBSERVED_VALUE + (i % 3)).sum();
+                assert_eq!(h.sum, per_writer * WRITERS as u64);
+            }
+            _ => {}
+        }
+    }
+}

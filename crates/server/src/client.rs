@@ -106,6 +106,21 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's full metrics registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`metrics` reply.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        self.send(&Request::Metrics)?;
+        let msg = self.next_msg()?;
+        Self::check_error(&msg)?;
+        match msg.get("type").and_then(Json::as_str) {
+            Some("metrics") => Ok(msg),
+            other => Err(format!("expected metrics, got `{}`", other.unwrap_or("?"))),
+        }
+    }
+
     /// Asks the daemon to drain running submissions and exit. Returns
     /// once the daemon acknowledges — i.e. after the drain.
     ///
@@ -155,4 +170,45 @@ impl Client {
             }
         }
     }
+}
+
+/// Issues one `GET /metrics` over an already-connected stream and
+/// returns the Prometheus text body. The daemon closes the connection
+/// after the response, so read-to-end frames it.
+fn scrape_metrics<S: Read + Write>(mut stream: S, what: &str) -> Result<String, String> {
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("{what}: {e}"))?;
+    stream.flush().map_err(|e| format!("{what}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("{what}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{what}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{what}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Scrapes `GET /metrics` from a daemon's unix socket.
+///
+/// # Errors
+///
+/// Connection or HTTP failures, stringified.
+pub fn scrape_metrics_unix(path: &Path) -> Result<String, String> {
+    let stream = UnixStream::connect(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    scrape_metrics(stream, &path.display().to_string())
+}
+
+/// Scrapes `GET /metrics` from a daemon's TCP listener — exactly what a
+/// Prometheus scraper would do.
+///
+/// # Errors
+///
+/// Connection or HTTP failures, stringified.
+pub fn scrape_metrics_tcp(addr: &str) -> Result<String, String> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    scrape_metrics(stream, addr)
 }

@@ -19,18 +19,28 @@
 //! * **Graceful shutdown** — a `shutdown` request stops new submissions
 //!   and drains running ones; every connected client still receives its
 //!   complete artifact (or an explicit error) before the daemon exits.
+//! * **Observability** — every request path updates the process-wide
+//!   [`dmdp_obs`] registry (request/jobs counters, queue-wait and parse
+//!   latency histograms, connection/in-flight gauges), exposed over the
+//!   `metrics` protocol request and a minimal `GET /metrics` Prometheus
+//!   endpoint on the same listeners. Diagnostics go to a leveled JSONL
+//!   [`EventLog`]; each request gets a trace id that threads through
+//!   job events into the artifact, so a slow sweep's campaign report
+//!   can be grepped straight back to its daemon-side events.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use dmdp_core::{CoreConfig, SIM_VERSION};
 use dmdp_harness::json::obj;
 use dmdp_harness::{pool, Campaign, JobResult, JobSpec, Json, PlannedImage, StageWall};
+use dmdp_obs::log::{next_trace_id, EventLog, Level, Value};
+use dmdp_obs::{Counter, Gauge, LogHistogram};
 use dmdp_workloads::{Scale, Suite};
 
 use crate::protocol::{self, LineEvent, LineReader, Request, SubmitRequest, PROTOCOL_VERSION};
@@ -42,6 +52,8 @@ pub struct ServeOptions {
     /// Unix socket path to listen on.
     pub socket: PathBuf,
     /// Optional additional TCP listen address (e.g. `127.0.0.1:7199`).
+    /// Port 0 binds an ephemeral port; the resolved address is reported
+    /// in the `listening` event.
     pub tcp: Option<String>,
     /// Root directory of the content-addressed result store.
     pub store_dir: PathBuf,
@@ -51,6 +63,13 @@ pub struct ServeOptions {
     pub store_cap_bytes: Option<u64>,
     /// Suppress per-request log lines.
     pub quiet: bool,
+    /// JSONL event log destination (`None` = stderr).
+    pub log: Option<PathBuf>,
+    /// Minimum event level written to the log.
+    pub log_level: Level,
+    /// Warn (as a `slow_job` event) about executed jobs whose simulation
+    /// wall clock meets this many milliseconds. `None` disables.
+    pub slow_job_ms: Option<u64>,
 }
 
 /// Final counters, returned when the daemon drains and exits.
@@ -67,6 +86,102 @@ pub struct DaemonReport {
     /// Jobs satisfied by waiting on another request's identical
     /// in-flight job.
     pub dedup_hits: u64,
+}
+
+/// The daemon's registered metric handles, resolved once per process.
+struct DaemonMetrics {
+    req_submit: &'static Counter,
+    req_stats: &'static Counter,
+    req_metrics: &'static Counter,
+    req_ping: &'static Counter,
+    req_shutdown: &'static Counter,
+    req_invalid: &'static Counter,
+    http_requests: &'static Counter,
+    connections_total: &'static Counter,
+    connections: &'static Gauge,
+    err_protocol: &'static Counter,
+    err_request: &'static Counter,
+    err_store: &'static Counter,
+    jobs_executed: &'static Counter,
+    jobs_store: &'static Counter,
+    jobs_dedup: &'static Counter,
+    active_submits: &'static Gauge,
+    inflight: &'static Gauge,
+    resident_images: &'static Gauge,
+    pool_workers: &'static Gauge,
+    store_entries: &'static Gauge,
+    store_bytes: &'static Gauge,
+    parse_us: &'static LogHistogram,
+    queue_wait_us: &'static LogHistogram,
+    submit_wall_us: &'static LogHistogram,
+}
+
+fn daemon_metrics() -> &'static DaemonMetrics {
+    static METRICS: OnceLock<DaemonMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = dmdp_obs::registry();
+        let req = |t: &str| {
+            r.counter_with("dmdp_requests_total", &[("type", t)], "protocol requests by type")
+        };
+        let err = |k: &str| {
+            r.counter_with("dmdp_errors_total", &[("kind", k)], "failures by kind")
+        };
+        let jobs = |s: &str| {
+            r.counter_with("dmdp_jobs_total", &[("source", s)], "jobs satisfied, by source")
+        };
+        DaemonMetrics {
+            req_submit: req("submit"),
+            req_stats: req("stats"),
+            req_metrics: req("metrics"),
+            req_ping: req("ping"),
+            req_shutdown: req("shutdown"),
+            req_invalid: req("invalid"),
+            http_requests: r
+                .counter("dmdp_http_requests_total", "HTTP requests (metrics scrapes)"),
+            connections_total: r
+                .counter("dmdp_connections_total", "client connections accepted"),
+            connections: r.gauge("dmdp_connections", "client connections currently open"),
+            err_protocol: err("protocol"),
+            err_request: err("request"),
+            err_store: err("store"),
+            jobs_executed: jobs("executed"),
+            jobs_store: jobs("store"),
+            jobs_dedup: jobs("dedup"),
+            active_submits: r.gauge("dmdp_active_submits", "submit requests in progress"),
+            inflight: r.gauge("dmdp_inflight_jobs", "distinct job digests being simulated"),
+            resident_images: r
+                .gauge("dmdp_resident_images", "workload images resident across scales"),
+            pool_workers: r.gauge("dmdp_pool_workers", "worker threads per submit request"),
+            store_entries: r.gauge("dmdp_store_entries", "results indexed by the store"),
+            store_bytes: r.gauge("dmdp_store_bytes", "bytes indexed by the store"),
+            parse_us: r
+                .histogram("dmdp_parse_us", "request line parse latency in microseconds"),
+            queue_wait_us: r.histogram(
+                "dmdp_queue_wait_us",
+                "pool-unit wait between submit start and worker claim, microseconds",
+            ),
+            submit_wall_us: r
+                .histogram("dmdp_submit_wall_us", "submit wall clock in microseconds"),
+        }
+    })
+}
+
+/// Reconciles the point-in-time gauges immediately before exposition, so
+/// a scrape always sees current store/in-flight occupancy without the
+/// hot paths having to maintain them.
+fn sync_gauges(shared: &Shared) {
+    let m = shared.metrics;
+    let store = shared.store.stats();
+    m.store_entries.set(store.entries as i64);
+    m.store_bytes.set(store.bytes as i64);
+    m.inflight.set(shared.inflight.lock().unwrap().len() as i64);
+    m.active_submits.set(shared.active_submits.load(Ordering::SeqCst) as i64);
+    let resident: usize = shared.images.lock().unwrap().values().map(|v| v.len()).sum();
+    m.resident_images.set(resident as i64);
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 /// One digest's in-flight slot: the owner executes, everyone else waits
@@ -87,6 +202,9 @@ struct Shared {
     store: Store,
     jobs: usize,
     quiet: bool,
+    log: EventLog,
+    slow_job_ms: Option<u64>,
+    metrics: &'static DaemonMetrics,
     /// Workload images resident per scale, in the paper's reporting
     /// order — the same order `CampaignSpec::jobs` produces, so daemon
     /// artifacts are row-for-row comparable with local campaigns.
@@ -138,10 +256,19 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         }
         None => None,
     };
+    // The resolved address matters when the request was port 0.
+    let tcp_addr = tcp.as_ref().and_then(|l| l.local_addr().ok()).map(|a| a.to_string());
+    let log = match &opts.log {
+        Some(path) => EventLog::file(path, opts.log_level)?,
+        None => EventLog::stderr(opts.log_level),
+    };
     let shared = Shared {
         store,
         jobs: if opts.jobs == 0 { pool::default_workers() } else { opts.jobs },
         quiet: opts.quiet,
+        log,
+        slow_job_ms: opts.slow_job_ms,
+        metrics: daemon_metrics(),
         images: Mutex::new(HashMap::new()),
         inflight: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
@@ -152,8 +279,20 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         store_hits: AtomicU64::new(0),
         dedup_hits: AtomicU64::new(0),
     };
+    shared.metrics.pool_workers.set(shared.jobs as i64);
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("socket", opts.socket.display().to_string().into()),
+        ("store", opts.store_dir.display().to_string().into()),
+        ("store_entries", shared.store.len().into()),
+        ("workers", shared.jobs.into()),
+        ("pid", std::process::id().into()),
+    ];
+    if let Some(addr) = &tcp_addr {
+        fields.push(("tcp", addr.into()));
+    }
+    shared.log.info("listening", &fields);
     if !opts.quiet {
-        let tcp_note = opts.tcp.as_deref().map(|a| format!(" and tcp {a}")).unwrap_or_default();
+        let tcp_note = tcp_addr.as_deref().map(|a| format!(" and tcp {a}")).unwrap_or_default();
         println!(
             "dmdp serve: listening on {}{tcp_note}  (store {}: {} results, {} workers)",
             opts.socket.display(),
@@ -201,6 +340,16 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         store_hits: shared.store_hits.load(Ordering::Relaxed),
         dedup_hits: shared.dedup_hits.load(Ordering::Relaxed),
     };
+    shared.log.info(
+        "stopped",
+        &[
+            ("requests", report.requests.into()),
+            ("submits", report.submits.into()),
+            ("executed", report.executed.into()),
+            ("store_hits", report.store_hits.into()),
+            ("dedup_hits", report.dedup_hits.into()),
+        ],
+    );
     if !opts.quiet {
         println!(
             "dmdp serve: drained and stopped  ({} submits: {} executed, {} store hits, {} in-flight dedups)",
@@ -231,12 +380,77 @@ fn write_locked<W: Write>(writer: &Mutex<W>, msg: &Json) -> Result<(), String> {
     protocol::write_msg(&mut *writer.lock().unwrap(), msg)
 }
 
+/// Decrements the open-connection gauge when the connection thread
+/// unwinds, whatever the exit path.
+struct ConnGuard(&'static Gauge);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// `Some(path)` when a protocol line is actually an HTTP request line —
+/// a Prometheus scraper talking to the NDJSON listener.
+fn http_request_path(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("GET ")?;
+    let (path, proto) = rest.split_once(' ')?;
+    proto.starts_with("HTTP/").then_some(path)
+}
+
+/// Answers one HTTP exchange (the connection's first line already
+/// identified it): drains request headers, serves `/metrics` as
+/// Prometheus text 0.0.4, everything else as 404, then closes.
+fn handle_http<R: Read, W: Write>(
+    shared: &Shared,
+    reader: &mut LineReader<R>,
+    writer: &Mutex<W>,
+    path: &str,
+) {
+    let mut idle = 0;
+    loop {
+        match reader.read_line() {
+            Ok(LineEvent::Line(l)) if l.is_empty() => break,
+            Ok(LineEvent::Line(_)) => {}
+            Ok(LineEvent::Eof) | Err(_) => return,
+            Ok(LineEvent::Idle) => {
+                // A scraper that never finishes its headers gets ~10s.
+                idle += 1;
+                if idle > 100 {
+                    return;
+                }
+            }
+        }
+    }
+    shared.metrics.http_requests.inc();
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        sync_gauges(shared);
+        ("200 OK", dmdp_obs::registry().snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", format!("no such endpoint {path}\n"))
+    };
+    shared.log.debug("http_scrape", &[("path", path.into()), ("status", status.into())]);
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut w = writer.lock().unwrap();
+    let _ = w.write_all(response.as_bytes());
+    let _ = w.flush();
+}
+
 /// Serves one connection: a sequence of requests, each answered in
 /// order. Protocol-level failures (unparseable line, truncated message)
 /// get an `error` reply and close the connection; request-level failures
 /// (unknown kernel, aborted job) get an `error` reply and the
-/// conversation continues.
+/// conversation continues. A connection whose first line is an HTTP
+/// request line is handed to [`handle_http`] instead.
 fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
+    let m = shared.metrics;
+    m.connections_total.inc();
+    m.connections.inc();
+    let _guard = ConnGuard(m.connections);
     let mut reader = LineReader::new(reader);
     let writer = Mutex::new(writer);
     loop {
@@ -249,28 +463,57 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
             }
             Ok(LineEvent::Eof) => return,
             Err(e) => {
+                m.err_protocol.inc();
+                shared.log.warn("bad_line", &[("error", (&e).into())]);
                 let _ = write_locked(&writer, &protocol::error_msg(&e));
                 return;
             }
             Ok(LineEvent::Line(text)) => {
+                if let Some(path) = http_request_path(&text) {
+                    // One response per HTTP connection, then close.
+                    let path = path.to_string();
+                    handle_http(shared, &mut reader, &writer, &path);
+                    return;
+                }
                 shared.requests.fetch_add(1, Ordering::Relaxed);
+                let parse_start = Instant::now();
                 let request = Json::parse(&text).and_then(|v| Request::from_json(&v));
+                m.parse_us.observe(elapsed_us(parse_start));
+                let trace = next_trace_id();
                 match request {
                     Err(e) => {
+                        m.req_invalid.inc();
+                        m.err_protocol.inc();
+                        shared.log.warn(
+                            "bad_request",
+                            &[("trace", (&trace).into()), ("error", (&e).into())],
+                        );
                         let _ = write_locked(&writer, &protocol::error_msg(&e));
                         return;
                     }
                     Ok(Request::Ping) => {
+                        m.req_ping.inc();
                         if write_locked(&writer, &protocol::pong_msg()).is_err() {
                             return;
                         }
                     }
                     Ok(Request::Stats) => {
+                        m.req_stats.inc();
                         if write_locked(&writer, &stats_msg(shared)).is_err() {
                             return;
                         }
                     }
+                    Ok(Request::Metrics) => {
+                        m.req_metrics.inc();
+                        sync_gauges(shared);
+                        let msg = protocol::metrics_msg(&dmdp_obs::registry().snapshot());
+                        if write_locked(&writer, &msg).is_err() {
+                            return;
+                        }
+                    }
                     Ok(Request::Shutdown) => {
+                        m.req_shutdown.inc();
+                        shared.log.info("shutdown_requested", &[("trace", (&trace).into())]);
                         shared.shutdown.store(true, Ordering::SeqCst);
                         while shared.active_submits.load(Ordering::SeqCst) > 0 {
                             std::thread::sleep(Duration::from_millis(10));
@@ -279,6 +522,7 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
                         return;
                     }
                     Ok(Request::Submit(req)) => {
+                        m.req_submit.inc();
                         if shared.shutdown.load(Ordering::SeqCst) {
                             let _ = write_locked(
                                 &writer,
@@ -286,7 +530,28 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
                             );
                             continue;
                         }
-                        if let Err(e) = run_submit(shared, &req, &writer) {
+                        shared.log.info(
+                            "submit",
+                            &[
+                                ("trace", (&trace).into()),
+                                ("name", (&req.name).into()),
+                                ("scale", req.scale.name().into()),
+                                ("models", req.models.len().into()),
+                                ("variants", req.variants.len().into()),
+                                ("watch", req.watch.into()),
+                                ("batch_variants", req.batch_variants.into()),
+                            ],
+                        );
+                        if let Err(e) = run_submit(shared, &req, &writer, &trace) {
+                            m.err_request.inc();
+                            shared.log.warn(
+                                "submit_failed",
+                                &[
+                                    ("trace", (&trace).into()),
+                                    ("name", (&req.name).into()),
+                                    ("error", (&e).into()),
+                                ],
+                            );
                             let _ = write_locked(&writer, &protocol::error_msg(&e));
                         }
                     }
@@ -355,6 +620,15 @@ const SRC_EXECUTED: &str = "executed";
 const SRC_STORE: &str = "store";
 const SRC_DEDUP: &str = "dedup";
 
+/// Routes a failed store write through the event log and error counter —
+/// persistence failure degrades durability, not the run.
+fn warn_store_write(shared: &Shared, digest: &str, error: &str) {
+    shared.metrics.err_store.inc();
+    shared
+        .log
+        .warn("store_write_failed", &[("digest", digest.into()), ("error", error.into())]);
+}
+
 /// Satisfies one job: persistent store first, then the in-flight table
 /// (wait on an identical running job), then actually simulate — and
 /// publish the result to both waiters and the store.
@@ -379,8 +653,7 @@ fn run_job(shared: &Shared, spec: &JobSpec) -> Result<(JobResult, &'static str),
         if let Ok(r) = &result {
             shared.executed.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = shared.store.put(r) {
-                // Persistence failure degrades durability, not the run.
-                eprintln!("dmdp serve: warning: {e}");
+                warn_store_write(shared, &spec.digest, &e);
             }
         }
         // Publish a summary copy (waiters never need the full stats),
@@ -468,7 +741,7 @@ fn run_batch_unit(
             r.finished_s = exec_start.elapsed().as_secs_f64();
             shared.executed.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = shared.store.put(r) {
-                eprintln!("dmdp serve: warning: {e}");
+                warn_store_write(shared, &spec.digest, &e);
             }
         }
         let Member::Own(slot) = &members[k] else { unreachable!("filtered on Own") };
@@ -517,11 +790,14 @@ fn run_submit<W: Write + Send>(
     shared: &Shared,
     req: &SubmitRequest,
     writer: &Mutex<W>,
+    trace: &str,
 ) -> Result<(), String> {
     let start = Instant::now();
     shared.active_submits.fetch_add(1, Ordering::SeqCst);
-    let outcome = run_submit_inner(shared, req, writer, start);
+    shared.metrics.active_submits.inc();
+    let outcome = run_submit_inner(shared, req, writer, start, trace);
     shared.active_submits.fetch_sub(1, Ordering::SeqCst);
+    shared.metrics.active_submits.dec();
     outcome
 }
 
@@ -530,6 +806,7 @@ fn run_submit_inner<W: Write + Send>(
     req: &SubmitRequest,
     writer: &Mutex<W>,
     start: Instant,
+    trace: &str,
 ) -> Result<(), String> {
     let specs = build_jobs(shared, req)?;
     let build_s = start.elapsed().as_secs_f64();
@@ -551,6 +828,7 @@ fn run_submit_inner<W: Write + Send>(
     }
     let exec_start = Instant::now();
     let unit_outcomes = pool::map_ordered(&units, shared.jobs, |_, unit| {
+        shared.metrics.queue_wait_us.observe(elapsed_us(exec_start));
         if req.watch {
             for &i in unit {
                 let spec = &specs[i];
@@ -574,6 +852,25 @@ fn run_submit_inner<W: Write + Send>(
         } else {
             run_batch_unit(shared, &specs, unit, exec_start)
         };
+        if let Some(threshold_ms) = shared.slow_job_ms {
+            for (_, out) in &outcomes {
+                if let Ok((r, src)) = out {
+                    if *src == SRC_EXECUTED && r.wall_s * 1000.0 >= threshold_ms as f64 {
+                        shared.log.warn(
+                            "slow_job",
+                            &[
+                                ("trace", trace.into()),
+                                ("workload", (&r.workload).into()),
+                                ("model", r.model.name().into()),
+                                ("variant", (&r.variant).into()),
+                                ("wall_ms", (r.wall_s * 1000.0).into()),
+                                ("digest", (&r.digest).into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
         if req.watch {
             for (i, out) in &outcomes {
                 if let Ok((r, src)) = out {
@@ -604,6 +901,10 @@ fn run_submit_inner<W: Write + Send>(
         }
         jobs.push(r);
     }
+    let m = shared.metrics;
+    m.jobs_executed.add(executed as u64);
+    m.jobs_store.add(from_store as u64);
+    m.jobs_dedup.add(from_dedup as u64);
     let mut campaign = Campaign {
         name: req.name.clone(),
         scale: req.scale,
@@ -617,10 +918,24 @@ fn run_submit_inner<W: Write + Send>(
         executed,
         cached: from_store + from_dedup,
         cache_warning: None,
+        trace_id: Some(trace.to_string()),
         jobs,
     };
     campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
+    m.submit_wall_us.observe(elapsed_us(start));
     shared.submits.fetch_add(1, Ordering::Relaxed);
+    shared.log.info(
+        "submit_done",
+        &[
+            ("trace", trace.into()),
+            ("name", (&req.name).into()),
+            ("jobs", campaign.jobs.len().into()),
+            ("executed", executed.into()),
+            ("store", from_store.into()),
+            ("dedup", from_dedup.into()),
+            ("wall_s", campaign.wall_s.into()),
+        ],
+    );
     if !shared.quiet {
         println!(
             "dmdp serve: submit `{}`: {} jobs  ({executed} executed, {from_store} store, {from_dedup} dedup)  {:.2}s",

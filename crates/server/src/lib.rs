@@ -19,7 +19,7 @@ pub mod daemon;
 pub mod protocol;
 pub mod store;
 
-pub use client::Client;
+pub use client::{scrape_metrics_tcp, scrape_metrics_unix, Client};
 pub use daemon::{serve, DaemonReport, ServeOptions};
 pub use protocol::{Request, SubmitRequest, PROTOCOL_VERSION};
 pub use store::{Store, StoreStats};

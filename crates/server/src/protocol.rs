@@ -7,10 +7,11 @@
 //! on `harness::json` — no new dependencies, and the documents are the
 //! same shapes the campaign artifacts already use.
 //!
-//! Requests (client → daemon): `submit`, `stats`, `shutdown`, `ping`.
-//! Responses (daemon → client): `started`/`finished` job events (when
-//! the submit asked to watch), a final `artifact` carrying the complete
-//! assembled campaign, `stats`, `ok`, `pong`, or `error`.
+//! Requests (client → daemon): `submit`, `stats`, `metrics`,
+//! `shutdown`, `ping`. Responses (daemon → client): `started`/`finished`
+//! job events (when the submit asked to watch), a final `artifact`
+//! carrying the complete assembled campaign, `stats`, `metrics`, `ok`,
+//! `pong`, or `error`.
 
 use std::io::{Read, Write};
 
@@ -74,6 +75,8 @@ pub enum Request {
     Submit(SubmitRequest),
     /// Report daemon statistics.
     Stats,
+    /// Report the full metrics registry snapshot.
+    Metrics,
     /// Drain running jobs, then exit.
     Shutdown,
     /// Liveness / version check.
@@ -121,6 +124,7 @@ impl Request {
     pub fn to_json(&self) -> Json {
         match self {
             Request::Stats => obj([("type", Json::Str("stats".into()))]),
+            Request::Metrics => obj([("type", Json::Str("metrics".into()))]),
             Request::Shutdown => obj([("type", Json::Str("shutdown".into()))]),
             Request::Ping => obj([
                 ("type", Json::Str("ping".into())),
@@ -173,6 +177,7 @@ impl Request {
     pub fn from_json(v: &Json) -> Result<Request, String> {
         match v.get("type").and_then(Json::as_str) {
             Some("stats") => Ok(Request::Stats),
+            Some("metrics") => Ok(Request::Metrics),
             Some("shutdown") => Ok(Request::Shutdown),
             Some("ping") => Ok(Request::Ping),
             Some("submit") => {
@@ -298,6 +303,71 @@ pub fn artifact_msg(campaign: Json) -> Json {
     obj([("type", Json::Str("artifact".into())), ("campaign", campaign)])
 }
 
+/// `metrics` response: the full registry snapshot as one wire document.
+/// Counters and gauges carry a scalar `value`; histograms carry `count`,
+/// `sum`, and the non-empty log₂ `buckets` as `[le, cumulative_count]`
+/// pairs (`le` of -1 encodes the +Inf overflow bucket).
+pub fn metrics_msg(snapshot: &dmdp_obs::Snapshot) -> Json {
+    use dmdp_obs::{LogHistogram, SnapshotValue, HISTOGRAM_BUCKETS};
+    let entries = snapshot
+        .entries
+        .iter()
+        .map(|e| {
+            let mut members = vec![
+                ("name".to_string(), Json::Str(e.name.clone())),
+                ("kind".to_string(), Json::Str(e.value.kind().to_string())),
+            ];
+            if !e.labels.is_empty() {
+                members.push((
+                    "labels".to_string(),
+                    Json::Obj(
+                        e.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                            .collect(),
+                    ),
+                ));
+            }
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    members.push(("value".to_string(), Json::Num(*v as f64)));
+                }
+                SnapshotValue::Gauge(v) => {
+                    members.push(("value".to_string(), Json::Num(*v as f64)));
+                }
+                SnapshotValue::Histogram(h) => {
+                    members.push(("count".to_string(), Json::Num(h.count as f64)));
+                    members.push(("sum".to_string(), Json::Num(h.sum as f64)));
+                    let mut cum = 0u64;
+                    let mut buckets = Vec::new();
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        cum = cum.saturating_add(b);
+                        if b == 0 {
+                            continue;
+                        }
+                        let le = if i >= HISTOGRAM_BUCKETS - 1 {
+                            -1.0
+                        } else {
+                            LogHistogram::bucket_bound(i) as f64
+                        };
+                        buckets.push(Json::Arr(vec![
+                            Json::Num(le),
+                            Json::Num(cum as f64),
+                        ]));
+                    }
+                    members.push(("buckets".to_string(), Json::Arr(buckets)));
+                }
+            }
+            Json::Obj(members)
+        })
+        .collect();
+    obj([
+        ("type", Json::Str("metrics".into())),
+        ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+        ("metrics", Json::Arr(entries)),
+    ])
+}
+
 /// Error response. The connection may close after a protocol-level error.
 pub fn error_msg(message: &str) -> Json {
     obj([("type", Json::Str("error".into())), ("message", Json::Str(message.to_string()))])
@@ -407,6 +477,7 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Ping,
             Request::Submit(SubmitRequest::new("full", Scale::Test)),
@@ -465,6 +536,40 @@ mod tests {
             panic!("submit should parse");
         };
         assert!(req.batch_variants, "absent field means batching on");
+    }
+
+    #[test]
+    fn metrics_msg_carries_every_kind() {
+        let r = dmdp_obs::Registry::default();
+        r.counter_with("proto_test_total", &[("type", "x")], "h").add(7);
+        r.gauge("proto_test_level", "h").set(-3);
+        let h = r.histogram("proto_test_us", "h");
+        h.observe(0);
+        h.observe(9);
+        let msg = metrics_msg(&r.snapshot());
+        let wire = msg.compact();
+        let back = Json::parse(&wire).unwrap();
+        assert_eq!(back.get("type").and_then(Json::as_str), Some("metrics"));
+        let entries = back.get("metrics").and_then(Json::as_arr).unwrap();
+        assert_eq!(entries.len(), 3);
+        let by_name = |n: &str| {
+            entries
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(n))
+                .unwrap()
+        };
+        let c = by_name("proto_test_total");
+        assert_eq!(c.get("value").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            c.get("labels").and_then(|l| l.get("type")).and_then(Json::as_str),
+            Some("x")
+        );
+        let g = by_name("proto_test_level");
+        assert_eq!(g.get("value").and_then(Json::as_f64), Some(-3.0));
+        let hist = by_name("proto_test_us");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(9));
+        assert_eq!(hist.get("buckets").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
     }
 
     #[test]

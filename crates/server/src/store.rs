@@ -21,6 +21,38 @@ use std::sync::Mutex;
 
 use dmdp_harness::{JobResult, Json};
 
+/// Process-wide store metrics (cumulative across every [`Store`] this
+/// process opens — the per-store view stays on [`Store::stats`]).
+struct StoreMetrics {
+    rescanned: &'static dmdp_obs::Counter,
+    hits: &'static dmdp_obs::Counter,
+    misses: &'static dmdp_obs::Counter,
+    writes: &'static dmdp_obs::Counter,
+    evictions: &'static dmdp_obs::Counter,
+    write_us: &'static dmdp_obs::LogHistogram,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: std::sync::OnceLock<StoreMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = dmdp_obs::registry();
+        StoreMetrics {
+            rescanned: r.counter(
+                "dmdp_store_rescanned_total",
+                "entries re-indexed by startup tree scans",
+            ),
+            hits: r.counter("dmdp_store_hits_total", "store lookups satisfied from disk"),
+            misses: r.counter("dmdp_store_misses_total", "store lookups that found nothing"),
+            writes: r.counter("dmdp_store_writes_total", "results newly persisted"),
+            evictions: r.counter("dmdp_store_evictions_total", "entries deleted by the LRU cap"),
+            write_us: r.histogram(
+                "dmdp_store_write_us",
+                "store write+rename latency in microseconds",
+            ),
+        }
+    })
+}
+
 /// A snapshot of the store's counters, for daemon stats.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -110,6 +142,7 @@ impl Store {
         // Seed the LRU order from mtimes: oldest files get the smallest
         // clock values and are first in line for eviction.
         found.sort_by_key(|(_, _, mtime)| *mtime);
+        store_metrics().rescanned.add(found.len() as u64);
         let mut index =
             Index { entries: HashMap::new(), total_bytes: 0, clock: 0 };
         for (digest, bytes, _) in found {
@@ -143,6 +176,7 @@ impl Store {
     pub fn get(&self, digest: &str) -> Option<JobResult> {
         if !valid_digest(digest) || !self.index.lock().unwrap().entries.contains_key(digest) {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            store_metrics().misses.inc();
             return None;
         }
         let loaded = std::fs::read_to_string(self.path_of(digest))
@@ -158,6 +192,7 @@ impl Store {
                     entry.last_used = clock;
                 }
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                store_metrics().hits.inc();
                 result.cached = true;
                 Some(result)
             }
@@ -168,6 +203,7 @@ impl Store {
                 }
                 std::fs::remove_file(self.path_of(digest)).ok();
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                store_metrics().misses.inc();
                 None
             }
         }
@@ -190,6 +226,7 @@ impl Store {
         if self.index.lock().unwrap().entries.contains_key(&result.digest) {
             return Ok(false);
         }
+        let write_start = std::time::Instant::now();
         let path = self.path_of(&result.digest);
         let dir = path.parent().expect("store paths have a shard directory");
         std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -216,6 +253,9 @@ impl Store {
             index.total_bytes -= old.bytes;
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let m = store_metrics();
+        m.writes.inc();
+        m.write_us.observe(write_start.elapsed().as_micros() as u64);
         self.enforce_cap(&mut index);
         Ok(true)
     }
@@ -239,6 +279,7 @@ impl Store {
             }
             std::fs::remove_file(self.path_of(&victim)).ok();
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            store_metrics().evictions.inc();
         }
     }
 

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use dmdp_core::CommModel;
-use dmdp_harness::Json;
+use dmdp_harness::{CfgPatch, Json};
 use dmdp_server::{serve, Client, DaemonReport, ServeOptions, SubmitRequest};
 use dmdp_workloads::Scale;
 
@@ -28,6 +28,9 @@ fn serve_opts(dir: &Path) -> ServeOptions {
         jobs: 2,
         store_cap_bytes: None,
         quiet: true,
+        log: Some(dir.join("events.jsonl")),
+        log_level: dmdp_obs::log::Level::Debug,
+        slow_job_ms: None,
     }
 }
 
@@ -271,6 +274,167 @@ fn protocol_garbage_gets_an_error_and_spares_the_daemon() {
     // The daemon survived both and still serves well-formed clients.
     let mut client = connect(&opts.socket);
     assert!(client.ping().is_ok());
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The value of one Prometheus sample line (`name{labels} value`), or
+/// 0 when the series has not been registered yet — the registry is
+/// process-wide, so tests assert deltas, never absolutes.
+fn prom_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            let (name, val) = l.rsplit_once(' ')?;
+            (name == series).then(|| val.parse::<f64>().ok())?
+        })
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn metrics_are_exposed_over_http_and_protocol_during_a_live_sweep() {
+    let dir = tmp_dir("metrics");
+    let mut opts = serve_opts(&dir);
+    opts.tcp = Some("127.0.0.1:0".into());
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+
+    // The ephemeral TCP port is announced in the `listening` event.
+    let log_path = dir.join("events.jsonl");
+    let addr = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let found = std::fs::read_to_string(&log_path).ok().and_then(|text| {
+                text.lines().find_map(|l| {
+                    let v = Json::parse(l).ok()?;
+                    if v.get("event").and_then(Json::as_str) != Some("listening") {
+                        return None;
+                    }
+                    v.get("tcp").and_then(Json::as_str).map(str::to_string)
+                })
+            });
+            if let Some(addr) = found {
+                break addr;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no listening event in {}",
+                log_path.display()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    let baseline = dmdp_server::scrape_metrics_tcp(&addr).unwrap();
+
+    // A multi-variant sweep, so the daemon runs batched lockstep units.
+    let req = SubmitRequest {
+        kernels: Some(vec!["lib".into(), "hmmer".into()]),
+        models: vec![CommModel::Baseline, CommModel::Dmdp],
+        variants: vec![
+            ("main".into(), CfgPatch::default()),
+            ("rob48".into(), CfgPatch { rob: Some(48), ..CfgPatch::default() }),
+            ("w2".into(), CfgPatch { width: Some(2), ..CfgPatch::default() }),
+        ],
+        watch: true,
+        ..SubmitRequest::new("metrics-sweep", Scale::Test)
+    };
+    let mut live_scrape = None;
+    let campaign = client
+        .submit(&req, |ev| {
+            if live_scrape.is_none()
+                && ev.get("type").and_then(Json::as_str) == Some("started")
+            {
+                live_scrape = Some(dmdp_server::scrape_metrics_tcp(&addr).unwrap());
+            }
+        })
+        .unwrap();
+    assert_eq!(campaign.jobs.len(), 12);
+    let live = live_scrape.expect("scraped mid-sweep");
+
+    // Well-formed exposition: one # TYPE per family, every sample line
+    // resolves to a declared family.
+    let mut families = std::collections::HashSet::new();
+    for l in live.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let name = l.split_whitespace().nth(2).unwrap();
+        assert!(families.insert(name.to_string()), "duplicate # TYPE for {name}:\n{live}");
+    }
+    assert!(families.contains("dmdp_requests_total"), "{live}");
+    assert!(families.contains("dmdp_queue_wait_us"), "{live}");
+    for l in live.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let metric = l.split([' ', '{']).next().unwrap();
+        let family = metric
+            .strip_suffix("_bucket")
+            .or_else(|| metric.strip_suffix("_sum"))
+            .or_else(|| metric.strip_suffix("_count"))
+            .unwrap_or(metric);
+        assert!(
+            families.contains(family) || families.contains(metric),
+            "sample {metric} has no # TYPE family:\n{live}"
+        );
+    }
+
+    // Counters advanced across the sweep (deltas only: the registry is
+    // process-wide, so other tests in this binary also write to it).
+    let after = dmdp_server::scrape_metrics_tcp(&addr).unwrap();
+    assert!(
+        prom_value(&after, "dmdp_jobs_total{source=\"executed\"}")
+            >= prom_value(&baseline, "dmdp_jobs_total{source=\"executed\"}") + 12.0,
+        "12 fresh jobs executed:\n{after}"
+    );
+    assert!(
+        prom_value(&after, "dmdp_batch_units_total")
+            > prom_value(&baseline, "dmdp_batch_units_total"),
+        "multi-variant sweep ran batched units:\n{after}"
+    );
+    assert!(
+        prom_value(&after, "dmdp_sim_exec_us_count")
+            >= prom_value(&baseline, "dmdp_sim_exec_us_count") + 12.0,
+        "per-lane exec latency observed:\n{after}"
+    );
+    assert!(
+        prom_value(&after, "dmdp_queue_wait_us_count")
+            > prom_value(&baseline, "dmdp_queue_wait_us_count"),
+        "queue-wait observed per pool unit:\n{after}"
+    );
+    assert!(
+        prom_value(&after, "dmdp_requests_total{type=\"submit\"}") >= 1.0,
+        "{after}"
+    );
+
+    // The same snapshot over the NDJSON protocol.
+    let msg = client.metrics().unwrap();
+    let entries = msg.get("metrics").and_then(Json::as_arr).unwrap();
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("dmdp_requests_total")),
+        "protocol snapshot lists request counters"
+    );
+    let hist = entries
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("dmdp_queue_wait_us"))
+        .expect("queue-wait histogram in protocol snapshot");
+    assert!(hist.get("count").and_then(Json::as_u64).unwrap() > 0);
+    assert!(!hist.get("buckets").and_then(Json::as_arr).unwrap().is_empty());
+
+    // The artifact's trace id greps straight back to the daemon events.
+    let trace = campaign.trace_id.clone().expect("daemon artifacts carry a trace id");
+    let events = std::fs::read_to_string(&log_path).unwrap();
+    assert!(
+        events.lines().any(|l| l.contains("submit_done") && l.contains(&trace)),
+        "trace {trace} not found in {}",
+        log_path.display()
+    );
+    assert!(
+        dmdp_harness::render_campaign(&campaign).contains(&trace),
+        "report names the daemon trace"
+    );
+
+    // Non-/metrics HTTP paths 404 without killing the daemon.
+    assert!(dmdp_server::scrape_metrics_tcp(&addr).is_ok());
     client.shutdown().unwrap();
     daemon.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();

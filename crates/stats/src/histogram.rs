@@ -35,14 +35,17 @@ impl Histogram {
         Histogram { buckets: vec![0; bound], overflow: 0, count: 0, sum: 0 }
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Counts and the running sum saturate at
+    /// `u64::MAX` instead of wrapping, so a pathological feed (huge
+    /// latencies over a billion-cycle run) degrades the mean rather
+    /// than corrupting every statistic in a release build.
     #[inline]
     pub fn add(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += value;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
         match self.buckets.get_mut(value as usize) {
-            Some(b) => *b += 1,
-            None => self.overflow += 1,
+            Some(b) => *b = b.saturating_add(1),
+            None => self.overflow = self.overflow.saturating_add(1),
         }
     }
 
@@ -125,6 +128,18 @@ mod tests {
         let mut h = Histogram::new(4);
         h.add(1000);
         assert_eq!(h.percentile(50.0), 4);
+    }
+
+    #[test]
+    fn extreme_samples_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new(4);
+        h.add(u64::MAX);
+        h.add(u64::MAX); // sum would wrap to small without saturation
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 2);
+        // The sum pins at u64::MAX, so the mean stays huge rather than
+        // collapsing to ~0 as a wrapped sum would.
+        assert_eq!(h.mean(), u64::MAX as f64 / 2.0);
     }
 
     #[test]

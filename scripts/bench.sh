@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory recorder: runs the simulator-throughput bench plus a
-# timed test-scale campaign and appends one record to BENCH_PR7.json.
+# timed test-scale campaign and appends one record to BENCH_PR8.json.
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
@@ -16,30 +16,46 @@
 # job-per-variant — the PR-4-era execution model — and records the
 # wall-clock ratio (target: >= 2x). The `host_norm_speedup` block
 # compares per-(kernel × model) host-normalised throughput against the
-# last record in BENCH_PR4.json. Throughput is measured min-of-3
+# last record in BENCH_PR7.json. Throughput is measured min-of-3
 # (`--repeats 3`) to strip host noise.
+#
+# Since PR 8 every campaign runs with the always-on metrics registry and
+# structured event instrumentation; the `metrics_overhead` block times
+# the test-scale smoke campaign min-of-3 cold and compares
+# host-normalised wall (wall × calib Mops) against the last PR-7 record
+# — target ratio <= 1.02 (metrics must cost under 2% wall).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr7}"
+label="${1:-pr8}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR7.json
-prev=BENCH_PR4.json
+out=BENCH_PR8.json
+prev=BENCH_PR7.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 cargo build --release -q
 cargo bench -p dmdp-bench --bench sim_throughput -- --repeats 3 "$@" | tee "$raw"
 
+# Timed test-scale campaign, min-of-3 cold runs (the artifact is the
+# campaign's digest cache, so removing it before each run forces a full
+# simulation). The min strips scheduler noise on loaded boxes — the same
+# reason sim_throughput runs --repeats 3.
 camp_out=bench-results/bench-sh-campaign.json
-rm -f "$camp_out"
-camp_start=$(date +%s.%N)
-cargo run --release -q -p dmdp-bench --bin dmdp -- \
-    campaign --name bench-sh --scale test --model all \
-    --jobs "$(nproc)" --out "$camp_out" --quiet
-camp_end=$(date +%s.%N)
-camp_s=$(awk -v a="$camp_start" -v b="$camp_end" 'BEGIN { printf "%.3f", b - a }')
+camp_s=
+for _ in 1 2 3; do
+    rm -f "$camp_out"
+    camp_start=$(date +%s.%N)
+    cargo run --release -q -p dmdp-bench --bin dmdp -- \
+        campaign --name bench-sh --scale test --model all \
+        --jobs "$(nproc)" --out "$camp_out" --quiet
+    camp_end=$(date +%s.%N)
+    run_s=$(awk -v a="$camp_start" -v b="$camp_end" 'BEGIN { printf "%.3f", b - a }')
+    if [ -z "$camp_s" ] || awk -v a="$run_s" -v b="$camp_s" 'BEGIN { exit !(a < b) }'; then
+        camp_s=$run_s
+    fi
+done
 test -s "$camp_out"
 
 # Sweep-batching A/B: the same 9-variant store-buffer sizing sweep, all
@@ -95,6 +111,25 @@ if [ -s "$prev" ]; then
         end' "$prev")
 fi
 
+# Metrics-overhead gate: host-normalised smoke-campaign wall (wall ×
+# calib, cancelling host speed) against the pre-instrumentation PR-7
+# record. Target <= 1.02.
+metrics_overhead=null
+if [ -s "$prev" ]; then
+    metrics_overhead=$(jq --argjson camp_s "$camp_s" --argjson calib "$calib" '
+        .[-1] as $p |
+        if $p.campaign_test_scale_wall_s == null or $p.calib_host_mops == null
+        then null else
+        {baseline_label: $p.label,
+         baseline_wall_s: $p.campaign_test_scale_wall_s,
+         current_wall_s: $camp_s,
+         wall_ratio: ($camp_s / $p.campaign_test_scale_wall_s),
+         host_norm_ratio: (($camp_s * $calib)
+                           / ($p.campaign_test_scale_wall_s * $p.calib_host_mops)),
+         target: "host_norm_ratio <= 1.02"}
+        end' "$prev")
+fi
+
 record=$(jq -n \
     --arg lbl "$label" \
     --arg date "$(date -u +%F)" \
@@ -104,10 +139,12 @@ record=$(jq -n \
     --argjson entries "$entries" \
     --argjson sbs "$sweep_batch_speedup" \
     --argjson hns "$host_norm_speedup" \
+    --argjson mo "$metrics_overhead" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
       "sweep_batch_speedup": $sbs,
       "host_norm_speedup": $hns,
+      "metrics_overhead": $mo,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"

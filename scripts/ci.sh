@@ -110,8 +110,10 @@ cleanup_serve() {
 }
 trap cleanup_serve EXIT
 
+serve_log="$serve_dir/events.jsonl"
 "$dmdp_bin" serve --socket "$serve_sock" --store "$serve_dir/store" \
-    --jobs "$(nproc)" --quiet &
+    --jobs "$(nproc)" --quiet \
+    --tcp 127.0.0.1:0 --log "$serve_log" --log-level debug --slow-job-ms 0 &
 serve_pid=$!
 for _ in $(seq 1 200); do
     [ -S "$serve_sock" ] && break
@@ -119,9 +121,58 @@ for _ in $(seq 1 200); do
 done
 test -S "$serve_sock"
 
+# The daemon announces its resolved ephemeral TCP port in the
+# structured event log; observability checks below scrape it over HTTP.
+serve_tcp=
+for _ in $(seq 1 200); do
+    serve_tcp=$(jq -rn 'first(inputs | select(.event == "listening") | .tcp) // empty' \
+        "$serve_log" 2>/dev/null || true)
+    [ -n "$serve_tcp" ] && break
+    sleep 0.05
+done
+test -n "$serve_tcp" || { echo "ci: FAIL: no listening event in $serve_log"; exit 1; }
+
 submit="$dmdp_bin submit --socket $serve_sock --scale test --model all --quiet"
 $submit --name ci-serve-1 --out "$serve_dir/first.json"
 $submit --name ci-serve-2 --out "$serve_dir/second.json"
+
+# Observability smoke: the Prometheus scrape must be well-formed (each
+# metric family declared exactly once) and show the sweep's work.
+prom="$serve_dir/metrics.prom"
+"$dmdp_bin" metrics --prom --tcp "$serve_tcp" > "$prom"
+dup_types=$(grep '^# TYPE ' "$prom" | sort | uniq -d)
+[ -z "$dup_types" ] || { echo "ci: FAIL: duplicate # TYPE lines:"; echo "$dup_types"; exit 1; }
+grep -q '^# TYPE dmdp_requests_total counter$' "$prom"
+grep -q '^# TYPE dmdp_queue_wait_us histogram$' "$prom"
+grep -q '^dmdp_jobs_total{source="executed"} [1-9]' "$prom"
+grep -q '^dmdp_queue_wait_us_count [1-9]' "$prom"
+
+# The same snapshot over the NDJSON protocol must be valid JSON with
+# populated counters and histograms.
+"$dmdp_bin" metrics --socket "$serve_sock" | jq -e '
+    .type == "metrics"
+    and (.metrics | length > 0)
+    and ([.metrics[] | select(.name == "dmdp_requests_total")] | length > 0)
+    and ([.metrics[] | select(.name == "dmdp_queue_wait_us"
+                              and .count > 0
+                              and (.buckets | length > 0))] | length == 1)
+' >/dev/null || { echo "ci: FAIL: metrics protocol snapshot malformed"; exit 1; }
+
+# Request tracing: the artifact's trace id must appear in the daemon's
+# event log, and with --slow-job-ms 0 every executed job logs slow_job.
+serve_trace=$(jq -r '.trace_id // empty' "$serve_dir/first.json")
+test -n "$serve_trace" || { echo "ci: FAIL: artifact carries no trace_id"; exit 1; }
+jq -en --arg t "$serve_trace" \
+    '[inputs] | any(.event == "submit_done" and .trace == $t)' "$serve_log" \
+    >/dev/null || { echo "ci: FAIL: trace $serve_trace missing from event log"; exit 1; }
+jq -en '[inputs] | any(.event == "slow_job")' "$serve_log" >/dev/null \
+    || { echo "ci: FAIL: no slow_job events despite --slow-job-ms 0"; exit 1; }
+
+# `dmdp top` renders two frames against the live daemon and exits.
+# (No `grep -q`: an early pipe close would EPIPE the renderer.)
+"$dmdp_bin" top --socket "$serve_sock" --iterations 2 --interval 0.2 --no-clear \
+    | grep -c "HISTOGRAMS" >/dev/null \
+    || { echo "ci: FAIL: dmdp top rendered no frame"; exit 1; }
 
 # Second submission: zero executed, everything cached.
 jq -e '.executed == 0 and .cached == (.jobs | length)' \
@@ -144,4 +195,4 @@ if "$dmdp_bin" submit --socket "$serve_sock" --ping 2>/dev/null; then
     exit 1
 fi
 
-echo "ci: build + tests + smoke campaign + probe artifacts + sweep batching + daemon smoke OK ($out)"
+echo "ci: build + tests + smoke campaign + probe artifacts + sweep batching + daemon/metrics smoke OK ($out)"
