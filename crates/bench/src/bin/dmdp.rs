@@ -6,7 +6,10 @@ use std::process::ExitCode;
 
 use dmdp_core::{CommModel, CoreConfig, Probe, Sample, SimReport, Simulator};
 use dmdp_harness::json::obj;
-use dmdp_harness::{render_campaign, Campaign, CampaignSpec, CfgPatch, Json, RunOptions};
+use dmdp_harness::{
+    error_table, render_campaign, render_error_table, Campaign, CampaignSpec, CfgPatch, Json,
+    RunOptions, Sampling,
+};
 use dmdp_isa::{asm, Program};
 use dmdp_server::{serve, Client, ServeOptions, SubmitRequest};
 use dmdp_workloads::Scale;
@@ -40,7 +43,7 @@ USAGE:
 
 OPTIONS:
     --model <M>      baseline | nosq | dmdp | perfect | all   [default: dmdp]
-    --scale <S>      test | small | full                      [default: small]
+    --scale <S>      test | small | full | huge               [default: small]
     --workload <W>   kernel name (see `dmdp workloads`)       [default: bzip2]
     --asm <FILE.s>   simulate an assembly source file instead
     --image <FILE>   simulate a binary program image instead
@@ -73,7 +76,7 @@ USAGE:
 OPTIONS:
     --name <NAME>     campaign name                      [default: campaign]
     --model <M>       baseline | nosq | dmdp | perfect | all  [default: all]
-    --scale <S>       test | small | full                [default: small]
+    --scale <S>       test | small | full | huge         [default: small]
     --kernel <W>      restrict to one kernel (repeatable)
     --jobs <N>        worker threads                     [default: all cores]
     --out <FILE>      artifact path   [default: bench-results/<name>.json]
@@ -90,11 +93,24 @@ OPTIONS:
     --width/--rob/--prf/--sb <N>, --rmo
                       configuration overrides, as in `dmdp run`
                       (shorthand for a single `custom` variant)
+    --sampled         estimate IPC by sampled simulation: profile each
+                      workload into intervals, cluster them, and simulate
+                      only representative intervals from checkpoints
+    --interval-insns <N>
+                      sampling interval length in instructions (implies
+                      --sampled)                        [default: 10000]
+    --warmup-intervals <W>
+                      detailed-warmup intervals before each measurement
+                      (implies --sampled; 0 still gets a short
+                      micro-warmup on top of the checkpoint's
+                      functional cache/branch warming)  [default: 1]
     -h, --help        print this help
 
 Unchanged jobs (same simulator version, config and workload content) are
 reused from the existing artifact at --out: a repeated campaign executes
-zero jobs and still rewrites a complete artifact.
+zero jobs and still rewrites a complete artifact. Sampled jobs carry
+their own digests, so sampled and full artifacts never mix; compare
+them with `dmdp report SAMPLED.json --error-vs FULL.json`.
 ";
 
 const SERVE_HELP: &str = "\
@@ -183,7 +199,7 @@ OPTIONS:
     --tcp <ADDR>      connect over TCP instead
     --name <NAME>     campaign name                   [default: campaign]
     --model <M>       baseline | nosq | dmdp | perfect | all  [default: all]
-    --scale <S>       test | small | full             [default: small]
+    --scale <S>       test | small | full | huge      [default: small]
     --kernel <W>      restrict to one kernel (repeatable)
     --out <FILE>      artifact path   [default: bench-results/<name>.json]
     --quiet           suppress per-job progress lines
@@ -195,6 +211,11 @@ OPTIONS:
                       (workload, model)'s variants          [default: on]
     --width/--rob/--prf/--sb <N>, --rmo
                       configuration overrides, as in `dmdp campaign`
+    --sampled, --interval-insns <N>, --warmup-intervals <W>
+                      sampled simulation, as in `dmdp campaign`; the
+                      daemon persists each workload's checkpoint bundle
+                      in its store and shares it across models, requests
+                      and restarts
     --stats           print daemon statistics and exit
     --shutdown        drain the daemon and stop it
     --ping            liveness check
@@ -209,7 +230,16 @@ const REPORT_HELP: &str = "\
 dmdp report — render a campaign JSON artifact as human-readable tables
 
 USAGE:
-    dmdp report <ARTIFACT.json>
+    dmdp report <ARTIFACT.json> [OPTIONS]
+
+OPTIONS:
+    --error-vs <FULL.json>
+                  compare a sampled artifact's IPC estimates against the
+                  full-simulation artifact at FULL.json: per-row signed
+                  errors, geomean/worst |error| and the wall-clock ratio
+    --json        with --error-vs, print the comparison as JSON instead
+                  of a table (stable shape, for jq/CI)
+    -h, --help    print this help
 
 Prints per-variant workload × model IPC tables (with deltas against the
 baseline model), per-suite geometric means, scheduler-occupancy means,
@@ -472,11 +502,45 @@ fn cmd_run(args: &[String]) -> CliResult {
 }
 
 fn cmd_report(args: &[String]) -> CliResult {
-    let [path] = args else {
-        return Err("usage: dmdp report <ARTIFACT.json>".into());
+    let mut artifact: Option<PathBuf> = None;
+    let mut error_vs: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--error-vs" => {
+                let v = it.next().ok_or("--error-vs needs a value")?;
+                error_vs = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see `dmdp report --help`)").into())
+            }
+            path => {
+                if artifact.replace(PathBuf::from(path)).is_some() {
+                    return Err("usage: dmdp report <ARTIFACT.json> [OPTIONS]".into());
+                }
+            }
+        }
+    }
+    let Some(path) = artifact else {
+        return Err("usage: dmdp report <ARTIFACT.json> [OPTIONS]".into());
     };
-    let campaign = Campaign::load(Path::new(path))?;
-    print!("{}", render_campaign(&campaign));
+    if json && error_vs.is_none() {
+        return Err("--json needs --error-vs <FULL.json>".into());
+    }
+    let campaign = Campaign::load(&path)?;
+    let Some(full_path) = error_vs else {
+        print!("{}", render_campaign(&campaign));
+        return Ok(());
+    };
+    let full = Campaign::load(&full_path)?;
+    let table = error_table(&campaign, &full)?;
+    if json {
+        println!("{}", table.to_json().pretty());
+    } else {
+        print!("{}", render_error_table(&table));
+    }
     Ok(())
 }
 
@@ -531,6 +595,30 @@ struct CampaignOpts {
     patch: CfgPatch,
     variants: Vec<(String, CfgPatch)>,
     batch_variants: bool,
+    sampling: Option<Sampling>,
+}
+
+/// Folds the three sampled-simulation flags into `Option<Sampling>`:
+/// `--interval-insns`/`--warmup-intervals` imply `--sampled`, and the
+/// unset knob keeps its default.
+#[derive(Default)]
+struct SamplingFlags {
+    sampled: bool,
+    interval_insns: Option<u64>,
+    warmup_intervals: Option<u32>,
+}
+
+impl SamplingFlags {
+    fn resolve(&self) -> Result<Option<Sampling>, String> {
+        if !self.sampled && self.interval_insns.is_none() && self.warmup_intervals.is_none() {
+            return Ok(None);
+        }
+        let interval_insns = self.interval_insns.unwrap_or(10_000);
+        if interval_insns == 0 {
+            return Err("--interval-insns must be at least 1".to_string());
+        }
+        Ok(Some(Sampling { interval_insns, warmup_intervals: self.warmup_intervals.unwrap_or(1) }))
+    }
 }
 
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
@@ -546,7 +634,9 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
         patch: CfgPatch::default(),
         variants: Vec::new(),
         batch_variants: true,
+        sampling: None,
     };
+    let mut sampling = SamplingFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
@@ -571,12 +661,22 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
             "--rmo" => o.patch.rmo = true,
             "--variant" => o.variants.push(parse_variant(&val()?)?),
             "--batch-variants" => o.batch_variants = parse_on_off("--batch-variants", &val()?)?,
+            "--sampled" => sampling.sampled = true,
+            "--interval-insns" => {
+                sampling.interval_insns =
+                    Some(val()?.parse().map_err(|e| format!("--interval-insns: {e}"))?);
+            }
+            "--warmup-intervals" => {
+                sampling.warmup_intervals =
+                    Some(val()?.parse().map_err(|e| format!("--warmup-intervals: {e}"))?);
+            }
             other => return Err(format!("unknown option `{other}` (see `dmdp campaign --help`)")),
         }
     }
     if !o.variants.is_empty() && !o.patch.is_empty() {
         return Err("--variant cannot be combined with bare --width/--rob/--prf/--sb/--rmo; fold the overrides into a variant spec".to_string());
     }
+    o.sampling = sampling.resolve()?;
     Ok(o)
 }
 
@@ -596,9 +696,18 @@ fn cmd_campaign(args: &[String]) -> CliResult {
     } else {
         1
     };
+    let sampled_note = o
+        .sampling
+        .map(|s| format!(", sampled ({} insns × {} warmup)", s.interval_insns, s.warmup_intervals))
+        .unwrap_or_default();
+    // Count jobs before attaching sampling — the count is identical and
+    // this keeps the expensive bundle builds inside `run` only.
     let n_jobs = spec.jobs()?.len();
+    if let Some(s) = o.sampling {
+        spec = spec.sampled(s.interval_insns, s.warmup_intervals);
+    }
     println!(
-        "campaign `{}`: {} jobs ({} kernels × {} models × {} variants), scale {}, {} workers -> {}",
+        "campaign `{}`: {} jobs ({} kernels × {} models × {} variants), scale {}{sampled_note}, {} workers -> {}",
         o.name,
         n_jobs,
         n_jobs / (o.models.len() * n_variants).max(1),
@@ -716,6 +825,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
         quiet: false,
         mode: SubmitMode::Campaign,
     };
+    let mut sampling = SamplingFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
@@ -735,6 +845,15 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
             "--rmo" => o.patch.rmo = true,
             "--variant" => o.variants.push(parse_variant(&val()?)?),
             "--batch-variants" => o.request.batch_variants = parse_on_off("--batch-variants", &val()?)?,
+            "--sampled" => sampling.sampled = true,
+            "--interval-insns" => {
+                sampling.interval_insns =
+                    Some(val()?.parse().map_err(|e| format!("--interval-insns: {e}"))?);
+            }
+            "--warmup-intervals" => {
+                sampling.warmup_intervals =
+                    Some(val()?.parse().map_err(|e| format!("--warmup-intervals: {e}"))?);
+            }
             "--stats" => o.mode = SubmitMode::Stats,
             "--shutdown" => o.mode = SubmitMode::Shutdown,
             "--ping" => o.mode = SubmitMode::Ping,
@@ -752,6 +871,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
     } else if !o.patch.is_empty() {
         o.request.variants = vec![("custom".to_string(), o.patch.clone())];
     }
+    o.request.sampling = sampling.resolve()?;
     o.request.watch = !o.quiet;
     Ok(o)
 }

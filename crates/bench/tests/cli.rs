@@ -359,6 +359,63 @@ fn metrics_and_top_subcommands_read_a_live_daemon() {
 }
 
 #[test]
+fn sampled_campaign_and_error_report_round_trip() {
+    let full = temp("err-full.json");
+    let sampled = temp("err-sampled.json");
+    let base: &[&str] = &["--scale", "test", "--kernel", "mcf", "--model", "dmdp", "--quiet"];
+
+    let out = dmdp(
+        &[&["campaign", "--name", "full"], base, &["--force", "--out", full.to_str().unwrap()]]
+            .concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = dmdp(
+        &[
+            &["campaign", "--name", "sampled", "--interval-insns", "1000", "--warmup-intervals", "2"],
+            base,
+            &["--force", "--out", sampled.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("sampled (1000 insns × 2 warmup)"),
+        "{}",
+        stdout(&out)
+    );
+
+    // The plain report names the sampling; the comparison renders a
+    // table, and --json emits the machine-readable shape CI checks.
+    let out = dmdp(&["report", sampled.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("sampled: 1000 insn intervals"), "{}", stdout(&out));
+    let out =
+        dmdp(&["report", sampled.to_str().unwrap(), "--error-vs", full.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("geomean |error|"), "{}", stdout(&out));
+    let out = dmdp(&[
+        "report",
+        sampled.to_str().unwrap(),
+        "--error-vs",
+        full.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let v = dmdp_harness::Json::parse(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+    assert_eq!(v.get("rows_compared").and_then(dmdp_harness::Json::as_u64), Some(1));
+    let err = v.get("geomean_abs_error_pct").and_then(dmdp_harness::Json::as_f64).unwrap();
+    assert!(err <= 2.0, "sampled error {err}% above the 2% budget:\n{text}");
+
+    // Comparing a full artifact against itself is a clean error.
+    let out = dmdp(&["report", full.to_str().unwrap(), "--error-vs", full.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no sampled rows"), "{}", stderr(&out));
+    std::fs::remove_file(&full).ok();
+    std::fs::remove_file(&sampled).ok();
+}
+
+#[test]
 fn submit_without_a_daemon_fails_cleanly() {
     let socket = temp("no-daemon.sock");
     std::fs::remove_file(&socket).ok();

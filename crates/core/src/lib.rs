@@ -64,5 +64,5 @@ pub use config::{CommModel, CoreConfig, SIM_VERSION};
 pub use pipeline::{Pipeline, SimError};
 pub use plan::{FetchClass, InsnPlan, PlanCache, PlanKind};
 pub use probe::{Probe, ProbeReport, Sample};
-pub use sim::{SimReport, Simulator};
+pub use sim::{IntervalRun, SimReport, Simulator};
 pub use stats::{LowConfBreakdown, PlanStats, SchedStats, SimStats};

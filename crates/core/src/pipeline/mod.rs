@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dmdp_energy::Event;
-use dmdp_isa::{Emulator, OracleTrace, Pc, Program, SparseMem, Word};
+use dmdp_isa::{Checkpoint, Emulator, OracleTrace, Pc, Program, Reg, SparseMem, Word};
 use dmdp_mem::{MemHierarchy, StoreBuffer, Tlb};
 use dmdp_predict::{
     BranchPredictor, DistancePredictor, StoreSets, Tssbf, TssbfHit,
@@ -217,6 +217,36 @@ impl Pipeline {
         }
     }
 
+    /// The Perfect model's functional pre-pass resumed from `ckpt`
+    /// instead of the program entry, bounded by `insns` further
+    /// instructions; `None` for every other model. The trace's dynamic
+    /// load indices and SSNs start at zero, matching a pipeline seeded
+    /// from the same checkpoint (its `next_load_idx`/`ssn_*` counters
+    /// also start at zero). The bound need only cover the measurement
+    /// window plus in-flight slack — loads past the trace end degrade
+    /// to unpredicated issue, exactly like wrong-path overruns.
+    ///
+    /// # Errors / Panics
+    ///
+    /// Panics if the functional replay faults (a valid checkpoint of a
+    /// valid program cannot).
+    pub fn build_oracle_from_checkpoint(
+        cfg: &CoreConfig,
+        program: &Program,
+        ckpt: &Checkpoint,
+        insns: u64,
+    ) -> Option<Arc<OracleTrace>> {
+        match cfg.comm {
+            CommModel::Perfect => {
+                let mut emu = Emulator::from_checkpoint(program, ckpt);
+                let (trace, _) =
+                    emu.run_with_trace_insns(insns).expect("oracle replay must not fault");
+                Some(Arc::new(trace))
+            }
+            _ => None,
+        }
+    }
+
     /// [`Pipeline::new_planned`] with the oracle pre-pass (or `None`)
     /// supplied by the caller instead of computed here.
     ///
@@ -309,6 +339,82 @@ impl Pipeline {
         self.run_loop()?;
         let report = std::mem::take(&mut self.probe).finish();
         Ok((self.stats, report))
+    }
+
+    /// Overwrites the architectural state (PC, register values, memory
+    /// image) with a functional-emulator checkpoint, so the first
+    /// fetched instruction is the one after the checkpoint boundary.
+    /// The checkpoint's warming hint (`warm_lines`, the lines most
+    /// recently touched before the boundary, LRU→MRU) is replayed into
+    /// the cache hierarchy and TLB — without it, every sampled interval
+    /// would start with a compulsory-miss storm the uncheckpointed run
+    /// never had, and the detailed warmup would need to re-walk the
+    /// workload's whole resident footprint to repair it. Predictors,
+    /// ROB and store buffer stay cold — the sampling pipeline warms
+    /// those by running a configurable number of warmup instructions
+    /// before measuring (they train orders of magnitude faster than a
+    /// cache fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cycle has already been simulated.
+    pub fn seed_checkpoint(&mut self, ckpt: &Checkpoint) {
+        assert_eq!(self.cycle, 0, "seed_checkpoint must precede the first cycle");
+        self.fetch_pc = ckpt.pc;
+        let mut data = SparseMem::new();
+        for (index, bytes) in &ckpt.pages {
+            data.install_page(*index, bytes);
+        }
+        self.data = data;
+        // The fresh RAT maps logical i to preg i with value 0; overwrite
+        // the programmer-visible registers in place ($0 stays 0 in any
+        // valid checkpoint, the hidden assembler temporaries stay 0 as
+        // on a cold start).
+        for (i, &value) in ckpt.regs.iter().enumerate() {
+            let p = self.rf.rat(Reg::new(i as u8));
+            self.rf.write(p, value, 0);
+        }
+        for &line in &ckpt.warm_lines {
+            let addr = line * dmdp_isa::checkpoint::LOC_LINE_BYTES;
+            self.mem.warm(addr);
+            self.tlb.warm(addr);
+        }
+        for &(pc, next_pc) in &ckpt.warm_branches {
+            self.bp.warm(pc, next_pc != pc + 1, next_pc);
+        }
+    }
+
+    /// Runs until at least `target` architectural instructions have
+    /// retired (or the program halts), *without* the end-of-run finalize
+    /// pass — interval measurement reads `(cycle, retired)` deltas
+    /// between calls and never needs quiesced-register accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] as [`Pipeline::run`].
+    pub fn run_to_retired(&mut self, target: u64) -> Result<(), SimError> {
+        while !self.halted && self.stats.retired_insns < target {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            self.step_cycle();
+        }
+        Ok(())
+    }
+
+    /// Cycles simulated so far (interval measurement bookkeeping).
+    pub fn cycles_so_far(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Architectural instructions retired so far.
+    pub fn retired_so_far(&self) -> u64 {
+        self.stats.retired_insns
+    }
+
+    /// Whether `halt` has retired.
+    pub fn is_halted(&self) -> bool {
+        self.halted
     }
 
     fn run_loop(&mut self) -> Result<(), SimError> {

@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use dmdp_isa::Program;
+use dmdp_isa::{Checkpoint, Program};
 
 use crate::config::{CommModel, CoreConfig};
 use crate::pipeline::{Pipeline, SimError};
@@ -25,6 +25,24 @@ impl SimReport {
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
     }
+}
+
+/// Cycles and instructions measured for one representative interval by
+/// [`Simulator::run_from_checkpoint`], with the warmup window it
+/// excluded reported alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalRun {
+    /// Cycles spent warming microarchitectural state (excluded from the
+    /// measurement).
+    pub warmup_cycles: u64,
+    /// Instructions retired during warmup.
+    pub warmup_insns: u64,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Instructions retired in the measurement window (may undershoot
+    /// the requested length if the program halts inside the window, and
+    /// overshoot by at most the retire width minus one).
+    pub insns: u64,
 }
 
 /// The top-level simulator: configure once, run programs.
@@ -122,6 +140,60 @@ impl Simulator {
             Pipeline::new_planned(self.cfg.clone(), Arc::clone(program), Arc::clone(plans));
         let stats = pipeline.run()?;
         Ok(SimReport { program: program.name().to_string(), model: self.cfg.comm, stats })
+    }
+
+    /// Fast-forwards to `ckpt` (architectural state restored directly,
+    /// no cycles simulated), runs `warmup_insns` instructions to warm
+    /// the cold microarchitectural state, then measures the next
+    /// `measure_insns` instructions. Fewer may be measured if the
+    /// program halts inside the window — the returned
+    /// [`IntervalRun::insns`] is the count actually measured, so
+    /// CPI-weighted recombination stays exact.
+    ///
+    /// For the Perfect model the functional oracle replays from the
+    /// checkpoint and is bounded to the window (plus in-flight slack)
+    /// instead of tracing the whole remaining run — the point of
+    /// sampled simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` was built for a different program image.
+    pub fn run_from_checkpoint(
+        &self,
+        program: &Arc<Program>,
+        plans: &Arc<PlanCache>,
+        ckpt: &Checkpoint,
+        warmup_insns: u64,
+        measure_insns: u64,
+    ) -> Result<IntervalRun, SimError> {
+        // In-flight slack past the measurement end: younger loads can be
+        // fetched (and oracle-predicated) before the last measured
+        // instruction retires. One ROB of instructions would be enough;
+        // a generous fixed margin costs only emulated instructions.
+        const ORACLE_SLACK: u64 = 65_536;
+        let budget = warmup_insns.saturating_add(measure_insns).saturating_add(ORACLE_SLACK);
+        let oracle = Pipeline::build_oracle_from_checkpoint(&self.cfg, program, ckpt, budget);
+        let mut pipeline = Pipeline::new_planned_with_oracle(
+            self.cfg.clone(),
+            Arc::clone(program),
+            Arc::clone(plans),
+            oracle,
+        );
+        pipeline.seed_checkpoint(ckpt);
+        pipeline.run_to_retired(warmup_insns)?;
+        let warmup_cycles = pipeline.cycles_so_far();
+        let warmup_done = pipeline.retired_so_far();
+        pipeline.run_to_retired(warmup_done.saturating_add(measure_insns))?;
+        Ok(IntervalRun {
+            warmup_cycles,
+            warmup_insns: warmup_done,
+            cycles: pipeline.cycles_so_far() - warmup_cycles,
+            insns: pipeline.retired_so_far() - warmup_done,
+        })
     }
 
     /// Runs `program` with probe sinks attached (stage-timeline tracer

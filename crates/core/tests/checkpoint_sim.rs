@@ -1,0 +1,81 @@
+//! Checkpoint-seeded simulation equivalence.
+//!
+//! A pipeline seeded from the interval-0 checkpoint (captured before any
+//! instruction executed) measured to completion must reproduce the plain
+//! run's cycles and retired-instruction counts bit-identically, for every
+//! communication model — this is the timing half of the
+//! checkpoint-determinism guarantee (the architectural half lives in
+//! `dmdp-workloads/tests/checkpoint_determinism.rs`).
+
+use std::sync::Arc;
+
+use dmdp_core::{CommModel, CoreConfig, PlanCache, Simulator};
+use dmdp_isa::Emulator;
+use dmdp_workloads::{all, Scale};
+
+#[test]
+fn checkpoint_at_entry_reproduces_full_run_timing() {
+    for w in all(Scale::Test).into_iter().take(4) {
+        let program = Arc::new(w.program);
+        let plans = PlanCache::shared(&program);
+        let ckpt = Emulator::new(&program).checkpoint();
+        for &model in &CommModel::ALL {
+            let sim = Simulator::with_config(CoreConfig::new(model));
+            let full = sim.run_planned(&program, &plans).expect("full run");
+            let iv = sim
+                .run_from_checkpoint(&program, &plans, &ckpt, 0, u64::MAX)
+                .expect("checkpoint run");
+            assert_eq!(iv.warmup_cycles, 0, "{} {model:?}", w.name);
+            assert_eq!(iv.warmup_insns, 0, "{} {model:?}", w.name);
+            assert_eq!(iv.cycles, full.stats.cycles, "{} {model:?}", w.name);
+            assert_eq!(iv.insns, full.stats.retired_insns, "{} {model:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn mid_run_checkpoint_measures_the_requested_window() {
+    let w = all(Scale::Test).into_iter().next().expect("a workload");
+    let program = Arc::new(w.program);
+    let plans = PlanCache::shared(&program);
+
+    // Capture a checkpoint a third of the way through the run.
+    let total = Emulator::new(&program).run(u64::MAX).expect("full emulation").retired;
+    let mut emu = Emulator::new(&program);
+    emu.run_insns(total / 3).expect("fast-forward");
+    let ckpt = emu.checkpoint();
+
+    let warmup = 64;
+    let measure = 256;
+    for &model in &CommModel::ALL {
+        let sim = Simulator::with_config(CoreConfig::new(model));
+        let iv = sim
+            .run_from_checkpoint(&program, &plans, &ckpt, warmup, measure)
+            .expect("interval run");
+        // Far from halt, both windows land exactly (modulo retire-width
+        // overshoot on the warmup boundary).
+        assert!(iv.warmup_insns >= warmup, "{model:?}: warmup {}", iv.warmup_insns);
+        assert!(iv.warmup_cycles > 0, "{model:?}");
+        assert!(iv.insns >= measure, "{model:?}: measured {}", iv.insns);
+        assert!(iv.insns < measure + 64, "{model:?}: measured {}", iv.insns);
+        assert!(iv.cycles > 0, "{model:?}");
+    }
+}
+
+#[test]
+fn window_past_halt_measures_only_what_remains() {
+    let w = all(Scale::Test).into_iter().next().expect("a workload");
+    let program = Arc::new(w.program);
+    let plans = PlanCache::shared(&program);
+
+    let total = Emulator::new(&program).run(u64::MAX).expect("full emulation").retired;
+    let mut emu = Emulator::new(&program);
+    emu.run_insns(total - 32).expect("fast-forward");
+    let ckpt = emu.checkpoint();
+
+    let sim = Simulator::with_config(CoreConfig::new(CommModel::Dmdp));
+    let iv = sim
+        .run_from_checkpoint(&program, &plans, &ckpt, 0, 1_000_000)
+        .expect("interval run");
+    assert_eq!(iv.insns, 32, "only the remaining instructions are measured");
+}

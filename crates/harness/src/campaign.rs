@@ -13,6 +13,7 @@ use dmdp_workloads::{Scale, Suite};
 use crate::job::{CfgPatch, JobResult, JobSpec};
 use crate::json::{obj, Json};
 use crate::pool;
+use crate::sampled::{Sampling, SamplingSpec};
 
 /// Declarative description of an experiment campaign: which workloads,
 /// under which communication models, at which scale, with which
@@ -46,6 +47,10 @@ pub struct CampaignSpec {
     /// Configuration variants as `(label, patch)`; the default is the
     /// single unpatched variant `"main"`.
     pub variants: Vec<(String, CfgPatch)>,
+    /// Run every job sampled (profile + cluster + checkpoint fast-
+    /// forward) instead of in full. One bundle is built per workload
+    /// and shared by all its (model × variant) jobs.
+    pub sampling: Option<Sampling>,
 }
 
 impl CampaignSpec {
@@ -57,7 +62,15 @@ impl CampaignSpec {
             models: CommModel::ALL.to_vec(),
             kernels: None,
             variants: vec![("main".to_string(), CfgPatch::default())],
+            sampling: None,
         }
+    }
+
+    /// Switches every job to sampled simulation with the given interval
+    /// length and warmup depth.
+    pub fn sampled(mut self, interval_insns: u64, warmup_intervals: u32) -> CampaignSpec {
+        self.sampling = Some(Sampling { interval_insns, warmup_intervals });
+        self
     }
 
     /// Restricts the model sweep.
@@ -118,15 +131,25 @@ impl CampaignSpec {
                 }
             }
             // One program image + plan cache per workload, shared by
-            // every (model × variant) job that runs it.
+            // every (model × variant) job that runs it — and, when
+            // sampling, one bundle (profile + clustering + checkpoints):
+            // profile once, simulate every model from the same
+            // checkpoints.
             let image = crate::job::PlannedImage::new(Arc::new(w.program));
+            let bundle = match self.sampling {
+                Some(s) => Some(crate::sampled::build_bundle(&image.program, s)?),
+                None => None,
+            };
             for &model in &self.models {
                 for (label, patch) in &self.variants {
                     let mut cfg = CoreConfig::new(model);
                     patch.apply(&mut cfg);
-                    jobs.push(JobSpec::new(
-                        w.name, w.suite, model, self.scale, label, cfg, &image,
-                    ));
+                    let mut job =
+                        JobSpec::new(w.name, w.suite, model, self.scale, label, cfg, &image);
+                    if let (Some(s), Some(b)) = (self.sampling, &bundle) {
+                        job = job.sampled(SamplingSpec { sampling: s, bundle: Arc::clone(b) });
+                    }
+                    jobs.push(job);
                 }
             }
         }
@@ -183,12 +206,16 @@ impl CampaignSpec {
         // batched lockstep simulation. Cached members drop out before
         // grouping, so an all-hit sweep runs zero work and a partial hit
         // batches only the misses.
+        // Sampled jobs never batch: each runs its own representative
+        // intervals from shared checkpoints, and the lockstep engine
+        // measures full runs only.
         let mut units: Vec<Vec<usize>> = Vec::new();
         for i in 0..specs.len() {
-            if opts.batch_variants && cached[i].is_none() {
+            if opts.batch_variants && cached[i].is_none() && specs[i].sampling.is_none() {
                 if let Some(unit) = units.last_mut() {
                     let j = unit[0];
                     if cached[j].is_none()
+                        && specs[j].sampling.is_none()
                         && specs[j].workload == specs[i].workload
                         && specs[j].model == specs[i].model
                         && Arc::ptr_eq(&specs[j].program, &specs[i].program)
@@ -287,6 +314,7 @@ impl CampaignSpec {
             cached: cached_hits,
             cache_warning,
             trace_id: None,
+            sampling: self.sampling,
             jobs,
         };
         campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();
@@ -363,6 +391,9 @@ pub struct Campaign {
     /// (`None` for local runs and older artifacts). Greppable against
     /// the daemon's JSONL event log.
     pub trace_id: Option<String>,
+    /// Sampling configuration the campaign ran under (`None` = full
+    /// simulation, including every older artifact).
+    pub sampling: Option<Sampling>,
     /// Per-job results, in job-list order.
     pub jobs: Vec<JobResult>,
 }
@@ -514,6 +545,15 @@ impl Campaign {
         if let Some(trace) = &self.trace_id {
             members.push(("trace_id", Json::Str(trace.clone())));
         }
+        if let Some(s) = self.sampling {
+            members.push((
+                "sampling",
+                obj([
+                    ("interval_insns", Json::Num(s.interval_insns as f64)),
+                    ("warmup_intervals", Json::Num(s.warmup_intervals as f64)),
+                ]),
+            ));
+        }
         members.extend([
             ("jobs", Json::Arr(self.jobs.iter().map(JobResult::to_json).collect())),
             ("slowest_jobs", slowest),
@@ -576,6 +616,13 @@ impl Campaign {
             cache_warning: None,
             // Daemon-request trace id (PR 8): tolerate older artifacts.
             trace_id: v.get("trace_id").and_then(Json::as_str).map(str::to_string),
+            // Sampling echo (PR 9): absent means full simulation.
+            sampling: v.get("sampling").and_then(|s| {
+                Some(Sampling {
+                    interval_insns: s.get("interval_insns").and_then(Json::as_u64)?,
+                    warmup_intervals: s.get("warmup_intervals").and_then(Json::as_u64)? as u32,
+                })
+            }),
             jobs,
         })
     }

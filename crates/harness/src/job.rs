@@ -14,6 +14,7 @@ use dmdp_workloads::{Scale, Suite};
 
 use crate::digest::Digest64;
 use crate::json::{obj, Json};
+use crate::sampled::{sampled_metrics, SamplingSpec};
 
 /// Process-wide simulation-path metrics, registered lazily on first
 /// job execution. A handful of relaxed atomic adds per *job* (never per
@@ -150,6 +151,8 @@ pub struct JobSpec {
     /// The program's static µop plan cache, built once per workload and
     /// shared across all its (model × variant) jobs.
     pub plans: Arc<PlanCache>,
+    /// Sampled-simulation work order; `None` runs the full simulation.
+    pub sampling: Option<SamplingSpec>,
     /// Content digest identifying this job's result (hex).
     pub digest: String,
 }
@@ -185,16 +188,37 @@ impl JobSpec {
             cfg,
             program: Arc::clone(&image.program),
             plans: Arc::clone(&image.plans),
+            sampling: None,
             digest: d.hex(),
         }
     }
 
-    /// Runs the simulation, timing it.
+    /// Turns a full-simulation spec into a sampled one: attaches the
+    /// workload's bundle and appends the sampling knobs to the digest
+    /// stream, so a sampled result can never be confused with (or
+    /// satisfied from the cache of) the full run it estimates. Full-run
+    /// digests are untouched — the suffix exists only on sampled jobs.
+    pub fn sampled(mut self, spec: SamplingSpec) -> JobSpec {
+        let mut d = Digest64::new();
+        d.write_str(SIM_VERSION)
+            .write_str(&self.cfg.identity())
+            .write_str(&self.workload)
+            .write(&self.program.to_image())
+            .write_str(&spec.sampling.digest_suffix());
+        self.digest = d.hex();
+        self.sampling = Some(spec);
+        self
+    }
+
+    /// Runs the simulation (full or sampled), timing it.
     ///
     /// # Errors
     ///
     /// A human-readable message if the simulator aborts (cycle limit).
     pub fn execute(&self) -> Result<JobResult, String> {
+        if let Some(s) = &self.sampling {
+            return self.execute_sampled(s);
+        }
         let start = Instant::now();
         let report = Simulator::with_config(self.cfg.clone())
             .run_planned(&self.program, &self.plans)
@@ -204,6 +228,50 @@ impl JobSpec {
         m.jobs.inc();
         m.exec_us.observe(wall_to_us(wall));
         Ok(JobResult::from_stats(self, report.stats, wall))
+    }
+
+    /// Runs only the bundle's representative intervals (checkpoint
+    /// fast-forward + warmup + measurement each) and recombines them
+    /// into the whole-run estimate.
+    fn execute_sampled(&self, s: &SamplingSpec) -> Result<JobResult, String> {
+        let start = Instant::now();
+        let sim = Simulator::with_config(self.cfg.clone());
+        let runs = s.bundle.rep_runs();
+        let mut measurements = Vec::with_capacity(runs.len());
+        let mut simulated_insns = 0u64;
+        for r in &runs {
+            let iv = sim
+                .run_from_checkpoint(
+                    &self.program,
+                    &self.plans,
+                    &s.bundle.checkpoints[r.ckpt],
+                    r.warmup_insns,
+                    r.measure_insns,
+                )
+                .map_err(|e| {
+                    format!(
+                        "{} × {} [{}] interval {}: {e}",
+                        self.workload,
+                        self.model.name(),
+                        self.variant,
+                        r.interval
+                    )
+                })?;
+            simulated_insns += iv.warmup_insns + iv.insns;
+            measurements.push(dmdp_sample::IntervalMeasurement {
+                interval: r.interval,
+                weight: r.weight,
+                cycles: iv.cycles,
+                insns: iv.insns,
+            });
+        }
+        let report = dmdp_sample::recombine(&s.bundle.plan, measurements);
+        let wall = start.elapsed().as_secs_f64();
+        let m = sim_metrics();
+        m.jobs.inc();
+        m.exec_us.observe(wall_to_us(wall));
+        sampled_metrics().intervals_simulated.add(report.intervals_simulated);
+        Ok(JobResult::from_sampled(self, s, &report, wall, simulated_insns))
     }
 
     /// Runs a group of variant jobs of one (workload, model) through the
@@ -227,6 +295,10 @@ impl JobSpec {
             specs.iter().all(|s| Arc::ptr_eq(&s.program, &first.program)
                 && Arc::ptr_eq(&s.plans, &first.plans)),
             "a batch group must share one planned image"
+        );
+        debug_assert!(
+            specs.iter().all(|s| s.sampling.is_none()),
+            "sampled jobs run one interval at a time, never through the lockstep batch"
         );
         let start = Instant::now();
         let mut batch = BatchSimulator::new(Arc::clone(&first.program), Arc::clone(&first.plans));
@@ -330,8 +402,24 @@ pub struct JobResult {
     /// True if this row was satisfied from a previous artifact instead
     /// of being executed.
     pub cached: bool,
+    /// True if this row is a sampled-simulation *estimate* (IPC, cycles
+    /// and instruction counts recombined from representative intervals;
+    /// the detailed per-event counters are zero).
+    pub sampled: bool,
+    /// Sampling interval length in instructions (zero when not sampled).
+    pub interval_insns: u64,
+    /// Detailed-warmup intervals per representative (zero when not
+    /// sampled).
+    pub warmup_intervals: u64,
+    /// Intervals the profile sliced the run into (zero when not
+    /// sampled).
+    pub intervals_total: u64,
+    /// Representative intervals simulated in detail (zero when not
+    /// sampled).
+    pub intervals_simulated: u64,
     /// The complete statistics of a *live* run. `None` when the row was
-    /// loaded from a JSON artifact (artifacts keep only the summary).
+    /// loaded from a JSON artifact (artifacts keep only the summary) or
+    /// produced by sampled simulation.
     pub stats: Option<SimStats>,
 }
 
@@ -364,13 +452,67 @@ impl JobResult {
             plan_builds: stats.plan.builds,
             plan_hits: stats.plan.hits,
             cached: false,
+            sampled: false,
+            interval_insns: 0,
+            warmup_intervals: 0,
+            intervals_total: 0,
+            intervals_simulated: 0,
             stats: Some(stats),
         }
     }
 
+    /// Summarizes a sampled run: the whole-run columns (cycles, retired
+    /// instructions, IPC) carry the recombined *estimate*; MIPS reflects
+    /// the instructions actually simulated in detail, so sampled rows
+    /// report honest host throughput. Detailed per-event counters
+    /// (mispredictions, latencies) are zero — sampling estimates IPC.
+    pub fn from_sampled(
+        spec: &JobSpec,
+        sampling: &SamplingSpec,
+        report: &dmdp_sample::SampledReport,
+        wall_s: f64,
+        simulated_insns: u64,
+    ) -> JobResult {
+        JobResult {
+            workload: spec.workload.clone(),
+            suite: spec.suite,
+            model: spec.model,
+            variant: spec.variant.clone(),
+            digest: spec.digest.clone(),
+            wall_s,
+            started_s: 0.0,
+            finished_s: 0.0,
+            mips: if wall_s > 0.0 { simulated_insns as f64 / wall_s / 1e6 } else { 0.0 },
+            cycles: report.est_cycles,
+            retired_insns: report.total_insns,
+            retired_uops: 0,
+            ipc: report.ipc,
+            mem_dep_mpki: 0.0,
+            load_mean_latency: 0.0,
+            branch_mispredicts: 0,
+            mem_dep_mispredicts: 0,
+            reexecutions: 0,
+            reexec_stalls_per_ki: 0.0,
+            mean_ready_len: 0.0,
+            wakeups_per_kilocycle: 0.0,
+            calendar_pops: 0,
+            plan_builds: 0,
+            plan_hits: 0,
+            cached: false,
+            sampled: true,
+            interval_insns: sampling.sampling.interval_insns,
+            warmup_intervals: sampling.sampling.warmup_intervals as u64,
+            intervals_total: report.intervals_total,
+            intervals_simulated: report.intervals_simulated,
+            stats: None,
+        }
+    }
+
     /// Serializes the summary row (full `stats` are not persisted).
+    /// Sampling columns are emitted only on sampled rows, keeping
+    /// full-simulation artifacts byte-identical to earlier versions.
     pub fn to_json(&self) -> Json {
-        obj([
+        let mut row = obj([
             ("workload", Json::Str(self.workload.clone())),
             ("suite", Json::Str(self.suite.name().to_string())),
             ("model", Json::Str(self.model.name().to_string())),
@@ -396,7 +538,22 @@ impl JobResult {
             ("plan_builds", Json::Num(self.plan_builds as f64)),
             ("plan_hits", Json::Num(self.plan_hits as f64)),
             ("cached", Json::Bool(self.cached)),
-        ])
+        ]);
+        if self.sampled {
+            if let Json::Obj(members) = &mut row {
+                members.extend([
+                    ("sampled".to_string(), Json::Bool(true)),
+                    ("interval_insns".to_string(), Json::Num(self.interval_insns as f64)),
+                    ("warmup_intervals".to_string(), Json::Num(self.warmup_intervals as f64)),
+                    ("intervals_total".to_string(), Json::Num(self.intervals_total as f64)),
+                    (
+                        "intervals_simulated".to_string(),
+                        Json::Num(self.intervals_simulated as f64),
+                    ),
+                ]);
+            }
+        }
+        row
     }
 
     /// Deserializes a summary row.
@@ -456,6 +613,13 @@ impl JobResult {
             plan_builds: v.get("plan_builds").and_then(Json::as_u64).unwrap_or(0),
             plan_hits: v.get("plan_hits").and_then(Json::as_u64).unwrap_or(0),
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            // Sampling columns (PR 9): absent means a full-simulation
+            // row, including every older artifact.
+            sampled: v.get("sampled").and_then(Json::as_bool).unwrap_or(false),
+            interval_insns: v.get("interval_insns").and_then(Json::as_u64).unwrap_or(0),
+            warmup_intervals: v.get("warmup_intervals").and_then(Json::as_u64).unwrap_or(0),
+            intervals_total: v.get("intervals_total").and_then(Json::as_u64).unwrap_or(0),
+            intervals_simulated: v.get("intervals_simulated").and_then(Json::as_u64).unwrap_or(0),
             stats: None,
         })
     }

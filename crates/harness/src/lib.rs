@@ -45,10 +45,12 @@ pub mod report;
 
 mod campaign;
 mod job;
+mod sampled;
 
 pub use campaign::{Campaign, CampaignSpec, RunOptions, StageWall};
 pub use digest::Digest64;
 pub use job::{CfgPatch, JobResult, JobSpec, PlannedImage};
+pub use sampled::{build_bundle, record_bundle, Sampling, SamplingSpec};
 pub use json::Json;
 pub use pool::{default_workers, map_ordered, map_ordered_with, JobEvent};
-pub use report::render_campaign;
+pub use report::{error_table, render_campaign, render_error_table, ErrorRow, ErrorTable};

@@ -15,6 +15,7 @@ use dmdp_workloads::Suite;
 
 use crate::campaign::{Campaign, StageWall};
 use crate::job::JobResult;
+use crate::json::{obj, Json};
 
 /// Renders a campaign as a plain-text report.
 pub fn render_campaign(c: &Campaign) -> String {
@@ -47,6 +48,15 @@ fn header(out: &mut String, c: &Campaign) {
             out,
             "  stages: build {:.2}s | cache {:.2}s | exec {:.2}s | aggregate {:.2}s",
             s.build_s, s.cache_s, s.exec_s, s.aggregate_s
+        );
+    }
+    if let Some(s) = c.sampling {
+        let simulated: u64 = c.jobs.iter().map(|r| r.intervals_simulated).sum();
+        let total: u64 = c.jobs.iter().map(|r| r.intervals_total).sum();
+        let _ = writeln!(
+            out,
+            "  sampled: {} insn intervals, {} warmup  ({simulated} of {total} intervals simulated)",
+            s.interval_insns, s.warmup_intervals
         );
     }
 }
@@ -279,6 +289,174 @@ fn slowest(out: &mut String, c: &Campaign) {
     }
 }
 
+/// One (workload, model, variant) comparison of a sampled estimate
+/// against the full simulation.
+#[derive(Debug, Clone)]
+pub struct ErrorRow {
+    /// Workload name.
+    pub workload: String,
+    /// Communication model.
+    pub model: CommModel,
+    /// Variant label.
+    pub variant: String,
+    /// The sampled campaign's IPC estimate.
+    pub sampled_ipc: f64,
+    /// The full campaign's measured IPC.
+    pub full_ipc: f64,
+    /// Signed relative error, percent: `(sampled/full - 1) × 100`.
+    pub error_pct: f64,
+}
+
+/// The sampled-vs-full comparison of two campaign artifacts.
+#[derive(Debug, Clone)]
+pub struct ErrorTable {
+    /// Per-row comparisons, in the sampled artifact's job order.
+    pub rows: Vec<ErrorRow>,
+    /// Geometric mean of per-row `|error_pct|` (each floored at 1e-4%
+    /// so exact matches don't zero the mean).
+    pub geomean_abs_error_pct: f64,
+    /// The single worst `|error_pct|`.
+    pub max_abs_error_pct: f64,
+    /// The sampled campaign's wall clock, seconds.
+    pub sampled_wall_s: f64,
+    /// The full campaign's wall clock, seconds.
+    pub full_wall_s: f64,
+    /// `full_wall_s / sampled_wall_s` (0 when either side is cached-only
+    /// or otherwise reports no wall time).
+    pub wall_speedup: f64,
+}
+
+/// Compares a sampled campaign against the full campaign it estimates:
+/// one row per (workload, model, variant) present in both artifacts.
+///
+/// # Errors
+///
+/// The sampled artifact has no sampled rows, the reference has no full
+/// rows, or the two share no (workload, model, variant) with nonzero
+/// full IPC.
+pub fn error_table(sampled: &Campaign, full: &Campaign) -> Result<ErrorTable, String> {
+    if !sampled.jobs.iter().any(|r| r.sampled) {
+        return Err(format!("campaign `{}` has no sampled rows", sampled.name));
+    }
+    if full.jobs.iter().any(|r| r.sampled) {
+        return Err(format!(
+            "reference campaign `{}` has sampled rows; compare against a full run",
+            full.name
+        ));
+    }
+    let mut rows = Vec::new();
+    for s in sampled.jobs.iter().filter(|r| r.sampled) {
+        let Some(f) = full.get_variant(&s.workload, s.model, &s.variant) else { continue };
+        if f.ipc <= 0.0 {
+            continue;
+        }
+        rows.push(ErrorRow {
+            workload: s.workload.clone(),
+            model: s.model,
+            variant: s.variant.clone(),
+            sampled_ipc: s.ipc,
+            full_ipc: f.ipc,
+            error_pct: (s.ipc / f.ipc - 1.0) * 100.0,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "campaigns `{}` and `{}` share no (workload, model, variant) rows",
+            sampled.name, full.name
+        ));
+    }
+    let logs: Vec<f64> = rows.iter().map(|r| r.error_pct.abs().max(1e-4).ln()).collect();
+    let geomean = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
+    let max = rows.iter().map(|r| r.error_pct.abs()).fold(0.0, f64::max);
+    let speedup = if sampled.wall_s > 0.0 && full.wall_s > 0.0 {
+        full.wall_s / sampled.wall_s
+    } else {
+        0.0
+    };
+    Ok(ErrorTable {
+        rows,
+        geomean_abs_error_pct: geomean,
+        max_abs_error_pct: max,
+        sampled_wall_s: sampled.wall_s,
+        full_wall_s: full.wall_s,
+        wall_speedup: speedup,
+    })
+}
+
+/// Renders an [`ErrorTable`] as plain text: per-row IPCs and signed
+/// errors, then the aggregate error and wall-clock summary.
+pub fn render_error_table(t: &ErrorTable) -> String {
+    let mut out = String::new();
+    let name_w = t.rows.iter().map(|r| r.workload.len()).max().unwrap_or(8).max(8);
+    let _ = writeln!(out, "sampled vs full IPC error");
+    let _ = writeln!(
+        out,
+        "  {:<name_w$}  {:<8}  {:<10}  {:>9}  {:>9}  {:>8}",
+        "workload", "model", "variant", "sampled", "full", "error"
+    );
+    for r in &t.rows {
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:<8}  {:<10}  {:>9.4}  {:>9.4}  {:>+7.2}%",
+            r.workload,
+            r.model.name(),
+            r.variant,
+            r.sampled_ipc,
+            r.full_ipc,
+            r.error_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n  {} rows: geomean |error| {:.3}%, worst |error| {:.3}%",
+        t.rows.len(),
+        t.geomean_abs_error_pct,
+        t.max_abs_error_pct
+    );
+    if t.wall_speedup > 0.0 {
+        let _ = writeln!(
+            out,
+            "  wall: sampled {:.2}s vs full {:.2}s  (×{:.1})",
+            t.sampled_wall_s, t.full_wall_s, t.wall_speedup
+        );
+    }
+    out
+}
+
+impl ErrorTable {
+    /// The machine-readable form (`dmdp report --error-vs --json`),
+    /// stable enough for CI to `jq` against.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("type", Json::Str("sampled_error".into())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            obj([
+                                ("workload", Json::Str(r.workload.clone())),
+                                ("model", Json::Str(r.model.name().into())),
+                                ("variant", Json::Str(r.variant.clone())),
+                                ("sampled_ipc", Json::Num(r.sampled_ipc)),
+                                ("full_ipc", Json::Num(r.full_ipc)),
+                                ("error_pct", Json::Num(r.error_pct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rows_compared", Json::Num(self.rows.len() as f64)),
+            ("geomean_abs_error_pct", Json::Num(self.geomean_abs_error_pct)),
+            ("max_abs_error_pct", Json::Num(self.max_abs_error_pct)),
+            ("sampled_wall_s", Json::Num(self.sampled_wall_s)),
+            ("full_wall_s", Json::Num(self.full_wall_s)),
+            ("wall_speedup", Json::Num(self.wall_speedup)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +516,36 @@ mod tests {
             .unwrap();
         let text = render_campaign(&campaign);
         assert!(!text.contains("variant sweep"), "{text}");
+    }
+
+    #[test]
+    fn error_table_compares_sampled_to_full() {
+        let full = CampaignSpec::new("full", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "mcf"])
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let sampled = CampaignSpec::new("sampled", Scale::Test)
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .kernels(["lib", "mcf"])
+            .sampled(1000, 2)
+            .run(&RunOptions { jobs: 1, ..RunOptions::default() })
+            .unwrap();
+        let t = error_table(&sampled, &full).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.max_abs_error_pct < 3.0, "{:#?}", t.rows);
+        assert!(t.geomean_abs_error_pct <= t.max_abs_error_pct);
+        let text = render_error_table(&t);
+        assert!(text.contains("sampled vs full IPC error"), "{text}");
+        assert!(text.contains("geomean |error|"), "{text}");
+        let json = t.to_json();
+        assert_eq!(json.get("rows_compared").and_then(Json::as_u64), Some(4));
+        assert_eq!(json.get("rows").and_then(Json::as_arr).unwrap().len(), 4);
+        // The sampled artifact's own report names the sampling knobs.
+        assert!(render_campaign(&sampled).contains("sampled: 1000 insn intervals"));
+        // Misuse errors, not panics.
+        assert!(error_table(&full, &full).is_err(), "full-vs-full must be rejected");
+        assert!(error_table(&sampled, &sampled).is_err(), "sampled reference rejected");
     }
 
     #[test]

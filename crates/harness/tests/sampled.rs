@@ -1,0 +1,90 @@
+//! End-to-end sampled-simulation accuracy and artifact round-trips.
+
+use dmdp_core::CommModel;
+use dmdp_harness::{Campaign, CampaignSpec, RunOptions};
+use dmdp_workloads::Scale;
+
+fn opts() -> RunOptions {
+    RunOptions { jobs: 2, ..RunOptions::default() }
+}
+
+#[test]
+fn sampled_campaign_estimates_full_ipc() {
+    let kernels = ["lib", "mcf", "bwaves"];
+    let full = CampaignSpec::new("full", Scale::Test)
+        .kernels(kernels)
+        .run(&opts())
+        .unwrap();
+    let sampled = CampaignSpec::new("sampled", Scale::Test)
+        .kernels(kernels)
+        .sampled(1000, 2)
+        .run(&opts())
+        .unwrap();
+    assert_eq!(sampled.jobs.len(), full.jobs.len());
+    for (s, f) in sampled.jobs.iter().zip(&full.jobs) {
+        assert_eq!(s.workload, f.workload);
+        assert_eq!(s.model, f.model);
+        assert!(s.sampled && !f.sampled);
+        assert_ne!(s.digest, f.digest, "sampled digests must not collide with full");
+        assert!(s.intervals_simulated > 0);
+        assert!(s.intervals_simulated <= s.intervals_total);
+        // Accuracy at test scale with the tuned knobs (interval 1000,
+        // warmup 2 — the ci.sh smoke holds one kernel to ≤ 2%).
+        let err = (s.ipc - f.ipc) / f.ipc * 100.0;
+        assert!(
+            err.abs() < 3.0,
+            "{} × {}: sampled IPC {:.4} vs full {:.4} ({err:+.2}%)",
+            s.workload,
+            s.model.name(),
+            s.ipc,
+            f.ipc
+        );
+    }
+}
+
+#[test]
+fn sampled_rows_and_campaign_meta_round_trip() {
+    let sampled = CampaignSpec::new("rt", Scale::Test)
+        .kernels(["lib"])
+        .models([CommModel::Dmdp])
+        .sampled(500, 1)
+        .run(&opts())
+        .unwrap();
+    let back = Campaign::from_json(&sampled.to_json()).unwrap();
+    assert_eq!(back.sampling, sampled.sampling);
+    let (b, s) = (&back.jobs[0], &sampled.jobs[0]);
+    assert!(b.sampled);
+    assert_eq!(b.interval_insns, s.interval_insns);
+    assert_eq!(b.warmup_intervals, s.warmup_intervals);
+    assert_eq!(b.intervals_total, s.intervals_total);
+    assert_eq!(b.intervals_simulated, s.intervals_simulated);
+    assert_eq!(b.ipc, s.ipc);
+}
+
+#[test]
+fn sampled_results_are_deterministic_and_cacheable() {
+    let dir = std::env::temp_dir().join(format!("dmdp-sampled-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("sampled.json");
+    let spec = || {
+        CampaignSpec::new("det", Scale::Test)
+            .kernels(["mcf"])
+            .models([CommModel::Baseline, CommModel::Dmdp])
+            .sampled(500, 1)
+    };
+    let a = spec().run(&opts()).unwrap();
+    a.save(&artifact).unwrap();
+    let b = spec().run(&opts()).unwrap();
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.digest, y.digest);
+        assert_eq!(x.cycles, y.cycles, "sampled runs must be deterministic");
+        assert_eq!(x.ipc, y.ipc);
+    }
+    // A re-run against the artifact is served entirely from the cache.
+    let c = spec()
+        .run(&RunOptions { cache: Some(artifact), ..opts() })
+        .unwrap();
+    assert_eq!(c.executed, 0);
+    assert_eq!(c.cached, c.jobs.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,7 +1,8 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
+use crate::checkpoint::{dep_bucket, Checkpoint, IntervalFeatures, IntervalProfile};
 use crate::insn::Insn;
 use crate::op::{AluOp, Op};
 use crate::program::Program;
@@ -53,6 +54,22 @@ pub enum StepOutcome {
     Retired(RetiredEvent),
     /// A `halt` retired; the machine is stopped.
     Halted,
+}
+
+/// Why a bounded run ([`Emulator::run_insns`]) stopped.
+///
+/// Sampling fast-forward must distinguish "the instruction budget was
+/// spent" (resume later) from "the program retired `halt`" (there is
+/// nothing left to simulate) — conflating the two would silently
+/// truncate runs, which is why budget exhaustion in the unbounded
+/// entry points is a *named error* ([`EmuError::StepLimit`]) rather
+/// than a normal return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program retired `halt` within the budget.
+    Halted,
+    /// The instruction budget ran out first; execution can resume.
+    BudgetExhausted,
 }
 
 /// The architectural effect of one retired instruction — used by
@@ -373,6 +390,256 @@ impl Emulator {
         }
         Err(EmuError::StepLimit { limit: max_steps })
     }
+
+    /// Bounded variant of [`Emulator::run_with_trace`]: traces at most
+    /// `n` further instructions and — unlike the unbounded entry point,
+    /// where exhaustion is the named [`EmuError::StepLimit`] error —
+    /// reports budget exhaustion as a normal outcome, returning the
+    /// partial trace. The sampling pipeline uses this to build an
+    /// oracle covering just one measurement window from a checkpoint
+    /// instead of tracing the whole remaining run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Emulator::step`] errors.
+    pub fn run_with_trace_insns(
+        &mut self,
+        n: u64,
+    ) -> Result<(OracleTrace, StopReason), EmuError> {
+        let mut trace = OracleTrace::default();
+        let mut writers = LastWriter::default();
+        let target = self.result.retired.saturating_add(n);
+        while self.result.retired < target {
+            match self.step()? {
+                StepOutcome::Halted => return Ok((trace, StopReason::Halted)),
+                StepOutcome::Retired(ev) => {
+                    if let Some(mem) = ev.mem {
+                        let width = ev.insn.mem_width().expect("mem event without width");
+                        if mem.is_store {
+                            trace.store_count += 1;
+                            writers.record(mem.addr, width.bytes(), trace.store_count);
+                        } else {
+                            trace
+                                .last_writer_ssn
+                                .push(writers.youngest(mem.addr, width.bytes()));
+                            trace.load_values.push(mem.value);
+                        }
+                    }
+                }
+            }
+        }
+        let reason =
+            if self.halted { StopReason::Halted } else { StopReason::BudgetExhausted };
+        Ok((trace, reason))
+    }
+
+    /// Runs at most `n` further instructions, reporting whether the
+    /// program halted or the budget was exhausted first. Unlike
+    /// [`Emulator::run`], budget exhaustion is a *normal outcome* here
+    /// — the emulator stays resumable at the exact boundary, which is
+    /// what the sampling fast-forward engine needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Emulator::step`] errors (bad PC, unaligned access).
+    pub fn run_insns(&mut self, n: u64) -> Result<StopReason, EmuError> {
+        let target = self.result.retired.saturating_add(n);
+        while self.result.retired < target {
+            if let StepOutcome::Halted = self.step()? {
+                return Ok(StopReason::Halted);
+            }
+        }
+        Ok(if self.halted { StopReason::Halted } else { StopReason::BudgetExhausted })
+    }
+
+    /// Captures the complete architectural state as a [`Checkpoint`].
+    /// The warming hint is empty (cold caches) — only
+    /// [`Emulator::capture_checkpoints`] observes the access recency
+    /// needed to fill it.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            pc: self.pc,
+            regs: self.regs,
+            result: self.result,
+            pages: self.mem.pages_sorted(),
+            warm_lines: Vec::new(),
+            warm_branches: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an emulator mid-run from a checkpoint of `program`.
+    /// Resuming reproduces the original run bit-identically from the
+    /// checkpoint onward (the emulator is deterministic and the
+    /// checkpoint is the full architectural state).
+    pub fn from_checkpoint(program: &Program, ckpt: &Checkpoint) -> Emulator {
+        let mut mem = SparseMem::new();
+        for (index, page) in &ckpt.pages {
+            mem.install_page(*index, page);
+        }
+        Emulator {
+            mem,
+            program: program.clone(),
+            regs: ckpt.regs,
+            pc: ckpt.pc,
+            halted: false,
+            result: ckpt.result,
+        }
+    }
+
+    /// Runs to completion, slicing execution into fixed-instruction
+    /// intervals and collecting one [`IntervalFeatures`] vector per
+    /// interval (sampled-simulation profiling pass).
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::StepLimit`] if the program does not halt within
+    /// `max_steps` — a profile of a truncated run would silently bias
+    /// every downstream weight, so it is refused outright. Step errors
+    /// propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_insns` is zero.
+    pub fn profile_intervals(
+        &mut self,
+        interval_insns: u64,
+        max_steps: u64,
+    ) -> Result<IntervalProfile, EmuError> {
+        assert!(interval_insns > 0, "interval length must be nonzero");
+        let mut profile = IntervalProfile { interval_insns, ..IntervalProfile::default() };
+        let mut writers = LastWriter::default();
+        let mut store_count: u32 = 0;
+        let mut bb: HashMap<Pc, u32> = HashMap::new();
+        // Locality counters: lines ever touched (run-global) and lines
+        // touched in the current interval.
+        let mut seen_lines: HashSet<u32> = HashSet::new();
+        let mut iv_lines: HashSet<u32> = HashSet::new();
+        let mut cur = IntervalFeatures::default();
+        // The interval's entry PC is a block leader.
+        *bb.entry(self.pc).or_insert(0) += 1;
+        let flush = |bb: &mut HashMap<Pc, u32>,
+                     iv_lines: &mut HashSet<u32>,
+                     cur: &mut IntervalFeatures,
+                     out: &mut Vec<IntervalFeatures>| {
+            let mut counts: Vec<(Pc, u32)> = bb.drain().collect();
+            counts.sort_unstable_by_key(|&(pc, _)| pc);
+            cur.bb_counts = counts;
+            iv_lines.clear();
+            out.push(std::mem::take(cur));
+        };
+        for _ in 0..max_steps {
+            let before = self.result.retired;
+            match self.step()? {
+                StepOutcome::Halted => {
+                    cur.insns += self.result.retired - before;
+                    if cur.insns > 0 {
+                        flush(&mut bb, &mut iv_lines, &mut cur, &mut profile.intervals);
+                    }
+                    profile.result = self.result;
+                    return Ok(profile);
+                }
+                StepOutcome::Retired(ev) => {
+                    cur.insns += 1;
+                    if let Some(mem) = ev.mem {
+                        let width = ev.insn.mem_width().expect("mem event without width");
+                        if mem.is_store {
+                            store_count += 1;
+                            writers.record(mem.addr, width.bytes(), store_count);
+                        } else {
+                            let ssn = writers.youngest(mem.addr, width.bytes());
+                            cur.dep_buckets[dep_bucket(ssn, store_count)] += 1;
+                        }
+                        let line = mem.addr / crate::checkpoint::LOC_LINE_BYTES;
+                        if iv_lines.insert(line) {
+                            cur.touched_lines += 1;
+                        }
+                        if seen_lines.insert(line) {
+                            cur.new_lines += 1;
+                        }
+                    }
+                    if ev.next_pc != ev.pc + 1 {
+                        // A taken control transfer: the target starts a
+                        // new basic-block occurrence.
+                        *bb.entry(ev.next_pc).or_insert(0) += 1;
+                    }
+                    if cur.insns == interval_insns {
+                        flush(&mut bb, &mut iv_lines, &mut cur, &mut profile.intervals);
+                        *bb.entry(self.pc).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        Err(EmuError::StepLimit { limit: max_steps })
+    }
+
+    /// Re-runs the program from the current state, capturing an
+    /// architectural checkpoint at each requested position.
+    /// `boundaries` are absolute retired-instruction counts
+    /// (ascending, not necessarily interval-aligned — warmup windows
+    /// may start mid-interval); boundary `b` is the state after
+    /// exactly `b` retired instructions, so boundary 0 is the current
+    /// state. If the program halts before a later boundary, the
+    /// halted state is captured (callers derive boundaries from a
+    /// profile of the same program, so this only happens for the
+    /// boundary at the very end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Emulator::step`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries` is not ascending or a boundary lies
+    /// behind instructions already retired.
+    pub fn capture_checkpoints(
+        &mut self,
+        boundaries: &[u64],
+        warm_cap: usize,
+    ) -> Result<Vec<Checkpoint>, EmuError> {
+        assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must ascend");
+        let mut ckpts = Vec::with_capacity(boundaries.len());
+        // Warming-hint state: per-line access recency (each checkpoint
+        // carries the `warm_cap` most recently touched lines, LRU→MRU)
+        // and the trailing window of conditional-branch outcomes (the
+        // last `warm_cap` of them, oldest first).
+        let mut recency: HashMap<u32, u64> = HashMap::new();
+        let mut seq: u64 = 0;
+        let mut branches: VecDeque<(Pc, Pc)> = VecDeque::with_capacity(warm_cap);
+        for &target in boundaries {
+            assert!(
+                target >= self.result.retired,
+                "boundary {target} behind the {} instructions already retired",
+                self.result.retired
+            );
+            while self.result.retired < target {
+                match self.step()? {
+                    StepOutcome::Halted => break,
+                    StepOutcome::Retired(ev) => {
+                        if let Some(mem) = ev.mem {
+                            seq += 1;
+                            recency.insert(mem.addr / crate::checkpoint::LOC_LINE_BYTES, seq);
+                        }
+                        if matches!(ev.insn.op, Op::Branch(_)) {
+                            if branches.len() == warm_cap {
+                                branches.pop_front();
+                            }
+                            branches.push_back((ev.pc, ev.next_pc));
+                        }
+                    }
+                }
+            }
+            let mut ckpt = self.checkpoint();
+            let mut lines: Vec<(u64, u32)> = recency.iter().map(|(&l, &s)| (s, l)).collect();
+            lines.sort_unstable();
+            if lines.len() > warm_cap {
+                lines.drain(..lines.len() - warm_cap);
+            }
+            ckpt.warm_lines = lines.into_iter().map(|(_, l)| l).collect();
+            ckpt.warm_branches = branches.iter().copied().collect();
+            ckpts.push(ckpt);
+        }
+        Ok(ckpts)
+    }
 }
 
 impl fmt::Debug for Emulator {
@@ -555,6 +822,138 @@ mod tests {
         let (_, trace) = e.run_with_trace(1000).unwrap();
         assert_eq!(trace.last_writer_ssn, vec![1, 2]);
         assert_eq!(trace.load_values, vec![0x7F, 0x7F]);
+    }
+
+    #[test]
+    fn step_limit_is_distinct_from_halt() {
+        // Regression: budget exhaustion must be the *named*
+        // `EmuError::StepLimit`, never a silent halt-like return, in
+        // every entry point — and `run_insns` must report the
+        // distinction as a normal outcome.
+        let looping = assemble("top: j top\nhalt").unwrap();
+        let halting = assemble("nop\nnop\nhalt").unwrap();
+
+        let mut e = Emulator::new(&looping);
+        assert_eq!(e.run(50), Err(EmuError::StepLimit { limit: 50 }));
+        assert!(!e.is_halted());
+        let mut e = Emulator::new(&looping);
+        assert_eq!(
+            e.run_with_trace(50).unwrap_err(),
+            EmuError::StepLimit { limit: 50 }
+        );
+        let mut e = Emulator::new(&looping);
+        assert_eq!(e.run_insns(50), Ok(StopReason::BudgetExhausted));
+        assert_eq!(e.stats().retired, 50);
+        // Resumable at the exact boundary.
+        assert_eq!(e.run_insns(25), Ok(StopReason::BudgetExhausted));
+        assert_eq!(e.stats().retired, 75);
+
+        let mut e = Emulator::new(&halting);
+        assert_eq!(e.run_insns(50), Ok(StopReason::Halted));
+        assert!(e.is_halted());
+        assert_eq!(e.stats().retired, 3);
+        let mut e = Emulator::new(&halting);
+        // Budget landing exactly on the halt still reports Halted.
+        assert_eq!(e.run_insns(3), Ok(StopReason::Halted));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let src = r#"
+                .data
+        buf:    .space 64
+                .text
+            li   $1, 12
+            lui  $8, %hi(buf)
+            ori  $8, $8, %lo(buf)
+        top:
+            sw   $1, 0($8)
+            lw   $2, 0($8)
+            add  $3, $3, $2
+            addi $1, $1, -1
+            bgtz $1, top
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut full = Emulator::new(&p);
+        let full_result = full.run(1_000_000).unwrap();
+
+        let mut front = Emulator::new(&p);
+        assert_eq!(front.run_insns(20), Ok(StopReason::BudgetExhausted));
+        let ckpt = front.checkpoint();
+        assert_eq!(ckpt.result.retired, 20);
+        // Serialize → restore → resume: bit-identical final state.
+        let restored = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored, ckpt);
+        let mut resumed = Emulator::from_checkpoint(&p, &restored);
+        let resumed_result = resumed.run(1_000_000).unwrap();
+        assert_eq!(resumed_result, full_result);
+        assert_eq!(resumed.regs(), full.regs());
+        assert_eq!(resumed.pc(), full.pc());
+    }
+
+    #[test]
+    fn profile_intervals_slices_and_counts() {
+        let src = r#"
+            li   $1, 10
+        top:
+            sw   $1, 0x10000($0)
+            lw   $2, 0x10000($0)
+            addi $1, $1, -1
+            bgtz $1, top
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut e = Emulator::new(&p);
+        let profile = e.profile_intervals(16, 1_000_000).unwrap();
+        let total: u64 = profile.intervals.iter().map(|iv| iv.insns).sum();
+        assert_eq!(total, profile.result.retired);
+        assert_eq!(profile.result.retired, 1 + 10 * 4 + 1);
+        assert_eq!(profile.intervals.len(), 3); // 16 + 16 + 10
+        assert_eq!(profile.intervals[2].insns, 10);
+        for iv in &profile.intervals[..2] {
+            assert_eq!(iv.insns, 16);
+            assert!(!iv.bb_counts.is_empty());
+        }
+        // The loop's loads all read the store from the same iteration:
+        // distance 0, bucket 0 — except the first load of interval 0 is
+        // also bucket 0 (its store precedes it immediately).
+        let loads: u32 = profile.intervals.iter().map(|iv| iv.dep_buckets[0]).sum();
+        assert_eq!(loads as u64, profile.result.loads);
+        // A looping program must refuse to profile past the budget.
+        let looping = assemble("top: j top\nhalt").unwrap();
+        let mut e = Emulator::new(&looping);
+        assert_eq!(
+            e.profile_intervals(8, 100).unwrap_err(),
+            EmuError::StepLimit { limit: 100 }
+        );
+    }
+
+    #[test]
+    fn capture_checkpoints_at_boundaries() {
+        let src = r#"
+            li   $1, 40
+        top:
+            sw   $1, 0x10000($0)
+            addi $1, $1, -1
+            bgtz $1, top
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut e = Emulator::new(&p);
+        let ckpts = e.capture_checkpoints(&[0, 30, 75], 4096).unwrap();
+        assert_eq!(ckpts.len(), 3);
+        assert_eq!(ckpts[0].result.retired, 0);
+        assert_eq!(ckpts[1].result.retired, 30);
+        assert_eq!(ckpts[2].result.retired, 75);
+        // Each checkpoint resumes to the same final state.
+        let mut full = Emulator::new(&p);
+        let want = full.run(1_000_000).unwrap();
+        for c in &ckpts {
+            let mut r = Emulator::from_checkpoint(&p, c);
+            assert_eq!(r.run(1_000_000).unwrap(), want);
+            assert_eq!(r.regs(), full.regs());
+        }
     }
 
     #[test]

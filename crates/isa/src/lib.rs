@@ -46,6 +46,7 @@
 
 pub mod asm;
 pub mod bab;
+pub mod checkpoint;
 mod emu;
 pub mod encode;
 mod insn;
@@ -55,12 +56,13 @@ mod reg;
 mod sparse;
 pub mod uop;
 
-pub use emu::{EmuError, Emulator, OracleTrace, RunResult, StepOutcome};
+pub use checkpoint::{Checkpoint, IntervalFeatures, IntervalProfile};
+pub use emu::{EmuError, Emulator, OracleTrace, RunResult, StepOutcome, StopReason};
 pub use insn::Insn;
 pub use op::{AluOp, BranchCond, MemWidth, Op};
 pub use program::{Program, ProgramBuilder};
 pub use reg::Reg;
-pub use sparse::SparseMem;
+pub use sparse::{SparseMem, PAGE_BYTES};
 
 /// A 32-bit byte address in the simulated machine.
 pub type Addr = u32;

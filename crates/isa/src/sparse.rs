@@ -7,6 +7,10 @@ const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 
+/// Size in bytes of one backing page (4 KiB) — the granule of
+/// architectural checkpoints.
+pub const PAGE_BYTES: usize = PAGE_SIZE;
+
 /// A sparse byte-addressable memory image, allocated in 4 KiB pages on
 /// first touch. Unwritten bytes read as zero.
 ///
@@ -138,6 +142,22 @@ impl SparseMem {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// A snapshot of every resident page as `(page index, bytes)`,
+    /// sorted by index — the canonical order used by architectural
+    /// checkpoints so that equal memory states serialize identically.
+    pub fn pages_sorted(&self) -> Vec<(u32, Box<[u8; PAGE_SIZE]>)> {
+        let mut pages: Vec<(u32, Box<[u8; PAGE_SIZE]>)> =
+            self.pages.iter().map(|(&i, p)| (i, p.clone())).collect();
+        pages.sort_unstable_by_key(|&(i, _)| i);
+        pages
+    }
+
+    /// Installs a full page at the given page index, replacing whatever
+    /// was resident there (checkpoint restore).
+    pub fn install_page(&mut self, index: u32, bytes: &[u8; PAGE_SIZE]) {
+        self.pages.insert(index, Box::new(*bytes));
+    }
 }
 
 impl std::fmt::Debug for SparseMem {
@@ -203,5 +223,23 @@ mod tests {
     #[should_panic(expected = "unaligned")]
     fn unaligned_word_read_panics() {
         SparseMem::new().read_word(2);
+    }
+
+    #[test]
+    fn pages_round_trip_sorted() {
+        let mut m = SparseMem::new();
+        m.write_word(0x5000, 3);
+        m.write_word(0x1000, 1);
+        m.write_word(0x3000, 2);
+        let pages = m.pages_sorted();
+        assert_eq!(pages.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1, 3, 5]);
+        let mut n = SparseMem::new();
+        for (i, p) in &pages {
+            n.install_page(*i, p);
+        }
+        for addr in [0x1000, 0x3000, 0x5000] {
+            assert_eq!(n.read_word(addr), m.read_word(addr));
+        }
+        assert_eq!(n.resident_pages(), 3);
     }
 }

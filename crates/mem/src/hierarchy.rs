@@ -97,6 +97,17 @@ impl MemHierarchy {
         self.access(addr, cycle, true)
     }
 
+    /// Pre-fills the line containing `addr` into both levels, clean,
+    /// updating recency but **no statistics and no DRAM state** —
+    /// checkpoint-seeded cache warming. Architectural checkpoints carry
+    /// the lines resident around the boundary in LRU→MRU order; replay
+    /// them in that order so the final recency state approximates the
+    /// uncheckpointed machine's.
+    pub fn warm(&mut self, addr: Addr) {
+        let _ = self.l1d.access(addr, false);
+        let _ = self.l2.access(addr, false);
+    }
+
     /// Whether `addr` currently hits in the L1D (no state disturbance).
     pub fn probe_l1(&self, addr: Addr) -> bool {
         self.l1d.probe(addr)

@@ -64,6 +64,16 @@ impl Tlb {
         self.cfg.miss_penalty
     }
 
+    /// Installs `addr`'s page, updating recency but neither hit nor
+    /// miss counts — checkpoint-seeded warming, alongside
+    /// [`crate::MemHierarchy::warm`].
+    pub fn warm(&mut self, addr: Addr) {
+        let (hits, misses) = (self.hits, self.misses);
+        let _ = self.translate(addr);
+        self.hits = hits;
+        self.misses = misses;
+    }
+
     /// Hit count.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -148,6 +148,19 @@ impl BranchPredictor {
         }
     }
 
+    /// Trains on one resolved branch with no prior prediction:
+    /// counter, BTB and global history advance exactly as a
+    /// correctly-predicted [`BranchPredictor::resolve`] would, but no
+    /// lookup or misprediction is counted. Checkpoint-seeded warming
+    /// replays the trailing branch stream through this so a sampled
+    /// interval starts with a trained predictor instead of paying a
+    /// misprediction storm the uncheckpointed run never had.
+    pub fn warm(&mut self, pc: Pc, taken: bool, target: Pc) {
+        let before = self.history;
+        self.resolve(pc, taken, target, before);
+        self.history = (before << 1) | taken as u32;
+    }
+
     /// Reports a misprediction: repairs global history to the resolved
     /// outcome (`history_before << 1 | actual`).
     pub fn mispredicted(&mut self, history_before: u32, actual_taken: bool) {

@@ -1,0 +1,234 @@
+//! Offline k-means for interval feature vectors.
+//!
+//! k-means++ seeding + Lloyd iterations, driven entirely by the
+//! repository's deterministic [`dmdp_prng::Prng`] — same seed, same
+//! clustering, on every platform. `k` is chosen by a BIC-style score
+//! (the X-means spherical-Gaussian formulation SimPoint uses): the
+//! smallest `k` whose score reaches 90% of the best score's range,
+//! which prefers few representative intervals unless more genuinely
+//! explain the data.
+
+use dmdp_prng::Prng;
+
+/// A clustering of `n` vectors into `k` groups.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// Cluster index of each input vector.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centers: Vec<Vec<f64>>,
+    /// Number of clusters actually produced (≤ requested `k`).
+    pub k: usize,
+    /// Sum of squared distances to assigned centroids.
+    pub sse: f64,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A uniform f64 in `[0, 1)` from the deterministic stream.
+fn unit(prng: &mut Prng) -> f64 {
+    (prng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs k-means++ seeding plus Lloyd iterations (at most `max_iters`,
+/// stopping early on a stable assignment).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `k` is zero.
+pub fn kmeans(data: &[Vec<f64>], k: usize, prng: &mut Prng, max_iters: usize) -> Kmeans {
+    assert!(!data.is_empty() && k > 0, "kmeans needs data and k > 0");
+    let k = k.min(data.len());
+    let dims = data[0].len();
+
+    // k-means++ seeding: first center uniform, then proportional to
+    // squared distance from the nearest chosen center.
+    let mut centers: Vec<Vec<f64>> = vec![data[prng.index(data.len())].clone()];
+    let mut d2: Vec<f64> = data.iter().map(|v| dist2(v, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // Every remaining point coincides with a center; any pick
+            // will produce an empty-cluster-free result below.
+            prng.index(data.len())
+        } else {
+            let mut r = unit(prng) * total;
+            let mut pick = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if r < w {
+                    pick = i;
+                    break;
+                }
+                r -= w;
+            }
+            pick
+        };
+        let center = data[next].clone();
+        for (slot, v) in d2.iter_mut().zip(data) {
+            *slot = slot.min(dist2(v, &center));
+        }
+        centers.push(center);
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; data.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (slot, v) in assignments.iter_mut().zip(data) {
+            let best = centers
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, dist2(v, c)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(j, _)| j)
+                .unwrap();
+            if *slot != best {
+                *slot = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dims]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (&a, v) in assignments.iter().zip(data) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for ((center, sum), &count) in centers.iter_mut().zip(&sums).zip(&counts) {
+            if count > 0 {
+                *center = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Drop empty clusters and renumber densely.
+    let mut remap = vec![usize::MAX; centers.len()];
+    let mut kept: Vec<Vec<f64>> = Vec::new();
+    for &a in &assignments {
+        if remap[a] == usize::MAX {
+            remap[a] = kept.len();
+            kept.push(centers[a].clone());
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+    let sse = assignments.iter().zip(data).map(|(&a, v)| dist2(v, &kept[a])).sum();
+    Kmeans { k: kept.len(), centers: kept, assignments, sse }
+}
+
+/// The X-means BIC score of a clustering: spherical-Gaussian
+/// log-likelihood minus the `(p/2)·ln n` parameter penalty. Higher is
+/// better; comparable only across clusterings of the *same* data.
+pub fn bic(data: &[Vec<f64>], km: &Kmeans) -> f64 {
+    let n = data.len() as f64;
+    let d = data[0].len() as f64;
+    let k = km.k as f64;
+    // Maximum-likelihood spherical variance, floored so that a perfect
+    // clustering (sse = 0) stays finite.
+    let variance = (km.sse / (n - k).max(1.0)).max(1e-12);
+    let mut counts = vec![0usize; km.k];
+    for &a in &km.assignments {
+        counts[a] += 1;
+    }
+    let mut ll = -(n * d / 2.0) * (2.0 * std::f64::consts::PI * variance).ln() - (n - k) / 2.0;
+    for &c in &counts {
+        if c > 0 {
+            ll += c as f64 * ((c as f64).ln() - n.ln());
+        }
+    }
+    let params = k * (d + 1.0);
+    ll - (params / 2.0) * n.ln()
+}
+
+/// Clusters `data` for every `k` in `1..=max_k` and returns the
+/// clustering with the smallest `k` whose BIC reaches 90% of the way
+/// from the worst to the best observed score (the SimPoint rule).
+pub fn kmeans_auto_k(data: &[Vec<f64>], max_k: usize, prng: &mut Prng) -> Kmeans {
+    let max_k = max_k.clamp(1, data.len());
+    let runs: Vec<(Kmeans, f64)> = (1..=max_k)
+        .map(|k| {
+            let km = kmeans(data, k, prng, 50);
+            let score = bic(data, &km);
+            (km, score)
+        })
+        .collect();
+    let best = runs.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let worst = runs.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    let threshold = worst + 0.9 * (best - worst);
+    runs.into_iter()
+        .find(|&(_, s)| s >= threshold)
+        .map(|(km, _)| km)
+        .expect("at least one clustering")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(prng: &mut Prng, center: &[f64], n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + (unit(prng) - 0.5) * 0.1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separable_blobs_are_separated() {
+        let mut prng = Prng::new(1);
+        let mut data = blob(&mut prng, &[0.0, 0.0, 0.0], 20);
+        data.extend(blob(&mut prng, &[10.0, 0.0, 0.0], 20));
+        data.extend(blob(&mut prng, &[0.0, 10.0, 0.0], 20));
+        let km = kmeans(&data, 3, &mut Prng::new(7), 50);
+        assert_eq!(km.k, 3);
+        // Points from one blob share an assignment.
+        for chunk in km.assignments.chunks(20) {
+            assert!(chunk.iter().all(|&a| a == chunk[0]));
+        }
+        assert!(km.sse < 1.0, "sse = {}", km.sse);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut prng = Prng::new(3);
+        let data = blob(&mut prng, &[1.0, 2.0], 30);
+        let a = kmeans(&data, 4, &mut Prng::new(9), 50);
+        let b = kmeans(&data, 4, &mut Prng::new(9), 50);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn auto_k_finds_few_clusters_for_few_blobs() {
+        let mut prng = Prng::new(5);
+        let mut data = blob(&mut prng, &[0.0, 0.0], 30);
+        data.extend(blob(&mut prng, &[8.0, 8.0], 30));
+        let km = kmeans_auto_k(&data, 10, &mut Prng::new(11));
+        assert!((2..=4).contains(&km.k), "k = {}", km.k);
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let data = vec![vec![1.0, 1.0]; 10];
+        let km = kmeans_auto_k(&data, 5, &mut Prng::new(2));
+        assert_eq!(km.k, 1);
+        assert_eq!(km.sse, 0.0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let km = kmeans(&data, 8, &mut Prng::new(4), 50);
+        assert!(km.k <= 2);
+    }
+}

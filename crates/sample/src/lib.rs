@@ -1,0 +1,609 @@
+#![warn(missing_docs)]
+//! # dmdp-sample
+//!
+//! SimPoint-style sampled simulation: turn a full detailed-simulation
+//! job into a handful of representative-interval jobs plus weighted
+//! recombination, cutting wall time by an order of magnitude while
+//! staying within a couple of percent of the full-run IPC.
+//!
+//! The pipeline:
+//!
+//! 1. **Profile** — the `dmdp-isa` emulator slices execution into
+//!    fixed-instruction intervals and emits one feature vector per
+//!    interval (basic-block execution counts + store-distance
+//!    histograms, [`dmdp_isa::IntervalFeatures`]).
+//! 2. **Cluster** — [`kmeans::kmeans_auto_k`]: deterministic
+//!    (dmdp-prng-seeded) k-means++ with a BIC-style choice of `k`;
+//!    each cluster elects the member interval nearest its centroid as
+//!    its representative, weighted by the instructions its cluster
+//!    covers ([`SamplePlan`]).
+//! 3. **Checkpoint** — a second emulator pass captures an
+//!    architectural [`dmdp_isa::Checkpoint`] at each representative's
+//!    warmup boundary ([`SampledBundle`]); checkpoints are
+//!    model-independent, so one bundle serves every core model and
+//!    configuration.
+//! 4. **Measure & recombine** — the detailed simulator runs each
+//!    representative interval from its checkpoint (warmup excluded
+//!    from measurement) and [`recombine`] folds the per-interval
+//!    (cycles, instructions) into a [`SampledReport`] via the
+//!    *CPI-weighted* mean — the unbiased estimator for
+//!    fixed-instruction intervals (a plain IPC mean over-weights fast
+//!    intervals).
+
+pub mod kmeans;
+
+use dmdp_isa::{Checkpoint, EmuError, Emulator, IntervalProfile, Program, RunResult};
+use dmdp_prng::Prng;
+
+/// Dimensionality feature vectors are randomly projected down to
+/// before clustering (the SimPoint trick: preserves relative distances
+/// while making k-means cheap on kernels with thousands of basic
+/// blocks).
+pub const PROJECTED_DIMS: usize = 16;
+
+/// Default clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleParams {
+    /// Interval length in dynamic instructions.
+    pub interval_insns: u64,
+    /// Intervals of detailed warmup simulated (and discarded) before
+    /// each representative's measurement.
+    pub warmup_intervals: u32,
+    /// Largest `k` the BIC search considers.
+    pub max_k: usize,
+    /// Seed of the deterministic clustering stream.
+    pub seed: u64,
+    /// Emulator step budget for the profiling pass.
+    pub max_steps: u64,
+    /// Most-recently-touched cache lines each checkpoint carries as its
+    /// cache-warming hint (LRU→MRU). The default covers one 1 MiB L2 of
+    /// 64-byte lines — warming can only help up to the hierarchy's
+    /// capacity.
+    pub warm_lines_cap: usize,
+    /// Floor on the detailed-warmup window in instructions. Even at
+    /// `warmup_intervals = 0` each representative gets this much
+    /// detailed simulation (discarded) before measurement — enough to
+    /// fill the ROB, store buffer, and in-flight dependence training
+    /// on top of the checkpoint's functional cache/branch warming,
+    /// at a fraction of a full warmup interval's cost.
+    pub min_warmup_insns: u64,
+}
+
+impl SampleParams {
+    /// Defaults for everything but the interval length.
+    pub fn new(interval_insns: u64, warmup_intervals: u32) -> SampleParams {
+        SampleParams {
+            interval_insns,
+            warmup_intervals,
+            max_k: 12,
+            seed: 0xD3D9_5A3B,
+            max_steps: 20_000_000_000,
+            warm_lines_cap: 16_384,
+            min_warmup_insns: 2_048,
+        }
+    }
+}
+
+/// One elected representative interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Representative {
+    /// Index of the representative interval.
+    pub interval: u64,
+    /// Fraction of the program's dynamic instructions its cluster
+    /// covers (weights sum to 1).
+    pub weight: f64,
+    /// Number of intervals in its cluster.
+    pub cluster_size: u64,
+}
+
+/// The output of the clustering stage: which intervals to simulate in
+/// detail, and with what weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePlan {
+    /// Interval length in dynamic instructions.
+    pub interval_insns: u64,
+    /// Total number of profiled intervals.
+    pub total_intervals: u64,
+    /// Total dynamic instructions in the full run.
+    pub total_insns: u64,
+    /// Number of clusters the BIC search settled on.
+    pub k: usize,
+    /// Representatives, sorted by interval index.
+    pub reps: Vec<Representative>,
+}
+
+/// Builds the per-interval dense feature matrix: concatenated
+/// L1-normalized basic-block and dependence-class vectors, randomly
+/// projected to [`PROJECTED_DIMS`] with a deterministic ±1 matrix.
+fn vectorize(profile: &IntervalProfile, seed: u64) -> Vec<Vec<f64>> {
+    // Global column index for every basic-block leader seen anywhere.
+    let mut columns: Vec<u32> = profile
+        .intervals
+        .iter()
+        .flat_map(|iv| iv.bb_counts.iter().map(|&(pc, _)| pc))
+        .collect();
+    columns.sort_unstable();
+    columns.dedup();
+    let col_of = |pc: u32| columns.binary_search(&pc).expect("column exists");
+    // Two locality dimensions ride after the dependence buckets:
+    // first-touch lines and distinct lines, L1-normalized as a pair.
+    // Basic-block vectors are address-blind — without these, a cold
+    // first pass over an array and the cache-resident later passes are
+    // indistinguishable (identical blocks, very different CPI).
+    const LOC_DIMS: usize = 2;
+    let full_dims = columns.len() + dmdp_isa::checkpoint::DEP_BUCKETS + LOC_DIMS;
+
+    // One fixed ±1 projection per column, shared by every interval.
+    let mut prng = Prng::new(seed);
+    let project = full_dims > PROJECTED_DIMS;
+    let dims = if project { PROJECTED_DIMS } else { full_dims };
+    let signs: Vec<Vec<f64>> = (0..full_dims)
+        .map(|_| (0..dims).map(|_| if prng.flip() { 1.0 } else { -1.0 }).collect())
+        .collect();
+
+    profile
+        .intervals
+        .iter()
+        .map(|iv| {
+            let mut full = vec![0.0; full_dims];
+            let bb_total: f64 = iv.bb_counts.iter().map(|&(_, c)| c as f64).sum();
+            for &(pc, c) in &iv.bb_counts {
+                full[col_of(pc)] = c as f64 / bb_total.max(1.0);
+            }
+            let dep_total: f64 = iv.dep_buckets.iter().map(|&c| c as f64).sum();
+            for (slot, &c) in full[columns.len()..].iter_mut().zip(&iv.dep_buckets) {
+                *slot = c as f64 / dep_total.max(1.0);
+            }
+            let loc_total = (iv.new_lines + iv.touched_lines) as f64;
+            full[full_dims - 2] = iv.new_lines as f64 / loc_total.max(1.0);
+            full[full_dims - 1] = iv.touched_lines as f64 / loc_total.max(1.0);
+            if !project {
+                return full;
+            }
+            let mut v = vec![0.0; dims];
+            for (x, row) in full.iter().zip(&signs) {
+                if *x != 0.0 {
+                    for (slot, s) in v.iter_mut().zip(row) {
+                        *slot += x * s;
+                    }
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// Clusters a profile into a [`SamplePlan`].
+///
+/// # Panics
+///
+/// Panics if the profile has no intervals.
+pub fn cluster(profile: &IntervalProfile, params: &SampleParams) -> SamplePlan {
+    assert!(!profile.intervals.is_empty(), "cannot cluster an empty profile");
+    let data = vectorize(profile, params.seed);
+    let km = kmeans::kmeans_auto_k(&data, params.max_k, &mut Prng::new(params.seed ^ 0x5EED));
+
+    let total_insns: u64 = profile.intervals.iter().map(|iv| iv.insns).sum();
+    let mut reps: Vec<Representative> = Vec::with_capacity(km.k);
+    for c in 0..km.k {
+        let members: Vec<usize> =
+            (0..data.len()).filter(|&i| km.assignments[i] == c).collect();
+        let center = &km.centers[c];
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da: f64 = data[a].iter().zip(center).map(|(x, y)| (x - y) * (x - y)).sum();
+                let db: f64 = data[b].iter().zip(center).map(|(x, y)| (x - y) * (x - y)).sum();
+                da.total_cmp(&db).then(a.cmp(&b))
+            })
+            .expect("clusters are non-empty");
+        let cluster_insns: u64 = members.iter().map(|&i| profile.intervals[i].insns).sum();
+        reps.push(Representative {
+            interval: rep as u64,
+            weight: cluster_insns as f64 / total_insns as f64,
+            cluster_size: members.len() as u64,
+        });
+    }
+    reps.sort_by_key(|r| r.interval);
+    SamplePlan {
+        interval_insns: profile.interval_insns,
+        total_intervals: profile.intervals.len() as u64,
+        total_insns,
+        k: km.k,
+        reps,
+    }
+}
+
+/// One representative's detailed-simulation work order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepRun {
+    /// The representative interval's index.
+    pub interval: u64,
+    /// Recombination weight.
+    pub weight: f64,
+    /// Index into [`SampledBundle::checkpoints`] to start from.
+    pub ckpt: usize,
+    /// Instructions of detailed warmup before measurement starts.
+    pub warmup_insns: u64,
+    /// Instructions to measure (a full interval, except the final
+    /// partial one).
+    pub measure_insns: u64,
+}
+
+/// A plan plus the architectural checkpoints it needs: everything the
+/// detailed simulator requires to run a workload sampled. Bundles are
+/// model- and configuration-independent — build once per (workload,
+/// interval length), simulate every model from it.
+#[derive(Debug, Clone)]
+pub struct SampledBundle {
+    /// Warmup intervals ahead of each representative.
+    pub warmup_intervals: u32,
+    /// Resolved detailed-warmup window in instructions:
+    /// `max(warmup_intervals × interval_insns, min_warmup_insns)`,
+    /// clipped per representative to the instructions available before
+    /// it. The floor keeps a short detailed warmup even at
+    /// `warmup_intervals = 0` — the checkpoint's functional warming
+    /// seeds caches and the branch predictor, so detailed warmup only
+    /// needs to fill pipeline-local state (ROB, store buffer,
+    /// in-flight dependence training), which takes a couple of
+    /// thousand instructions, not a whole interval.
+    pub warmup_insns: u64,
+    /// The clustering result.
+    pub plan: SamplePlan,
+    /// Unique checkpoints, ascending by position; [`RepRun::ckpt`]
+    /// indexes into this (representatives whose warmup windows overlap
+    /// share a checkpoint).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Full-run statistics from the profiling pass.
+    pub profile_result: RunResult,
+}
+
+impl SampledBundle {
+    /// Profiles, clusters, and captures checkpoints for `program`.
+    ///
+    /// # Errors
+    ///
+    /// Emulation errors from the profiling or capture pass,
+    /// stringified — including the named budget error if the program
+    /// does not halt within `params.max_steps`.
+    pub fn build(program: &Program, params: &SampleParams) -> Result<SampledBundle, String> {
+        let profile = Emulator::new(program)
+            .profile_intervals(params.interval_insns, params.max_steps)
+            .map_err(|e: EmuError| format!("{}: profiling failed: {e}", program.name()))?;
+        let plan = cluster(&profile, params);
+        let warmup_insns = (params.warmup_intervals as u64 * params.interval_insns)
+            .max(params.min_warmup_insns);
+        let mut boundaries: Vec<u64> = plan
+            .reps
+            .iter()
+            .map(|r| (r.interval * params.interval_insns).saturating_sub(warmup_insns))
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let checkpoints = Emulator::new(program)
+            .capture_checkpoints(&boundaries, params.warm_lines_cap)
+            .map_err(|e| format!("{}: checkpoint capture failed: {e}", program.name()))?;
+        Ok(SampledBundle {
+            warmup_intervals: params.warmup_intervals,
+            warmup_insns,
+            plan,
+            checkpoints,
+            profile_result: profile.result,
+        })
+    }
+
+    /// The detailed-simulation work orders, one per representative.
+    pub fn rep_runs(&self) -> Vec<RepRun> {
+        let il = self.plan.interval_insns;
+        self.plan
+            .reps
+            .iter()
+            .map(|r| {
+                let rep_start = r.interval * il;
+                let boundary = rep_start.saturating_sub(self.warmup_insns);
+                let ckpt = self
+                    .checkpoints
+                    .binary_search_by_key(&boundary, |c| c.result.retired)
+                    .expect("a checkpoint exists for every rep boundary");
+                RepRun {
+                    interval: r.interval,
+                    weight: r.weight,
+                    ckpt,
+                    warmup_insns: rep_start - boundary,
+                    measure_insns: il.min(self.plan.total_insns - rep_start),
+                }
+            })
+            .collect()
+    }
+
+    /// Total serialized checkpoint payload in bytes.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.byte_len() as u64).sum()
+    }
+
+    /// Canonical byte serialization (round-trips through
+    /// [`SampledBundle::from_bytes`]) — the daemon persists bundles in
+    /// its content-addressed store so checkpoints are captured once
+    /// per (workload, interval length) across restarts.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"DMDPSMB1");
+        out.extend_from_slice(&self.warmup_intervals.to_le_bytes());
+        out.extend_from_slice(&self.warmup_insns.to_le_bytes());
+        out.extend_from_slice(&self.plan.interval_insns.to_le_bytes());
+        out.extend_from_slice(&self.plan.total_intervals.to_le_bytes());
+        out.extend_from_slice(&self.plan.total_insns.to_le_bytes());
+        out.extend_from_slice(&(self.plan.k as u32).to_le_bytes());
+        out.extend_from_slice(&(self.plan.reps.len() as u32).to_le_bytes());
+        for r in &self.plan.reps {
+            out.extend_from_slice(&r.interval.to_le_bytes());
+            out.extend_from_slice(&r.weight.to_bits().to_le_bytes());
+            out.extend_from_slice(&r.cluster_size.to_le_bytes());
+        }
+        for v in [
+            self.profile_result.retired,
+            self.profile_result.loads,
+            self.profile_result.stores,
+            self.profile_result.branches,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.checkpoints.len() as u32).to_le_bytes());
+        for c in &self.checkpoints {
+            let bytes = c.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Deserializes a bundle produced by [`SampledBundle::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on a bad magic or truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SampledBundle, String> {
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], String> {
+            let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| format!("bundle truncated at byte {at}"))?;
+            let s = &bytes[at..end];
+            at = end;
+            Ok(s)
+        };
+        if take(8)? != b"DMDPSMB1" {
+            return Err("not a dmdp sample bundle (bad magic)".into());
+        }
+        let u32_of = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
+        let u64_of = |s: &[u8]| u64::from_le_bytes(s.try_into().unwrap());
+        let warmup_intervals = u32_of(take(4)?);
+        let warmup_insns = u64_of(take(8)?);
+        let interval_insns = u64_of(take(8)?);
+        let total_intervals = u64_of(take(8)?);
+        let total_insns = u64_of(take(8)?);
+        let k = u32_of(take(4)?) as usize;
+        let n_reps = u32_of(take(4)?) as usize;
+        let mut reps = Vec::with_capacity(n_reps);
+        for _ in 0..n_reps {
+            reps.push(Representative {
+                interval: u64_of(take(8)?),
+                weight: f64::from_bits(u64_of(take(8)?)),
+                cluster_size: u64_of(take(8)?),
+            });
+        }
+        let profile_result = RunResult {
+            retired: u64_of(take(8)?),
+            loads: u64_of(take(8)?),
+            stores: u64_of(take(8)?),
+            branches: u64_of(take(8)?),
+        };
+        let n_ckpts = u32_of(take(4)?) as usize;
+        let mut checkpoints = Vec::with_capacity(n_ckpts);
+        for _ in 0..n_ckpts {
+            let len = u64_of(take(8)?) as usize;
+            checkpoints.push(Checkpoint::from_bytes(take(len)?)?);
+        }
+        if at != bytes.len() {
+            return Err(format!("{} trailing bytes after bundle", bytes.len() - at));
+        }
+        Ok(SampledBundle {
+            warmup_intervals,
+            warmup_insns,
+            plan: SamplePlan { interval_insns, total_intervals, total_insns, k, reps },
+            checkpoints,
+            profile_result,
+        })
+    }
+}
+
+/// The detailed measurement of one representative interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalMeasurement {
+    /// The representative interval's index.
+    pub interval: u64,
+    /// Recombination weight.
+    pub weight: f64,
+    /// Cycles the detailed simulator spent in the measured window.
+    pub cycles: u64,
+    /// Instructions retired in the measured window.
+    pub insns: u64,
+}
+
+/// The recombined estimate of a full run from sampled measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledReport {
+    /// Estimated whole-run IPC.
+    pub ipc: f64,
+    /// Estimated whole-run CPI (`1 / ipc`).
+    pub cpi: f64,
+    /// Estimated whole-run cycle count (`cpi × total_insns`).
+    pub est_cycles: u64,
+    /// Dynamic instructions in the full run (from the profile).
+    pub total_insns: u64,
+    /// Intervals the profile sliced the run into.
+    pub intervals_total: u64,
+    /// Intervals actually simulated in detail.
+    pub intervals_simulated: u64,
+    /// The raw per-representative measurements.
+    pub measurements: Vec<IntervalMeasurement>,
+}
+
+impl SampledReport {
+    /// Signed relative IPC error versus a full-simulation reference,
+    /// as a percentage (`+` = the sample over-estimates IPC).
+    pub fn error_vs(&self, full_ipc: f64) -> f64 {
+        (self.ipc - full_ipc) / full_ipc * 100.0
+    }
+}
+
+/// Folds per-representative measurements into a [`SampledReport`].
+///
+/// Uses the CPI-weighted mean: `CPI_est = Σ wⱼ · cyclesⱼ/insnsⱼ`,
+/// `IPC_est = 1 / CPI_est`. With fixed-instruction intervals the
+/// per-instruction cost is what the weights (instruction fractions)
+/// average linearly; averaging IPC directly would over-weight fast
+/// intervals.
+///
+/// # Panics
+///
+/// Panics if `measurements` is empty or a measurement retired zero
+/// instructions.
+pub fn recombine(plan: &SamplePlan, measurements: Vec<IntervalMeasurement>) -> SampledReport {
+    assert!(!measurements.is_empty(), "cannot recombine zero measurements");
+    let weight_total: f64 = measurements.iter().map(|m| m.weight).sum();
+    let mut cpi = 0.0;
+    for m in &measurements {
+        assert!(m.insns > 0, "measurement of interval {} retired nothing", m.interval);
+        cpi += m.weight / weight_total * (m.cycles as f64 / m.insns as f64);
+    }
+    SampledReport {
+        ipc: 1.0 / cpi,
+        cpi,
+        est_cycles: (cpi * plan.total_insns as f64).round() as u64,
+        total_insns: plan.total_insns,
+        intervals_total: plan.total_intervals,
+        intervals_simulated: measurements.len() as u64,
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdp_isa::asm::assemble;
+
+    fn phased_program() -> Program {
+        // Two phases with very different dependence behaviour: a
+        // store→load ping-pong loop, then a pure ALU loop.
+        assemble(
+            r#"
+                .data
+            buf: .space 64
+                .text
+                li   $1, 200
+                lui  $8, %hi(buf)
+                ori  $8, $8, %lo(buf)
+            mem:
+                sw   $1, 0($8)
+                lw   $2, 0($8)
+                add  $3, $3, $2
+                addi $1, $1, -1
+                bgtz $1, mem
+                li   $1, 200
+            alu:
+                add  $4, $4, $1
+                xor  $5, $5, $4
+                addi $1, $1, -1
+                bgtz $1, alu
+                halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bundle_build_and_round_trip() {
+        let p = phased_program();
+        let params = SampleParams { max_k: 4, ..SampleParams::new(100, 1) };
+        let b = SampledBundle::build(&p, &params).unwrap();
+        assert!(b.plan.k >= 1 && b.plan.reps.len() == b.plan.k);
+        let w: f64 = b.plan.reps.iter().map(|r| r.weight).sum();
+        assert!((w - 1.0).abs() < 1e-9, "weights sum to {w}");
+        assert!(!b.checkpoints.is_empty());
+        assert!(b.checkpoint_bytes() > 0);
+
+        let c = SampledBundle::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(c.plan, b.plan);
+        assert_eq!(c.checkpoints, b.checkpoints);
+        assert_eq!(c.profile_result, b.profile_result);
+        assert!(SampledBundle::from_bytes(&b.to_bytes()[..10]).is_err());
+    }
+
+    #[test]
+    fn rep_runs_cover_their_intervals() {
+        let p = phased_program();
+        let params = SampleParams { max_k: 4, ..SampleParams::new(100, 1) };
+        let b = SampledBundle::build(&p, &params).unwrap();
+        let runs = b.rep_runs();
+        assert_eq!(runs.len(), b.plan.reps.len());
+        for r in &runs {
+            let ckpt = &b.checkpoints[r.ckpt];
+            // The checkpoint plus warmup lands exactly on the rep.
+            assert_eq!(
+                ckpt.result.retired + r.warmup_insns,
+                r.interval * b.plan.interval_insns
+            );
+            assert!(r.measure_insns > 0 && r.measure_insns <= b.plan.interval_insns);
+            // Warmup is at most the resolved window (interval count,
+            // floored at the micro-warmup minimum), clipped to the
+            // instructions before the rep.
+            assert!(r.warmup_insns <= b.warmup_insns);
+            assert_eq!(
+                r.warmup_insns,
+                b.warmup_insns.min(r.interval * b.plan.interval_insns)
+            );
+        }
+    }
+
+    #[test]
+    fn emulated_sampled_cpi_matches_full_for_uniform_cost() {
+        // Measure representatives with the *functional* emulator (1
+        // insn = 1 "cycle"): any weighting must then estimate CPI = 1.
+        let p = phased_program();
+        let params = SampleParams { max_k: 4, ..SampleParams::new(100, 1) };
+        let b = SampledBundle::build(&p, &params).unwrap();
+        let measurements: Vec<IntervalMeasurement> = b
+            .rep_runs()
+            .iter()
+            .map(|r| {
+                let mut e = Emulator::from_checkpoint(&p, &b.checkpoints[r.ckpt]);
+                e.run_insns(r.warmup_insns).unwrap();
+                let before = e.stats().retired;
+                e.run_insns(r.measure_insns).unwrap();
+                IntervalMeasurement {
+                    interval: r.interval,
+                    weight: r.weight,
+                    cycles: r.measure_insns,
+                    insns: e.stats().retired - before,
+                }
+            })
+            .collect();
+        let report = recombine(&b.plan, measurements);
+        assert!((report.cpi - 1.0).abs() < 1e-9);
+        assert_eq!(report.est_cycles, report.total_insns);
+        assert_eq!(report.intervals_total, b.plan.total_intervals);
+        assert!(report.error_vs(1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_separates_the_two_phases() {
+        let p = phased_program();
+        let mut e = Emulator::new(&p);
+        let profile = e.profile_intervals(100, 1_000_000).unwrap();
+        let plan = cluster(&profile, &SampleParams { max_k: 6, ..SampleParams::new(100, 0) });
+        // The memory phase and the ALU phase must not share one
+        // representative.
+        assert!(plan.k >= 2, "k = {}", plan.k);
+        assert_eq!(plan.total_insns, profile.result.retired);
+    }
+}

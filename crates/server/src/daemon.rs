@@ -38,7 +38,10 @@ use std::time::{Duration, Instant};
 
 use dmdp_core::{CoreConfig, SIM_VERSION};
 use dmdp_harness::json::obj;
-use dmdp_harness::{pool, Campaign, JobResult, JobSpec, Json, PlannedImage, StageWall};
+use dmdp_harness::{
+    pool, Campaign, JobResult, JobSpec, Json, PlannedImage, Sampling, SamplingSpec, StageWall,
+};
+use dmdp_sample::SampledBundle;
 use dmdp_obs::log::{next_trace_id, EventLog, Level, Value};
 use dmdp_obs::{Counter, Gauge, LogHistogram};
 use dmdp_workloads::{Scale, Suite};
@@ -540,6 +543,7 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
                                 ("variants", req.variants.len().into()),
                                 ("watch", req.watch.into()),
                                 ("batch_variants", req.batch_variants.into()),
+                                ("sampled", req.sampling.is_some().into()),
                             ],
                         );
                         if let Err(e) = run_submit(shared, &req, &writer, &trace) {
@@ -604,15 +608,77 @@ fn build_jobs(shared: &Shared, req: &SubmitRequest) -> Result<Vec<JobSpec>, Stri
                 continue;
             }
         }
+        let bundle = match req.sampling {
+            Some(s) => Some(resolve_bundle(shared, &w.name, &w.image, s)?),
+            None => None,
+        };
         for &model in &req.models {
             for (label, patch) in &req.variants {
                 let mut cfg = CoreConfig::new(model);
                 patch.apply(&mut cfg);
-                jobs.push(JobSpec::new(&w.name, w.suite, model, req.scale, label, cfg, &w.image));
+                let mut job =
+                    JobSpec::new(&w.name, w.suite, model, req.scale, label, cfg, &w.image);
+                if let (Some(s), Some(b)) = (req.sampling, &bundle) {
+                    job = job.sampled(SamplingSpec { sampling: s, bundle: Arc::clone(b) });
+                }
+                jobs.push(job);
             }
         }
     }
     Ok(jobs)
+}
+
+/// Resolves one workload's sampled bundle: the store's blob side first —
+/// checkpoints are shared across models, requests and restarts, so a
+/// workload is profiled once and every model simulates from the same
+/// checkpoints — else a fresh profile + cluster + checkpoint build whose
+/// bytes are persisted for the next request.
+fn resolve_bundle(
+    shared: &Shared,
+    workload: &str,
+    image: &PlannedImage,
+    sampling: Sampling,
+) -> Result<Arc<SampledBundle>, String> {
+    let digest = sampling.bundle_digest(&image.program);
+    if let Some(bytes) = shared.store.get_blob(&digest) {
+        match SampledBundle::from_bytes(&bytes) {
+            Ok(bundle) => {
+                let bundle = Arc::new(bundle);
+                dmdp_harness::record_bundle(&bundle, 0.0);
+                shared.log.debug(
+                    "bundle_hit",
+                    &[("workload", workload.into()), ("digest", (&digest).into())],
+                );
+                return Ok(bundle);
+            }
+            // A corrupt blob degrades to a rebuild (which re-persists).
+            Err(e) => shared.log.warn(
+                "bundle_corrupt",
+                &[
+                    ("workload", workload.into()),
+                    ("digest", (&digest).into()),
+                    ("error", (&e).into()),
+                ],
+            ),
+        }
+    }
+    let start = Instant::now();
+    let bundle = dmdp_harness::build_bundle(&image.program, sampling)?;
+    if let Err(e) = shared.store.put_blob(&digest, &bundle.to_bytes()) {
+        warn_store_write(shared, &digest, &e);
+    }
+    shared.log.info(
+        "bundle_built",
+        &[
+            ("workload", workload.into()),
+            ("digest", (&digest).into()),
+            ("intervals", bundle.plan.total_intervals.into()),
+            ("reps", bundle.rep_runs().len().into()),
+            ("checkpoint_bytes", bundle.checkpoint_bytes().into()),
+            ("wall_s", start.elapsed().as_secs_f64().into()),
+        ],
+    );
+    Ok(bundle)
 }
 
 /// How a job was satisfied, for events, log lines and stats.
@@ -812,10 +878,11 @@ fn run_submit_inner<W: Write + Send>(
     let build_s = start.elapsed().as_secs_f64();
     // Pool units: one per job, except that consecutive variant jobs of
     // the same (workload, model) form one batch unit when the request
-    // left batching on.
+    // left batching on. Sampled jobs never batch — lockstep measures
+    // full runs only.
     let mut units: Vec<Vec<usize>> = Vec::new();
     for i in 0..specs.len() {
-        if req.batch_variants {
+        if req.batch_variants && specs[i].sampling.is_none() {
             if let Some(unit) = units.last_mut() {
                 let j = unit[0];
                 if specs[j].workload == specs[i].workload && specs[j].model == specs[i].model {
@@ -919,6 +986,7 @@ fn run_submit_inner<W: Write + Send>(
         cached: from_store + from_dedup,
         cache_warning: None,
         trace_id: Some(trace.to_string()),
+        sampling: req.sampling,
         jobs,
     };
     campaign.stages.aggregate_s = agg_start.elapsed().as_secs_f64();

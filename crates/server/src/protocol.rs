@@ -17,7 +17,7 @@ use std::io::{Read, Write};
 
 use dmdp_core::CommModel;
 use dmdp_harness::json::obj;
-use dmdp_harness::{CfgPatch, JobResult, Json};
+use dmdp_harness::{CfgPatch, JobResult, Json, Sampling};
 use dmdp_workloads::Scale;
 
 /// Bumped when the wire format changes incompatibly. The daemon answers
@@ -51,6 +51,10 @@ pub struct SubmitRequest {
     /// digests are identical either way). Defaults to `true`; absent on
     /// the wire means `true`, so old clients get batching for free.
     pub batch_variants: bool,
+    /// Run every job sampled (interval clustering + checkpoint
+    /// fast-forward). Absent on the wire means full simulation, so old
+    /// clients are unaffected.
+    pub sampling: Option<Sampling>,
 }
 
 impl SubmitRequest {
@@ -64,6 +68,7 @@ impl SubmitRequest {
             variants: vec![("main".to_string(), CfgPatch::default())],
             watch: false,
             batch_variants: true,
+            sampling: None,
         }
     }
 }
@@ -164,6 +169,15 @@ impl Request {
                         Json::Arr(kernels.iter().map(|k| Json::Str(k.clone())).collect()),
                     ));
                 }
+                if let Some(s) = req.sampling {
+                    members.push((
+                        "sampling".to_string(),
+                        obj([
+                            ("interval_insns", Json::Num(s.interval_insns as f64)),
+                            ("warmup_intervals", Json::Num(s.warmup_intervals as f64)),
+                        ]),
+                    ));
+                }
                 Json::Obj(members)
             }
         }
@@ -251,6 +265,22 @@ impl Request {
                         ));
                     }
                 }
+                let sampling = match v.get("sampling") {
+                    None => None,
+                    Some(s) => {
+                        let interval_insns = s
+                            .get("interval_insns")
+                            .and_then(Json::as_u64)
+                            .filter(|&n| n > 0)
+                            .ok_or("submit: `sampling.interval_insns` must be positive")?;
+                        let warmup_intervals = s
+                            .get("warmup_intervals")
+                            .and_then(Json::as_u64)
+                            .ok_or("submit: `sampling.warmup_intervals` must be a count")?
+                            as u32;
+                        Some(Sampling { interval_insns, warmup_intervals })
+                    }
+                };
                 Ok(Request::Submit(SubmitRequest {
                     name,
                     scale,
@@ -262,6 +292,7 @@ impl Request {
                         .get("batch_variants")
                         .and_then(Json::as_bool)
                         .unwrap_or(true),
+                    sampling,
                 }))
             }
             Some(other) => Err(format!("unknown request type `{other}`")),
@@ -493,6 +524,11 @@ mod tests {
                 ],
                 watch: true,
                 batch_variants: false,
+                sampling: None,
+            }),
+            Request::Submit(SubmitRequest {
+                sampling: Some(Sampling { interval_insns: 10_000, warmup_intervals: 2 }),
+                ..SubmitRequest::new("sampled", Scale::Full)
             }),
         ];
         for req in reqs {
@@ -513,6 +549,8 @@ mod tests {
             r#"{"type": "submit", "name": "x", "scale": "test", "models": ["warp"]}"#,
             r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "variants": []}"#,
             r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "kernels": [7]}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "sampling": {"interval_insns": 0, "warmup_intervals": 1}}"#,
+            r#"{"type": "submit", "name": "x", "scale": "test", "models": ["dmdp"], "sampling": {"warmup_intervals": 1}}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "accepted: {bad}");
@@ -536,6 +574,7 @@ mod tests {
             panic!("submit should parse");
         };
         assert!(req.batch_variants, "absent field means batching on");
+        assert!(req.sampling.is_none(), "absent field means full simulation");
     }
 
     #[test]

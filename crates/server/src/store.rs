@@ -30,6 +30,9 @@ struct StoreMetrics {
     writes: &'static dmdp_obs::Counter,
     evictions: &'static dmdp_obs::Counter,
     write_us: &'static dmdp_obs::LogHistogram,
+    blob_hits: &'static dmdp_obs::Counter,
+    blob_misses: &'static dmdp_obs::Counter,
+    blob_bytes: &'static dmdp_obs::Counter,
 }
 
 fn store_metrics() -> &'static StoreMetrics {
@@ -48,6 +51,18 @@ fn store_metrics() -> &'static StoreMetrics {
             write_us: r.histogram(
                 "dmdp_store_write_us",
                 "store write+rename latency in microseconds",
+            ),
+            blob_hits: r.counter(
+                "dmdp_store_blob_hits_total",
+                "blob lookups (checkpoint bundles) satisfied from disk",
+            ),
+            blob_misses: r.counter(
+                "dmdp_store_blob_misses_total",
+                "blob lookups that found nothing",
+            ),
+            blob_bytes: r.counter(
+                "dmdp_store_blob_bytes_total",
+                "blob bytes newly persisted (checkpoint bundles)",
             ),
         }
     })
@@ -257,6 +272,64 @@ impl Store {
         m.writes.inc();
         m.write_us.observe(write_start.elapsed().as_micros() as u64);
         self.enforce_cap(&mut index);
+        Ok(true)
+    }
+
+    /// `<root>/<digest[0..2]>/<digest>.ckpt` — the sibling blob path
+    /// (sampled-simulation checkpoint bundles).
+    pub fn blob_path(&self, digest: &str) -> PathBuf {
+        self.root.join(&digest[..2]).join(format!("{digest}.ckpt"))
+    }
+
+    /// Reads a binary blob by digest. Blobs ride the store's sharded
+    /// tree but are *not* index entries: they are never parsed as job
+    /// results, never counted against the LRU cap, and survive
+    /// [`Store::get`]'s corruption sweep untouched.
+    pub fn get_blob(&self, digest: &str) -> Option<Vec<u8>> {
+        let m = store_metrics();
+        if !valid_digest(digest) {
+            m.blob_misses.inc();
+            return None;
+        }
+        match std::fs::read(self.blob_path(digest)) {
+            Ok(bytes) => {
+                m.blob_hits.inc();
+                Some(bytes)
+            }
+            Err(_) => {
+                m.blob_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Persists a blob under its digest (atomic tmp + rename, like
+    /// [`Store::put`]). Returns `true` if newly written, `false` if
+    /// already present — equal digests mean equal bytes, so either
+    /// writer's outcome is interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, stringified; an invalid digest is rejected.
+    pub fn put_blob(&self, digest: &str, bytes: &[u8]) -> Result<bool, String> {
+        if !valid_digest(digest) {
+            return Err(format!("store: invalid blob digest `{digest}`"));
+        }
+        let path = self.blob_path(digest);
+        if path.exists() {
+            return Ok(false);
+        }
+        let dir = path.parent().expect("store paths have a shard directory");
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        // Temporary names contain `.tmp`, so a crashed blob write is
+        // swept by the same startup pass that cleans result temporaries.
+        let tmp = dir.join(format!(
+            "{digest}.ckpt.tmp.{}",
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+        store_metrics().blob_bytes.add(bytes.len() as u64);
         Ok(true)
     }
 

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use dmdp_core::CommModel;
-use dmdp_harness::{CfgPatch, Json};
+use dmdp_harness::{CfgPatch, Json, Sampling};
 use dmdp_server::{serve, Client, DaemonReport, ServeOptions, SubmitRequest};
 use dmdp_workloads::Scale;
 
@@ -437,6 +437,99 @@ fn metrics_are_exposed_over_http_and_protocol_during_a_live_sweep() {
     assert!(dmdp_server::scrape_metrics_tcp(&addr).is_ok());
     client.shutdown().unwrap();
     daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sampled_submits_share_one_bundle_through_the_store() {
+    let dir = tmp_dir("sampled");
+    let opts = serve_opts(&dir);
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+
+    let sampling = Sampling { interval_insns: 1000, warmup_intervals: 2 };
+    let sampled_req = |name: &str| SubmitRequest {
+        kernels: Some(vec!["lib".into()]),
+        models: vec![CommModel::Baseline, CommModel::Dmdp],
+        sampling: Some(sampling),
+        ..SubmitRequest::new(name, Scale::Test)
+    };
+    let cold = client.submit(&sampled_req("sampled-cold"), |_| {}).unwrap();
+    assert_eq!(cold.jobs.len(), 2);
+    assert_eq!(cold.executed, 2);
+    assert_eq!(cold.sampling, Some(sampling), "artifact carries the sampling knobs");
+    assert!(cold.jobs.iter().all(|j| j.sampled && j.intervals_simulated > 0));
+
+    // One workload, two models — the bundle is profiled once and both
+    // models simulate from the same persisted checkpoints.
+    let ckpt_blobs = || {
+        let mut n = 0;
+        for dir in std::fs::read_dir(&opts.store_dir).unwrap().flatten() {
+            if let Ok(files) = std::fs::read_dir(dir.path()) {
+                n += files
+                    .flatten()
+                    .filter(|f| f.path().extension().is_some_and(|e| e == "ckpt"))
+                    .count();
+            }
+        }
+        n
+    };
+    assert_eq!(ckpt_blobs(), 1, "exactly one checkpoint bundle persisted");
+
+    // A second identical sampled submit is pure store hits.
+    let warm = client.submit(&sampled_req("sampled-warm"), |_| {}).unwrap();
+    assert_eq!(warm.executed, 0);
+    assert_eq!(warm.cached, 2);
+
+    // The full (unsampled) submit of the same kernels has disjoint
+    // digests — sampled results never shadow full results.
+    let full = client
+        .submit(
+            &SubmitRequest {
+                kernels: Some(vec!["lib".into()]),
+                models: vec![CommModel::Baseline, CommModel::Dmdp],
+                ..SubmitRequest::new("full", Scale::Test)
+            },
+            |_| {},
+        )
+        .unwrap();
+    assert_eq!(full.executed, 2, "full runs are not satisfied by sampled results");
+    for (s, f) in cold.jobs.iter().zip(&full.jobs) {
+        assert_ne!(s.digest, f.digest);
+        assert!(!f.sampled);
+    }
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+
+    // A restarted daemon reuses the persisted bundle: a new variant
+    // forces fresh job digests, but the profile/checkpoint pass is a
+    // blob hit, not a rebuild.
+    let daemon = std::thread::spawn({
+        let opts = opts.clone();
+        move || serve(&opts).unwrap()
+    });
+    let mut client = connect(&opts.socket);
+    let rerun = client
+        .submit(
+            &SubmitRequest {
+                variants: vec![("rob48".into(), CfgPatch { rob: Some(48), ..CfgPatch::default() })],
+                ..sampled_req("sampled-variant")
+            },
+            |_| {},
+        )
+        .unwrap();
+    assert_eq!(rerun.executed, 2);
+    assert_eq!(ckpt_blobs(), 1, "restart reused the persisted bundle");
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let count = |ev: &str| events.lines().filter(|l| l.contains(ev)).count();
+    assert_eq!(count("bundle_built"), 1, "one fresh bundle build across both daemons");
+    assert!(count("bundle_hit") >= 1, "the restarted daemon hit the blob store");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -101,6 +101,35 @@ fn concurrent_writers_of_one_digest_agree() {
 }
 
 #[test]
+fn blobs_ride_the_tree_without_joining_the_index() {
+    let dir = tmp_dir("blobs");
+    let store = Store::open(&dir, None).unwrap();
+    let digest = "00c0ffee00c0ffee";
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+    assert!(store.get_blob(digest).is_none(), "miss before put");
+    assert!(store.put_blob(digest, &payload).unwrap(), "first put writes");
+    assert!(!store.put_blob(digest, &payload).unwrap(), "second put is a no-op");
+    assert_eq!(store.get_blob(digest).unwrap(), payload);
+    assert!(store.put_blob("not a digest!!", &payload).is_err());
+    assert!(store.get_blob("not a digest!!").is_none());
+    // Blobs are invisible to the result index and its byte accounting.
+    assert!(store.is_empty(), "blobs are not index entries");
+    assert_eq!(store.stats().bytes, 0, "blob bytes never count against the LRU cap");
+    drop(store);
+
+    // Blobs survive a reopen (still outside the index), and a crashed
+    // blob writer's temporary is swept by the same startup pass that
+    // cleans result temporaries.
+    let tmp = dir.join(&digest[..2]).join(format!("{digest}.ckpt.tmp.3"));
+    std::fs::write(&tmp, b"half a blob").unwrap();
+    let reopened = Store::open(&dir, None).unwrap();
+    assert!(!tmp.exists(), "blob temporaries are swept on startup");
+    assert_eq!(reopened.len(), 0);
+    assert_eq!(reopened.get_blob(digest).unwrap(), payload);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn size_cap_evicts_least_recently_used() {
     let dir = tmp_dir("lru");
     let results: Vec<JobResult> = [

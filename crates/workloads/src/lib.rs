@@ -53,6 +53,10 @@ pub enum Scale {
     Small,
     /// Hundreds of thousands — the benchmark harness default.
     Full,
+    /// Tens of millions — 10× `Full`; full detailed simulation at this
+    /// scale is painfully slow by design, it exists to exercise the
+    /// sampled-simulation pipeline (checkpoint fast-forward).
+    Huge,
 }
 
 impl Scale {
@@ -62,6 +66,7 @@ impl Scale {
             Scale::Test => 64,
             Scale::Small => 512,
             Scale::Full => 4096,
+            Scale::Huge => 40960,
         }
     }
 
@@ -71,6 +76,7 @@ impl Scale {
             Scale::Test => "test",
             Scale::Small => "small",
             Scale::Full => "full",
+            Scale::Huge => "huge",
         }
     }
 
@@ -80,6 +86,7 @@ impl Scale {
             "test" => Some(Scale::Test),
             "small" => Some(Scale::Small),
             "full" => Some(Scale::Full),
+            "huge" => Some(Scale::Huge),
             _ => None,
         }
     }
@@ -220,6 +227,14 @@ mod tests {
         let r1 = e1.run(100_000_000).unwrap();
         let r2 = e2.run(100_000_000).unwrap();
         assert!(r2.retired > r1.retired);
+    }
+
+    #[test]
+    fn huge_scale_parses_and_is_ten_x_full() {
+        assert_eq!(Scale::from_name("huge"), Some(Scale::Huge));
+        assert_eq!(Scale::Huge.name(), "huge");
+        assert!(Scale::Huge.iterations() >= 10 * Scale::Full.iterations());
+        assert!(Scale::Huge.iterations() >= 40960);
     }
 
     #[test]

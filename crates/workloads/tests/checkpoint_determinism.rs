@@ -1,0 +1,48 @@
+//! Checkpoint determinism over every kernel: capture → serialize →
+//! restore → resume must reproduce the uncheckpointed run
+//! bit-identically — same `RunResult`, same final architectural state —
+//! for each of the 21 workloads at test scale. (That the *detailed*
+//! pipeline seeded from a checkpoint matches its golden stats is pinned
+//! separately in `dmdp-core`.)
+
+use dmdp_isa::{Checkpoint, Emulator, StopReason};
+use dmdp_workloads::{all, Scale};
+
+#[test]
+fn every_kernel_checkpoint_round_trips() {
+    for w in all(Scale::Test) {
+        let mut full = Emulator::new(&w.program);
+        let full_result = full.run(50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+        // Capture mid-run at roughly one third of the dynamic stream.
+        let at = (full_result.retired / 3).max(1);
+        let mut front = Emulator::new(&w.program);
+        assert_eq!(
+            front.run_insns(at).unwrap_or_else(|e| panic!("{}: {e}", w.name)),
+            StopReason::BudgetExhausted,
+            "{}: checkpoint boundary fell past the end",
+            w.name
+        );
+        let ckpt = front.checkpoint();
+        assert_eq!(ckpt.result.retired, at, "{}", w.name);
+
+        // Serialization round-trip preserves content and digest.
+        let restored = Checkpoint::from_bytes(&ckpt.to_bytes())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(restored, ckpt, "{}", w.name);
+        assert_eq!(restored.digest(), ckpt.digest(), "{}", w.name);
+
+        // Resume from the restored checkpoint: bit-identical run.
+        let mut resumed = Emulator::from_checkpoint(&w.program, &restored);
+        let resumed_result =
+            resumed.run(50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(resumed_result, full_result, "{}: RunResult diverged", w.name);
+        assert_eq!(resumed.regs(), full.regs(), "{}: registers diverged", w.name);
+        assert_eq!(resumed.pc(), full.pc(), "{}: PC diverged", w.name);
+
+        // Recapturing at the same boundary yields the same digest.
+        let mut again = Emulator::new(&w.program);
+        again.run_insns(at).unwrap();
+        assert_eq!(again.checkpoint().digest(), ckpt.digest(), "{}: digest unstable", w.name);
+    }
+}

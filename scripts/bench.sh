@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory recorder: runs the simulator-throughput bench plus a
-# timed test-scale campaign and appends one record to BENCH_PR8.json.
+# timed test-scale campaign and appends one record to BENCH_PR9.json.
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
@@ -24,14 +24,23 @@
 # the test-scale smoke campaign min-of-3 cold and compares
 # host-normalised wall (wall × calib Mops) against the last PR-7 record
 # — target ratio <= 1.02 (metrics must cost under 2% wall).
+#
+# Since PR 9 campaigns can run sampled (SimPoint-style interval
+# clustering + checkpoint fast-forward); the `sampled_speedup` block
+# runs the kernel matrix at the largest common scale (huge) both
+# full-detail and sampled (default knobs: 10000-insn intervals, 1
+# warmup interval) and records the wall ratio (target: >= 5x) plus the
+# geomean/max |IPC error| of the sampled estimates. One kernel
+# (zeusmp) is held out of the A/B and simulated sampled-only at huge —
+# the scale-beyond-budget use case sampling exists for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr8}"
+label="${1:-pr9}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR8.json
-prev=BENCH_PR7.json
+out=BENCH_PR9.json
+prev=BENCH_PR8.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -130,6 +139,50 @@ if [ -s "$prev" ]; then
         end' "$prev")
 fi
 
+# Sampled-vs-full A/B at the largest common scale. Every kernel but
+# the hold-out runs both ways at Scale::Huge, all four models;
+# `dmdp report --error-vs --json` folds the two artifacts into wall
+# times and per-row IPC errors. `--force` defeats the digest cache on
+# both sides so the walls are honest.
+samp_kernels=""
+for k in Gems astar bwaves bzip2 gcc gobmk gromacs h264ref hmmer lbm \
+         leslie3d lib mcf milc namd perl sjeng sphinx3 tonto wrf; do
+    samp_kernels="$samp_kernels --kernel $k"
+done
+# shellcheck disable=SC2086
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name bench-huge-full --scale huge --model all \
+    $samp_kernels --force --quiet \
+    --out bench-results/bench-huge-full.json >/dev/null
+# shellcheck disable=SC2086
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name bench-huge-samp --scale huge --model all \
+    $samp_kernels --sampled --force --quiet \
+    --out bench-results/bench-huge-samp.json >/dev/null
+sampled_ab=$(cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    report bench-results/bench-huge-samp.json \
+    --error-vs bench-results/bench-huge-full.json --json)
+
+# The hold-out kernel, sampled-only: no full-detail huge run of zeusmp
+# exists anywhere in this record — its IPC estimates come from sampling
+# alone.
+so_t0=$(date +%s.%N)
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name bench-huge-only --scale huge --model all \
+    --kernel zeusmp --sampled --force --quiet \
+    --out bench-results/bench-huge-sampled-only.json >/dev/null
+so_t1=$(date +%s.%N)
+so_wall=$(awk -v a="$so_t0" -v b="$so_t1" 'BEGIN { printf "%.3f", b - a }')
+sampled_speedup=$(jq --argjson so_wall "$so_wall" \
+    '{scale: "huge", kernels: 20, models: "all",
+      interval_insns: 10000, warmup_intervals: 1,
+      sampled_wall_s: .sampled_wall_s, full_wall_s: .full_wall_s,
+      ratio: .wall_speedup, target: "ratio >= 5",
+      geomean_abs_error_pct: .geomean_abs_error_pct,
+      max_abs_error_pct: .max_abs_error_pct,
+      sampled_only: {kernel: "zeusmp", scale: "huge", wall_s: $so_wall}}' \
+    <<<"$sampled_ab")
+
 record=$(jq -n \
     --arg lbl "$label" \
     --arg date "$(date -u +%F)" \
@@ -140,14 +193,16 @@ record=$(jq -n \
     --argjson sbs "$sweep_batch_speedup" \
     --argjson hns "$host_norm_speedup" \
     --argjson mo "$metrics_overhead" \
+    --argjson ss "$sampled_speedup" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
       "sweep_batch_speedup": $sbs,
       "host_norm_speedup": $hns,
       "metrics_overhead": $mo,
+      "sampled_speedup": $ss,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"
 jq --argjson rec "$record" '. + [$rec]' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
 
-echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s, sweep batched ${sweep_on_s}s vs jpv ${sweep_off_s}s)"
+echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s, sweep batched ${sweep_on_s}s vs jpv ${sweep_off_s}s, sampled A/B $(jq -r '.ratio | . * 100 | round / 100' <<<"$sampled_speedup")x)"

@@ -69,6 +69,34 @@ jq -e 'type == "array" and length > 0 and all(has("cycle") and has("ipc"))' \
 cargo run --release -q -p dmdp-bench --bin dmdp -- report "$out" \
     | grep -q "IPC by workload"
 
+# Sampled-simulation smoke: profile + cluster + sampled run of one
+# kernel at test scale next to its full-detail run. The error table
+# must be well-formed and every model's |sampled − full| IPC error must
+# stay within 2%. (mcf at these knobs sits under 0.2% — the 2% gate is
+# the acceptance bound, not the expectation.)
+samp_full=bench-results/ci-sampled-full.json
+samp_est=bench-results/ci-sampled.json
+rm -f "$samp_full" "$samp_est"
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name ci-sampled-full --scale test --model all \
+    --kernel mcf --force --quiet --out "$samp_full"
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    campaign --name ci-sampled --scale test --model all \
+    --kernel mcf --sampled --interval-insns 1000 --warmup-intervals 2 \
+    --force --quiet --out "$samp_est"
+cargo run --release -q -p dmdp-bench --bin dmdp -- \
+    report "$samp_est" --error-vs "$samp_full" --json \
+    | jq -e '
+        .type == "sampled_error"
+        and .rows_compared == 4
+        and (.rows | length == 4)
+        and (.rows | all(has("workload") and has("model")
+                         and has("sampled_ipc") and has("full_ipc")
+                         and has("error_pct")))
+        and ([.rows[].error_pct | fabs] | max) <= 2
+    ' >/dev/null \
+    || { echo "ci: FAIL: sampled-vs-full IPC error exceeds 2% (or malformed table)"; exit 1; }
+
 # Sweep-batching smoke: one multi-variant sizing sweep run twice — as
 # batched lockstep units and job-per-variant — must produce identical
 # per-variant numbers (digest, cycles, IPC). The sb64 upsize exercises
@@ -195,4 +223,4 @@ if "$dmdp_bin" submit --socket "$serve_sock" --ping 2>/dev/null; then
     exit 1
 fi
 
-echo "ci: build + tests + smoke campaign + probe artifacts + sweep batching + daemon/metrics smoke OK ($out)"
+echo "ci: build + tests + smoke campaign + probe artifacts + sampled smoke + sweep batching + daemon/metrics smoke OK ($out)"
