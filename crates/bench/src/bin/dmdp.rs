@@ -25,6 +25,7 @@ SUBCOMMANDS:
     run          Simulate one workload (or an .s/.img file) and print a report
     campaign     Run a parallel experiment campaign, write a JSON artifact
     serve        Run a campaign daemon with a persistent result store
+    worker       Run one shard of a sharded daemon (see `dmdp serve --workers`)
     submit       Submit a campaign to a running daemon, save the artifact
     metrics      Fetch a running daemon's metrics snapshot (JSON or Prometheus)
     top          Live view of a daemon's metrics as refreshing deltas and rates
@@ -132,7 +133,23 @@ OPTIONS:
     --log-level <L>   debug | info | warn | error     [default: info]
     --slow-job-ms <N> warn (slow_job event) about executed jobs whose
                       simulation wall clock reaches N milliseconds
+    --workers <N>     spawn N `dmdp worker` shard processes with disjoint
+                      core-affinity hints and dispatch job groups to
+                      them (implies --tcp 127.0.0.1:0 if --tcp is unset)
+    --accept-workers  accept externally started `dmdp worker --connect`
+                      registrations without spawning any
+    --worker-exe <BIN>
+                      binary to spawn for --workers  [default: this dmdp]
     -h, --help        print this help
+
+With --workers (or --accept-workers plus external `dmdp worker`
+processes) the daemon becomes a coordinator: job groups are placed on
+the least-loaded registered worker, every worker runs its own thread
+pool and resident workload images, and the store directory is the only
+shared state — so sharded artifacts stay byte-compatible with
+single-process ones. A worker that dies mid-group has its unfinished
+digests requeued; a restarted worker re-registers and re-syncs its
+store view lazily.
 
 The daemon keeps workload images and µop plan caches resident across
 requests, persists every job result under its content digest
@@ -146,6 +163,37 @@ text exposition of the process metrics registry; `dmdp metrics` and
 `dmdp top` read the same registry over the NDJSON protocol. Each
 request gets a trace id, logged with its events and embedded in the
 artifact, so artifacts grep back to their daemon-side event lines.
+";
+
+const WORKER_HELP: &str = "\
+dmdp worker — one shard of a sharded `dmdp serve`
+
+USAGE:
+    dmdp worker --connect HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --connect <ADDR>  coordinator TCP address (required; the address
+                      `dmdp serve --tcp` printed in its listening event)
+    --store <DIR>     shared result store directory  [default: dmdp-store]
+                      must be the same directory the coordinator uses
+    --jobs <N>        runner threads   [default: one per --cores core]
+    --cores <LIST>    comma-separated cores to pin to (best-effort),
+                      e.g. --cores 0,1
+    --name <NAME>     worker name, labels its coordinator metrics
+                                                     [default: worker]
+    --connect-retries <N>
+                      transient connect failures to retry with capped
+                      exponential backoff            [default: 10]
+    --quiet           suppress per-group log lines
+    -h, --help        print this help
+
+The worker registers over the daemon protocol (protocol and simulator
+versions must match), executes dispatched job groups against its own
+resident workload images, checks the shared store before simulating
+each member, and heartbeats while idle. It exits when the coordinator
+drains it (after `dmdp submit --shutdown`) or hangs up. Normally spawned
+by `dmdp serve --workers N`; run it by hand to add shards from other
+terminals or hosts that share the store directory.
 ";
 
 const METRICS_HELP: &str = "\
@@ -185,6 +233,8 @@ OPTIONS:
 Counters show totals plus per-second rates over the last interval,
 histograms show the window's observation rate and approximate p50/p99
 from log2-bucket deltas, and gauges show their instantaneous level.
+Against a sharded daemon a WORKERS table summarises each registered
+worker's in-flight groups and dispatch totals from its labelled series.
 ";
 
 const SUBMIT_HELP: &str = "\
@@ -216,6 +266,10 @@ OPTIONS:
                       daemon persists each workload's checkpoint bundle
                       in its store and shares it across models, requests
                       and restarts
+    --connect-retries <N>
+                      transient connect failures (daemon still binding
+                      its socket, backlog resets) to retry with capped
+                      exponential backoff             [default: 3]
     --stats           print daemon statistics and exit
     --shutdown        drain the daemon and stop it
     --ping            liveness check
@@ -281,6 +335,7 @@ fn main() -> ExitCode {
         Some("run") => helped(&args[1..], RUN_HELP, cmd_run),
         Some("campaign") => helped(&args[1..], CAMPAIGN_HELP, cmd_campaign),
         Some("serve") => helped(&args[1..], SERVE_HELP, cmd_serve),
+        Some("worker") => helped(&args[1..], WORKER_HELP, cmd_worker),
         Some("submit") => helped(&args[1..], SUBMIT_HELP, cmd_submit),
         Some("metrics") => helped(&args[1..], METRICS_HELP, cmd_metrics),
         Some("top") => helped(&args[1..], TOP_CMD_HELP, cmd_top),
@@ -757,6 +812,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
         log: None,
         log_level: dmdp_obs::log::Level::Info,
         slow_job_ms: None,
+        workers: 0,
+        accept_workers: false,
+        worker_exe: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -787,10 +845,69 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 opts.slow_job_ms =
                     Some(val()?.parse().map_err(|e| format!("--slow-job-ms: {e}"))?);
             }
+            "--workers" => {
+                opts.workers = val()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--accept-workers" => opts.accept_workers = true,
+            "--worker-exe" => opts.worker_exe = Some(PathBuf::from(val()?)),
             other => return Err(format!("unknown option `{other}` (see `dmdp serve --help`)").into()),
         }
     }
+    if opts.workers > 0 && opts.tcp.is_none() {
+        // Spawned workers dial back over TCP; an ephemeral loopback port
+        // (printed in the `listening` event) keeps the flag optional.
+        opts.tcp = Some("127.0.0.1:0".to_string());
+    }
     serve(&opts)?;
+    Ok(())
+}
+
+fn cmd_worker(args: &[String]) -> CliResult {
+    let mut opts = dmdp_server::WorkerOptions {
+        connect: String::new(),
+        store_dir: PathBuf::from("dmdp-store"),
+        jobs: 0, // 0 = one thread per affinity core
+        cores: Vec::new(),
+        name: "worker".to_string(),
+        connect_retries: 10,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--connect" => opts.connect = val()?,
+            "--store" => opts.store_dir = PathBuf::from(val()?),
+            "--jobs" => {
+                opts.jobs = val()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--cores" => {
+                for part in val()?.split(',').filter(|p| !p.is_empty()) {
+                    opts.cores.push(part.parse().map_err(|e| format!("--cores `{part}`: {e}"))?);
+                }
+            }
+            "--name" => opts.name = val()?,
+            "--connect-retries" => {
+                opts.connect_retries =
+                    val()?.parse().map_err(|e| format!("--connect-retries: {e}"))?;
+            }
+            "--quiet" => opts.quiet = true,
+            other => {
+                return Err(format!("unknown option `{other}` (see `dmdp worker --help`)").into())
+            }
+        }
+    }
+    if opts.connect.is_empty() {
+        return Err("dmdp worker needs --connect HOST:PORT (see `dmdp worker --help`)".into());
+    }
+    let report = dmdp_server::run_worker(&opts)?;
+    println!(
+        "worker `{}` done: {} groups, {} executed, {} store hits",
+        opts.name, report.groups, report.executed, report.store_hits
+    );
     Ok(())
 }
 
@@ -803,6 +920,7 @@ struct SubmitOpts {
     variants: Vec<(String, CfgPatch)>,
     out: Option<PathBuf>,
     quiet: bool,
+    connect_retries: u32,
     mode: SubmitMode,
 }
 
@@ -823,6 +941,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
         variants: Vec::new(),
         out: None,
         quiet: false,
+        connect_retries: 3,
         mode: SubmitMode::Campaign,
     };
     let mut sampling = SamplingFlags::default();
@@ -854,6 +973,10 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
                 sampling.warmup_intervals =
                     Some(val()?.parse().map_err(|e| format!("--warmup-intervals: {e}"))?);
             }
+            "--connect-retries" => {
+                o.connect_retries =
+                    val()?.parse().map_err(|e| format!("--connect-retries: {e}"))?;
+            }
             "--stats" => o.mode = SubmitMode::Stats,
             "--shutdown" => o.mode = SubmitMode::Shutdown,
             "--ping" => o.mode = SubmitMode::Ping,
@@ -879,8 +1002,8 @@ fn parse_submit(args: &[String]) -> Result<SubmitOpts, String> {
 fn cmd_submit(args: &[String]) -> CliResult {
     let o = parse_submit(args)?;
     let mut client = match &o.tcp {
-        Some(addr) => Client::connect_tcp(addr)?,
-        None => Client::connect_unix(&o.socket)?,
+        Some(addr) => Client::connect_tcp_retry(addr, o.connect_retries)?,
+        None => Client::connect_unix_retry(&o.socket, o.connect_retries)?,
     };
     match o.mode {
         SubmitMode::Ping => {
@@ -1068,6 +1191,14 @@ fn fmt_si(v: f64) -> String {
     }
 }
 
+/// The `worker` label value of a series key like
+/// `dmdp_dispatch_total{worker="w0"}`, if it carries one.
+fn worker_label(key: &str) -> Option<String> {
+    let (_, rest) = key.split_once("{worker=\"")?;
+    let (name, _) = rest.split_once('"')?;
+    Some(name.to_string())
+}
+
 fn render_top_frame(
     rows: &[TopRow],
     prev: Option<&std::collections::HashMap<String, TopRow>>,
@@ -1091,6 +1222,34 @@ fn render_top_frame(
     let _ = writeln!(out, "\n{:<52} {:>10}", "GAUGES", "VALUE");
     for r in rows.iter().filter(|r| r.kind == "gauge") {
         let _ = writeln!(out, "{:<52} {:>10}", r.key, fmt_si(r.value));
+    }
+    // Per-worker summary of a sharded daemon, folded from the
+    // `{worker="..."}`-labelled series.
+    let mut workers: std::collections::BTreeMap<String, (f64, f64, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for r in rows {
+        let Some(name) = worker_label(&r.key) else { continue };
+        let entry = workers.entry(name).or_insert((0.0, 0.0, None));
+        if r.key.starts_with("dmdp_worker_inflight") {
+            entry.0 = r.value;
+        } else if r.key.starts_with("dmdp_dispatch_total") {
+            entry.1 = r.value;
+            entry.2 = prev.and_then(|p| p.get(&r.key)).map(|p| p.value);
+        }
+    }
+    if !workers.is_empty() {
+        let _ =
+            writeln!(out, "\n{:<30} {:>10} {:>12} {:>10}", "WORKERS", "INFLIGHT", "DISPATCHED", "RATE");
+        for (name, (inflight, dispatched, then)) in &workers {
+            let _ = writeln!(
+                out,
+                "{:<30} {:>10} {:>12} {:>10}",
+                name,
+                fmt_si(*inflight),
+                fmt_si(*dispatched),
+                rate(*dispatched, *then)
+            );
+        }
     }
     let _ = writeln!(
         out,

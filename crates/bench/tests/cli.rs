@@ -436,3 +436,217 @@ fn report_fails_on_missing_or_malformed_artifact() {
     assert!(stderr(&out).contains("schema"), "{}", stderr(&out));
     std::fs::remove_file(&bad).ok();
 }
+
+/// Events from a daemon JSONL log with a given `event` value.
+fn events_named(log: &std::path::Path, name: &str) -> Vec<dmdp_harness::Json> {
+    std::fs::read_to_string(log)
+        .unwrap_or_default()
+        .lines()
+        .filter_map(|l| dmdp_harness::Json::parse(l).ok())
+        .filter(|v| v.get("event").and_then(dmdp_harness::Json::as_str) == Some(name))
+        .collect()
+}
+
+/// True while `pid` names a live process.
+fn pid_alive(pid: u64) -> bool {
+    std::process::Command::new("kill")
+        .args(["-0", &pid.to_string()])
+        .stderr(std::process::Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+#[test]
+fn sharded_serve_matches_single_process_artifacts() {
+    let dir = temp("sharded");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("dmdp.sock");
+    let events = dir.join("events.jsonl");
+    let local = dir.join("local.json");
+    let remote = dir.join("remote.json");
+    let remote2 = dir.join("remote2.json");
+
+    // Golden reference: the same sweep fully in-process.
+    let spec: &[&str] =
+        &["--name", "sharded", "--scale", "test", "--kernel", "lib", "--kernel", "hmmer", "--quiet"];
+    let out = dmdp(&[&["campaign"], spec, &["--force", "--out", local.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // A coordinator with two spawned worker shards (--tcp implied).
+    let child = Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            dir.join("store").to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--workers",
+            "2",
+            "--log",
+            events.to_str().unwrap(),
+            "--log-level",
+            "debug",
+        ])
+        .current_dir(std::env::temp_dir())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while events_named(&events, "worker_registered").len() < 2 {
+        assert!(std::time::Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The submitted artifact must be byte-equal on digests and numbers.
+    let submit: &[&str] =
+        &["submit", "--socket", socket.to_str().unwrap(), "--connect-retries", "5"];
+    let out = dmdp(&[submit, spec, &["--out", remote.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(job_triples(&local), job_triples(&remote), "sharded results diverge from local");
+    assert_eq!(deterministic_report(&local), deterministic_report(&remote));
+
+    // Work actually went through the shards, and the repeat is all
+    // store hits.
+    assert!(!events_named(&events, "dispatch").is_empty(), "no groups were dispatched");
+    let out = dmdp(&[submit, spec, &["--out", remote2.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 executed, 8 cached"), "{}", stdout(&out));
+    assert_eq!(job_triples(&remote), job_triples(&remote2));
+
+    // Shutdown drains the workers too: clean exit, no orphans.
+    let worker_pids: Vec<u64> = events_named(&events, "worker_spawned")
+        .iter()
+        .filter_map(|v| v.get("pid").and_then(dmdp_harness::Json::as_u64))
+        .collect();
+    assert_eq!(worker_pids.len(), 2, "two workers were spawned");
+    let out = dmdp(&[submit, &["--shutdown"]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let status = child.0.wait().expect("coordinator reaps");
+    assert!(status.success(), "coordinator exited with {status}");
+    for pid in worker_pids {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pid_alive(pid) {
+            assert!(std::time::Instant::now() < deadline, "worker {pid} left running");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_worker_mid_campaign_loses_no_jobs() {
+    let dir = temp("crash");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("dmdp.sock");
+    let events = dir.join("events.jsonl");
+    let local = dir.join("local.json");
+    let remote = dir.join("remote.json");
+
+    let spec: &[&str] = &["--name", "crash", "--scale", "test", "--model", "dmdp", "--quiet"];
+    let out = dmdp(&[&["campaign"], spec, &["--force", "--out", local.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let child = Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            dir.join("store").to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--workers",
+            "2",
+            "--log",
+            events.to_str().unwrap(),
+            "--log-level",
+            "debug",
+        ])
+        .current_dir(std::env::temp_dir())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while events_named(&events, "worker_registered").len() < 2 {
+        assert!(std::time::Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Submit the full 21-kernel sweep in the background, and SIGKILL the
+    // worker holding the first dispatched group as soon as it appears.
+    let submit_child = Command::new(env!("CARGO_BIN_EXE_dmdp"))
+        .args(
+            [
+                &["submit", "--socket", socket.to_str().unwrap()],
+                spec,
+                &["--out", remote.to_str().unwrap()],
+            ]
+            .concat(),
+        )
+        .current_dir(std::env::temp_dir())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("submit spawns");
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let victim_name = loop {
+        if let Some(d) = events_named(&events, "dispatch").first() {
+            break d.get("worker").and_then(dmdp_harness::Json::as_str).unwrap().to_string();
+        }
+        assert!(std::time::Instant::now() < deadline, "no dispatch before the deadline");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    let victim_pid = events_named(&events, "worker_spawned")
+        .iter()
+        .find(|v| v.get("name").and_then(dmdp_harness::Json::as_str) == Some(victim_name.as_str()))
+        .and_then(|v| v.get("pid").and_then(dmdp_harness::Json::as_u64))
+        .expect("victim's spawn event carries its pid");
+    std::process::Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("kill runs");
+
+    // The submit still completes, with every job accounted for exactly
+    // once and digits identical to the single-process golden run.
+    let out = submit_child.wait_with_output().expect("submit finishes");
+    assert!(
+        out.status.success(),
+        "submit failed after worker crash: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(job_triples(&local), job_triples(&remote), "crash recovery changed results");
+    let text = std::fs::read_to_string(&remote).unwrap();
+    let v = dmdp_harness::Json::parse(&text).unwrap();
+    let jobs = v.get("jobs").and_then(dmdp_harness::Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 21);
+    let mut digests: Vec<&str> = jobs
+        .iter()
+        .map(|j| j.get("digest").and_then(dmdp_harness::Json::as_str).unwrap())
+        .collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), 21, "a digest landed twice");
+
+    // The coordinator noticed the death and kept serving on the
+    // remaining shard (or in-process). (The victim stays a zombie until
+    // the coordinator reaps it at shutdown, so no liveness probe here.)
+    let lost = events_named(&events, "worker_lost").len()
+        + events_named(&events, "worker_gone").len();
+    assert!(lost >= 1, "the coordinator never noticed the dead worker");
+
+    let out = dmdp(&["submit", "--socket", socket.to_str().unwrap(), "--shutdown"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let status = child.0.wait().expect("coordinator reaps");
+    assert!(status.success(), "coordinator exited with {status}");
+    std::fs::remove_dir_all(&dir).ok();
+}

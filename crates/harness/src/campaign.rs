@@ -209,24 +209,9 @@ impl CampaignSpec {
         // Sampled jobs never batch: each runs its own representative
         // intervals from shared checkpoints, and the lockstep engine
         // measures full runs only.
-        let mut units: Vec<Vec<usize>> = Vec::new();
-        for i in 0..specs.len() {
-            if opts.batch_variants && cached[i].is_none() && specs[i].sampling.is_none() {
-                if let Some(unit) = units.last_mut() {
-                    let j = unit[0];
-                    if cached[j].is_none()
-                        && specs[j].sampling.is_none()
-                        && specs[j].workload == specs[i].workload
-                        && specs[j].model == specs[i].model
-                        && Arc::ptr_eq(&specs[j].program, &specs[i].program)
-                    {
-                        unit.push(i);
-                        continue;
-                    }
-                }
-            }
-            units.push(vec![i]);
-        }
+        let units = crate::group::partition_units(&specs, |i| {
+            opts.batch_variants && cached[i].is_none() && specs[i].sampling.is_none()
+        });
 
         let to_run = cached.iter().filter(|c| c.is_none()).count();
         let started = AtomicUsize::new(0);
@@ -288,13 +273,7 @@ impl CampaignSpec {
         let exec_s = exec_start.elapsed().as_secs_f64();
 
         let agg_start = Instant::now();
-        let mut slots: Vec<Option<Result<JobResult, String>>> =
-            (0..specs.len()).map(|_| None).collect();
-        for unit in unit_outcomes {
-            for (i, outcome) in unit {
-                slots[i] = Some(outcome);
-            }
-        }
+        let slots = crate::group::collect_ordered(specs.len(), unit_outcomes);
         let mut jobs = Vec::with_capacity(slots.len());
         for slot in slots {
             jobs.push(slot.expect("every spec executed or was cached")?);

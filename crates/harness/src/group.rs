@@ -1,0 +1,130 @@
+//! Job-group partitioning and ordered-result assembly.
+//!
+//! A campaign's job list is executed as *units*: runs of consecutive
+//! variant jobs of one (workload, model) that the batched lockstep
+//! engine ([`crate::JobSpec::execute_batch`]) can step together, with
+//! everything else as singletons. The same partition drives three
+//! executors — the local campaign pool, the daemon's in-process submit
+//! path, and the sharded coordinator's dispatch of job groups to worker
+//! processes — so all three produce identical per-variant digests and
+//! row order by construction.
+
+use crate::job::JobSpec;
+
+/// Partitions `specs` (in campaign order) into pool/dispatch units.
+///
+/// `batchable(i)` says whether job `i` may participate in a multi-job
+/// unit at all (callers gate on their batching flag, cache state, and
+/// `sampling.is_none()` — sampled jobs measure checkpointed intervals
+/// and never run in lockstep). A job extends the previous unit only
+/// when both it and the unit's leading member are batchable and share
+/// one (workload, model) and one program image; anything else starts a
+/// new singleton unit. Units preserve index order, so flattening them
+/// reproduces the campaign row order exactly.
+pub fn partition_units(specs: &[JobSpec], batchable: impl Fn(usize) -> bool) -> Vec<Vec<usize>> {
+    let mut units: Vec<Vec<usize>> = Vec::new();
+    for i in 0..specs.len() {
+        if batchable(i) {
+            if let Some(unit) = units.last_mut() {
+                let j = unit[0];
+                if batchable(j)
+                    && specs[j].workload == specs[i].workload
+                    && specs[j].model == specs[i].model
+                    && std::sync::Arc::ptr_eq(&specs[j].program, &specs[i].program)
+                {
+                    unit.push(i);
+                    continue;
+                }
+            }
+        }
+        units.push(vec![i]);
+    }
+    units
+}
+
+/// Reassembles per-unit outcomes (in any completion order) into one
+/// slot per original job index — the remote-result assembly step every
+/// executor shares. Panics if a unit reported an out-of-range index;
+/// indices left unreported stay `None` for the caller to diagnose.
+pub fn collect_ordered<T>(n: usize, unit_outcomes: Vec<Vec<(usize, T)>>) -> Vec<Option<T>> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for unit in unit_outcomes {
+        for (i, outcome) in unit {
+            slots[i] = Some(outcome);
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::PlannedImage;
+    use dmdp_core::{CommModel, CoreConfig};
+    use dmdp_workloads::Scale;
+    use std::sync::Arc;
+
+    fn image_of(workload: &str) -> PlannedImage {
+        let w = dmdp_workloads::by_name(workload, Scale::Test).unwrap();
+        PlannedImage::new(Arc::new(w.program))
+    }
+
+    fn spec_on(image: &PlannedImage, workload: &str, model: CommModel, variant: &str) -> JobSpec {
+        let w = dmdp_workloads::by_name(workload, Scale::Test).unwrap();
+        JobSpec::new(workload, w.suite, model, Scale::Test, variant, CoreConfig::new(model), image)
+    }
+
+    fn spec(workload: &str, model: CommModel, variant: &str) -> JobSpec {
+        spec_on(&image_of(workload), workload, model, variant)
+    }
+
+    #[test]
+    fn consecutive_variants_of_one_pair_form_one_unit() {
+        let lib = image_of("lib");
+        let mcf = image_of("mcf");
+        let specs = vec![
+            spec_on(&lib, "lib", CommModel::Dmdp, "main"),
+            spec_on(&lib, "lib", CommModel::Dmdp, "rob32"),
+            spec_on(&lib, "lib", CommModel::NoSq, "main"),
+            spec_on(&mcf, "mcf", CommModel::NoSq, "main"),
+            spec_on(&mcf, "mcf", CommModel::NoSq, "rob32"),
+        ];
+        let units = partition_units(&specs, |_| true);
+        assert_eq!(units, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn unbatchable_jobs_stay_singletons_and_break_runs() {
+        let specs = vec![
+            spec("lib", CommModel::Dmdp, "main"),
+            spec("lib", CommModel::Dmdp, "rob32"),
+            spec("lib", CommModel::Dmdp, "sb2"),
+        ];
+        // Job 1 is not batchable (e.g. already cached): it stays a
+        // singleton, and job 2 cannot extend it — units never mix
+        // batchable and unbatchable members.
+        let units = partition_units(&specs, |i| i != 1);
+        assert_eq!(units, vec![vec![0], vec![1], vec![2]]);
+        let none = partition_units(&specs, |_| false);
+        assert_eq!(none, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn distinct_images_of_one_workload_never_share_a_unit() {
+        // Two separately-built images of the same workload are equal in
+        // content but not pointer-shared; the lockstep engine requires
+        // one shared image per unit, so they must not merge.
+        let a = spec("lib", CommModel::Dmdp, "main");
+        let b = spec("lib", CommModel::Dmdp, "rob32");
+        assert!(!std::sync::Arc::ptr_eq(&a.program, &b.program));
+        let units = partition_units(&[a, b], |_| true);
+        assert_eq!(units, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn collect_ordered_restores_campaign_order() {
+        let slots = collect_ordered(4, vec![vec![(2, "c"), (3, "d")], vec![(0, "a")], vec![(1, "b")]]);
+        let flat: Vec<&str> = slots.into_iter().map(|s| s.unwrap()).collect();
+        assert_eq!(flat, ["a", "b", "c", "d"]);
+    }
+}

@@ -44,11 +44,13 @@ pub mod pool;
 pub mod report;
 
 mod campaign;
+mod group;
 mod job;
 mod sampled;
 
 pub use campaign::{Campaign, CampaignSpec, RunOptions, StageWall};
 pub use digest::Digest64;
+pub use group::{collect_ordered, partition_units};
 pub use job::{CfgPatch, JobResult, JobSpec, PlannedImage};
 pub use sampled::{build_bundle, record_bundle, Sampling, SamplingSpec};
 pub use json::Json;

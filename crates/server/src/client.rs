@@ -45,6 +45,47 @@ impl Client {
         })
     }
 
+    /// [`Client::connect_unix`] with transient-failure retries
+    /// ([`retry_transient`]) — racing a daemon that is still binding its
+    /// socket is expected in scripts.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once the retries are exhausted.
+    pub fn connect_unix_retry(path: &Path, retries: u32) -> Result<Client, String> {
+        retry_transient(retries, || {
+            UnixStream::connect(path).map(|stream| {
+                let read_half = stream.try_clone();
+                (stream, read_half)
+            })
+        })
+        .map_err(|e| format!("{}: {e}", path.display()))
+        .and_then(|(stream, read_half)| {
+            let read_half = read_half.map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(Client { reader: LineReader::new(Box::new(read_half)), writer: Box::new(stream) })
+        })
+    }
+
+    /// [`Client::connect_tcp`] with transient-failure retries
+    /// ([`retry_transient`]).
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once the retries are exhausted.
+    pub fn connect_tcp_retry(addr: &str, retries: u32) -> Result<Client, String> {
+        retry_transient(retries, || {
+            std::net::TcpStream::connect(addr).map(|stream| {
+                let read_half = stream.try_clone();
+                (stream, read_half)
+            })
+        })
+        .map_err(|e| format!("{addr}: {e}"))
+        .and_then(|(stream, read_half)| {
+            let read_half = read_half.map_err(|e| format!("{addr}: {e}"))?;
+            Ok(Client { reader: LineReader::new(Box::new(read_half)), writer: Box::new(stream) })
+        })
+    }
+
     fn send(&mut self, req: &Request) -> Result<(), String> {
         protocol::write_msg(&mut self.writer, &req.to_json())
     }
@@ -172,6 +213,51 @@ impl Client {
     }
 }
 
+/// Retries `op` across *transient* connection failures — the daemon not
+/// up yet (refused, socket file absent) or drowning in backlog (reset,
+/// aborted, timed out) — with capped exponential backoff: 100 ms
+/// doubling per attempt, capped at 2 s. `retries` counts the extra
+/// attempts after the first, so `0` degrades to a single plain try.
+/// Non-transient errors (permission denied, unreachable address) fail
+/// immediately.
+///
+/// # Errors
+///
+/// The first non-transient error, or the last error once the retry
+/// budget is exhausted.
+pub fn retry_transient<T>(
+    retries: u32,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    use std::io::ErrorKind;
+    let mut backoff = std::time::Duration::from_millis(100);
+    let cap = std::time::Duration::from_secs(2);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let transient = matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionRefused
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::NotFound
+                        | ErrorKind::TimedOut
+                        | ErrorKind::WouldBlock
+                        | ErrorKind::Interrupted
+                );
+                if !transient || attempt >= retries {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cap);
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Issues one `GET /metrics` over an already-connected stream and
 /// returns the Prometheus text body. The daemon closes the connection
 /// after the response, so read-to-end frames it.
@@ -211,4 +297,47 @@ pub fn scrape_metrics_unix(path: &Path) -> Result<String, String> {
 pub fn scrape_metrics_tcp(addr: &str) -> Result<String, String> {
     let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     scrape_metrics(stream, addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+
+    #[test]
+    fn retry_transient_retries_refusals_then_succeeds() {
+        let mut attempts = 0;
+        let got = retry_transient(3, || {
+            attempts += 1;
+            if attempts < 3 {
+                Err(std::io::Error::new(ErrorKind::ConnectionRefused, "not up yet"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(got.unwrap(), 42);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn retry_transient_fails_fast_on_permanent_errors() {
+        let mut attempts = 0;
+        let got: std::io::Result<()> = retry_transient(5, || {
+            attempts += 1;
+            Err(std::io::Error::new(ErrorKind::PermissionDenied, "no"))
+        });
+        assert_eq!(got.unwrap_err().kind(), ErrorKind::PermissionDenied);
+        assert_eq!(attempts, 1, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn retry_transient_exhausts_its_budget() {
+        let mut attempts = 0;
+        let got: std::io::Result<()> = retry_transient(2, || {
+            attempts += 1;
+            Err(std::io::Error::new(ErrorKind::ConnectionRefused, "still down"))
+        });
+        assert_eq!(got.unwrap_err().kind(), ErrorKind::ConnectionRefused);
+        assert_eq!(attempts, 3, "one try plus two retries");
+    }
 }

@@ -39,14 +39,17 @@ use std::time::{Duration, Instant};
 use dmdp_core::{CoreConfig, SIM_VERSION};
 use dmdp_harness::json::obj;
 use dmdp_harness::{
-    pool, Campaign, JobResult, JobSpec, Json, PlannedImage, Sampling, SamplingSpec, StageWall,
+    pool, Campaign, CfgPatch, JobResult, JobSpec, Json, PlannedImage, Sampling, SamplingSpec,
+    StageWall,
 };
 use dmdp_sample::SampledBundle;
 use dmdp_obs::log::{next_trace_id, EventLog, Level, Value};
 use dmdp_obs::{Counter, Gauge, LogHistogram};
 use dmdp_workloads::{Scale, Suite};
 
-use crate::protocol::{self, LineEvent, LineReader, Request, SubmitRequest, PROTOCOL_VERSION};
+use crate::protocol::{
+    self, LineEvent, LineReader, Request, SubmitRequest, WorkerMsg, PROTOCOL_VERSION,
+};
 use crate::store::Store;
 
 /// Configuration of one [`serve`] invocation.
@@ -73,6 +76,14 @@ pub struct ServeOptions {
     /// Warn (as a `slow_job` event) about executed jobs whose simulation
     /// wall clock meets this many milliseconds. `None` disables.
     pub slow_job_ms: Option<u64>,
+    /// Worker processes to spawn (`dmdp worker --connect <tcp>`), each
+    /// pinned to a disjoint core slice. Requires a TCP listener.
+    /// Spawning any workers implies accepting registrations.
+    pub workers: usize,
+    /// Accept `register` handshakes from externally-launched workers.
+    pub accept_workers: bool,
+    /// Executable to spawn workers from (`None` = this binary).
+    pub worker_exe: Option<PathBuf>,
 }
 
 /// Final counters, returned when the daemon drains and exits.
@@ -117,6 +128,12 @@ struct DaemonMetrics {
     parse_us: &'static LogHistogram,
     queue_wait_us: &'static LogHistogram,
     submit_wall_us: &'static LogHistogram,
+    workers: &'static Gauge,
+    registrations: &'static Counter,
+    heartbeats: &'static Counter,
+    worker_deaths: &'static Counter,
+    requeues: &'static Counter,
+    placement_us: &'static LogHistogram,
 }
 
 fn daemon_metrics() -> &'static DaemonMetrics {
@@ -165,6 +182,22 @@ fn daemon_metrics() -> &'static DaemonMetrics {
             ),
             submit_wall_us: r
                 .histogram("dmdp_submit_wall_us", "submit wall clock in microseconds"),
+            workers: r.gauge("dmdp_workers", "worker processes currently registered"),
+            registrations: r
+                .counter("dmdp_worker_registrations_total", "worker register handshakes accepted"),
+            heartbeats: r.counter("dmdp_worker_heartbeats_total", "worker heartbeat lines"),
+            worker_deaths: r.counter(
+                "dmdp_worker_deaths_total",
+                "workers lost with groups still in flight",
+            ),
+            requeues: r.counter(
+                "dmdp_requeue_total",
+                "job groups requeued after their worker died",
+            ),
+            placement_us: r.histogram(
+                "dmdp_placement_us",
+                "job-group placement latency (pick + dispatch write), microseconds",
+            ),
         }
     })
 }
@@ -181,6 +214,7 @@ fn sync_gauges(shared: &Shared) {
     m.active_submits.set(shared.active_submits.load(Ordering::SeqCst) as i64);
     let resident: usize = shared.images.lock().unwrap().values().map(|v| v.len()).sum();
     m.resident_images.set(resident as i64);
+    m.workers.set(shared.workers.lock().unwrap().len() as i64);
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -201,6 +235,54 @@ struct ResidentImage {
     image: PlannedImage,
 }
 
+/// Why a dispatched group came back without rows.
+enum GroupFail {
+    /// The worker died; the members should be placed again.
+    Requeue,
+    /// The worker reported a simulation failure.
+    Error(String),
+}
+
+/// What lands in a [`GroupSlot`]: the group's rows in dispatch order
+/// (each with its source tag), or the reason there are none.
+type GroupOutcome = Result<Vec<(JobResult, &'static str)>, GroupFail>;
+
+/// A dispatched group's result slot: the worker-connection thread
+/// publishes, the submitting thread waits.
+#[derive(Default)]
+struct GroupSlot {
+    slot: Mutex<Option<GroupOutcome>>,
+    cv: Condvar,
+}
+
+/// A group a worker owes us: its result slot plus the member digests in
+/// dispatch order, so returned rows are verified against what was sent.
+struct PendingGroup {
+    slot: Arc<GroupSlot>,
+    digests: Vec<String>,
+}
+
+/// One registered worker process, shared between its connection thread
+/// (reads completions, detects death) and submitting threads (dispatch).
+struct WorkerHandle {
+    id: u64,
+    name: String,
+    /// The worker's pool width — the capacity unit for placement.
+    capacity: usize,
+    writer: Mutex<Box<dyn Write + Send>>,
+    pending: Mutex<HashMap<u64, PendingGroup>>,
+    inflight_groups: AtomicUsize,
+    alive: AtomicBool,
+    last_seen: Mutex<Instant>,
+    inflight_gauge: &'static Gauge,
+    dispatch_counter: &'static Counter,
+}
+
+/// A worker that stops heartbeating (and completing) for this long is
+/// declared dead and its pending groups are requeued. Workers heartbeat
+/// every ~2s while connected, even mid-group.
+const WORKER_TIMEOUT: Duration = Duration::from_secs(10);
+
 struct Shared {
     store: Store,
     jobs: usize,
@@ -213,6 +295,10 @@ struct Shared {
     /// artifacts are row-for-row comparable with local campaigns.
     images: Mutex<HashMap<&'static str, Arc<Vec<ResidentImage>>>>,
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    workers: Mutex<HashMap<u64, Arc<WorkerHandle>>>,
+    accept_workers: bool,
+    next_worker_id: AtomicU64,
+    next_group_id: AtomicU64,
     shutdown: AtomicBool,
     active_submits: AtomicUsize,
     requests: AtomicU64,
@@ -231,6 +317,12 @@ struct Shared {
 ///
 /// Socket/store setup failures, or another live daemon on the socket.
 pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
+    if opts.workers > 0 && opts.tcp.is_none() {
+        return Err(
+            "serve: spawning workers needs a TCP listener (pass --tcp, e.g. 127.0.0.1:0)"
+                .to_string(),
+        );
+    }
     let store = Store::open(&opts.store_dir, opts.store_cap_bytes)?;
     if opts.socket.exists() {
         if UnixStream::connect(&opts.socket).is_ok() {
@@ -274,6 +366,10 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         metrics: daemon_metrics(),
         images: Mutex::new(HashMap::new()),
         inflight: Mutex::new(HashMap::new()),
+        workers: Mutex::new(HashMap::new()),
+        accept_workers: opts.accept_workers || opts.workers > 0,
+        next_worker_id: AtomicU64::new(0),
+        next_group_id: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
         active_submits: AtomicUsize::new(0),
         requests: AtomicU64::new(0),
@@ -304,6 +400,13 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
             shared.jobs
         );
     }
+    let mut children = match spawn_workers(opts, &shared, tcp_addr.as_deref()) {
+        Ok(children) => children,
+        Err(e) => {
+            std::fs::remove_file(&opts.socket).ok();
+            return Err(e);
+        }
+    };
     std::thread::scope(|scope| {
         loop {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -336,6 +439,24 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         }
     });
     std::fs::remove_file(&opts.socket).ok();
+    // Spawned workers were told to drain by their connection threads;
+    // give each a grace period to exit, then make sure of it.
+    for child in &mut children {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
     let report = DaemonReport {
         requests: shared.requests.load(Ordering::Relaxed),
         submits: shared.submits.load(Ordering::Relaxed),
@@ -360,6 +481,76 @@ pub fn serve(opts: &ServeOptions) -> Result<DaemonReport, String> {
         );
     }
     Ok(report)
+}
+
+/// Spawns `opts.workers` child `dmdp worker` processes pointed at the
+/// TCP listener, each pinned to a disjoint core slice (when the host
+/// has at least one core per worker) with a matching pool width. The
+/// children register over the ordinary protocol like any external
+/// worker would.
+fn spawn_workers(
+    opts: &ServeOptions,
+    shared: &Shared,
+    tcp_addr: Option<&str>,
+) -> Result<Vec<std::process::Child>, String> {
+    let mut children = Vec::new();
+    if opts.workers == 0 {
+        return Ok(children);
+    }
+    let addr = tcp_addr.ok_or("serve: workers need a TCP listener")?;
+    let exe = match &opts.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+    };
+    let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for i in 0..opts.workers {
+        // Disjoint slices when the host is wide enough; round-robin
+        // single cores otherwise (workers then share, best-effort).
+        let cores: Vec<usize> = if ncores >= opts.workers {
+            (i * ncores / opts.workers..(i + 1) * ncores / opts.workers).collect()
+        } else {
+            vec![i % ncores]
+        };
+        let cores_csv =
+            cores.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+        let name = format!("w{i}");
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--connect")
+            .arg(addr)
+            .arg("--store")
+            .arg(&opts.store_dir)
+            .arg("--jobs")
+            .arg(cores.len().max(1).to_string())
+            .arg("--cores")
+            .arg(&cores_csv)
+            .arg("--name")
+            .arg(&name)
+            .arg("--connect-retries")
+            .arg("10")
+            .arg("--quiet");
+        match cmd.spawn() {
+            Ok(child) => {
+                shared.log.info(
+                    "worker_spawned",
+                    &[
+                        ("name", (&name).into()),
+                        ("pid", child.id().into()),
+                        ("cores", (&cores_csv).into()),
+                    ],
+                );
+                children.push(child);
+            }
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("spawn worker {name}: {e}"));
+            }
+        }
+    }
+    Ok(children)
 }
 
 fn handle_unix(shared: &Shared, stream: UnixStream) {
@@ -448,8 +639,10 @@ fn handle_http<R: Read, W: Write>(
 /// get an `error` reply and close the connection; request-level failures
 /// (unknown kernel, aborted job) get an `error` reply and the
 /// conversation continues. A connection whose first line is an HTTP
-/// request line is handed to [`handle_http`] instead.
-fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
+/// request line is handed to [`handle_http`] instead, and one whose
+/// first message is a worker `register` handshake becomes a worker
+/// connection ([`handle_worker`]) for its remaining lifetime.
+fn handle<R: Read, W: Write + Send + 'static>(shared: &Shared, reader: R, writer: W) {
     let m = shared.metrics;
     m.connections_total.inc();
     m.connections.inc();
@@ -480,7 +673,16 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
                 }
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let parse_start = Instant::now();
-                let request = Json::parse(&text).and_then(|v| Request::from_json(&v));
+                let parsed = Json::parse(&text);
+                if let Ok(v) = &parsed {
+                    if v.get("type").and_then(Json::as_str) == Some("register") {
+                        // The connection switches dialects: it is a
+                        // worker from here on (or gets refused).
+                        m.parse_us.observe(elapsed_us(parse_start));
+                        return handle_register(shared, reader, writer, v);
+                    }
+                }
+                let request = parsed.and_then(|v| Request::from_json(&v));
                 m.parse_us.observe(elapsed_us(parse_start));
                 let trace = next_trace_id();
                 match request {
@@ -563,6 +765,221 @@ fn handle<R: Read, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
             }
         }
     }
+}
+
+/// Validates a worker's `register` handshake and, when it checks out,
+/// runs the connection as a worker link until the worker dies or the
+/// daemon drains. Refusals (`error` reply, then close): registrations
+/// disabled, a protocol-version gap, or a [`SIM_VERSION`] gap — the
+/// latter two would silently disagree on digests, the one thing the
+/// sharded service must never do.
+fn handle_register<R: Read, W: Write + Send + 'static>(
+    shared: &Shared,
+    reader: LineReader<R>,
+    writer: Mutex<W>,
+    v: &Json,
+) {
+    let refuse = |why: &str| {
+        shared.metrics.err_protocol.inc();
+        shared.log.warn("register_refused", &[("error", why.into())]);
+        let _ = write_locked(&writer, &protocol::error_msg(why));
+    };
+    let hello = match WorkerMsg::from_json(v) {
+        Ok(WorkerMsg::Register(hello)) => hello,
+        Ok(_) => unreachable!("caller matched type == register"),
+        Err(e) => return refuse(&e),
+    };
+    if !shared.accept_workers {
+        return refuse("daemon is not accepting worker registrations");
+    }
+    if hello.protocol != PROTOCOL_VERSION {
+        return refuse(&format!(
+            "protocol mismatch: worker speaks {}, coordinator speaks {PROTOCOL_VERSION}",
+            hello.protocol
+        ));
+    }
+    if hello.sim_version != SIM_VERSION {
+        return refuse(&format!(
+            "sim_version mismatch: worker has {}, coordinator has {SIM_VERSION}",
+            hello.sim_version
+        ));
+    }
+    let id = shared.next_worker_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let r = dmdp_obs::registry();
+    let worker = Arc::new(WorkerHandle {
+        id,
+        name: hello.name.clone(),
+        capacity: hello.jobs.max(1),
+        writer: Mutex::new(Box::new(writer.into_inner().unwrap()) as Box<dyn Write + Send>),
+        pending: Mutex::new(HashMap::new()),
+        inflight_groups: AtomicUsize::new(0),
+        alive: AtomicBool::new(true),
+        last_seen: Mutex::new(Instant::now()),
+        inflight_gauge: r.gauge_with(
+            "dmdp_worker_inflight",
+            &[("worker", &hello.name)],
+            "job groups in flight on this worker",
+        ),
+        dispatch_counter: r.counter_with(
+            "dmdp_dispatch_total",
+            &[("worker", &hello.name)],
+            "job groups dispatched to this worker",
+        ),
+    });
+    if write_locked(&worker.writer, &protocol::registered_msg(id)).is_err() {
+        return;
+    }
+    shared.workers.lock().unwrap().insert(id, Arc::clone(&worker));
+    shared.metrics.registrations.inc();
+    shared.metrics.workers.set(shared.workers.lock().unwrap().len() as i64);
+    shared.log.info(
+        "worker_registered",
+        &[
+            ("worker", id.into()),
+            ("name", (&hello.name).into()),
+            ("jobs", hello.jobs.into()),
+            (
+                "cores",
+                hello
+                    .cores
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+                    .into(),
+            ),
+        ],
+    );
+    handle_worker(shared, reader, &worker);
+    // However the link ended, the worker is gone: deregister, then
+    // requeue whatever it still owed so submitting threads re-place it.
+    worker.alive.store(false, Ordering::SeqCst);
+    shared.workers.lock().unwrap().remove(&id);
+    shared.metrics.workers.set(shared.workers.lock().unwrap().len() as i64);
+    let orphans: Vec<PendingGroup> =
+        worker.pending.lock().unwrap().drain().map(|(_, pg)| pg).collect();
+    if !orphans.is_empty() {
+        shared.metrics.worker_deaths.inc();
+        shared.log.warn(
+            "worker_lost",
+            &[
+                ("worker", id.into()),
+                ("name", (&worker.name).into()),
+                ("requeued_groups", orphans.len().into()),
+            ],
+        );
+    } else {
+        shared.log.info(
+            "worker_gone",
+            &[("worker", id.into()), ("name", (&worker.name).into())],
+        );
+    }
+    for pg in orphans {
+        worker.inflight_groups.fetch_sub(1, Ordering::SeqCst);
+        worker.inflight_gauge.dec();
+        *pg.slot.slot.lock().unwrap() = Some(Err(GroupFail::Requeue));
+        pg.slot.cv.notify_all();
+    }
+}
+
+/// The worker link's read loop: heartbeats refresh liveness, completed
+/// groups resolve their pending slots, and idleness past
+/// [`WORKER_TIMEOUT`] (or EOF, or garbage) ends the link. On daemon
+/// shutdown the worker is sent a drain order once it owes nothing.
+fn handle_worker<R: Read>(shared: &Shared, mut reader: LineReader<R>, worker: &Arc<WorkerHandle>) {
+    loop {
+        match reader.read_line() {
+            Ok(LineEvent::Line(text)) => {
+                *worker.last_seen.lock().unwrap() = Instant::now();
+                match Json::parse(&text).and_then(|v| WorkerMsg::from_json(&v)) {
+                    Ok(WorkerMsg::Heartbeat) => shared.metrics.heartbeats.inc(),
+                    Ok(WorkerMsg::GroupDone { id, rows }) => {
+                        resolve_group(shared, worker, id, Ok(rows));
+                    }
+                    Ok(WorkerMsg::GroupFailed { id, error }) => {
+                        resolve_group(shared, worker, id, Err(error));
+                    }
+                    Ok(WorkerMsg::Register(_)) => {
+                        shared.log.warn(
+                            "bad_line",
+                            &[("worker", worker.id.into()), ("error", "double register".into())],
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        shared.metrics.err_protocol.inc();
+                        shared.log.warn(
+                            "bad_line",
+                            &[("worker", worker.id.into()), ("error", (&e).into())],
+                        );
+                        return;
+                    }
+                }
+            }
+            Ok(LineEvent::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    && shared.active_submits.load(Ordering::SeqCst) == 0
+                    && worker.pending.lock().unwrap().is_empty()
+                {
+                    let _ = write_locked(&worker.writer, &protocol::worker_shutdown_msg());
+                    return;
+                }
+                if worker.last_seen.lock().unwrap().elapsed() > WORKER_TIMEOUT {
+                    shared.log.warn(
+                        "worker_timeout",
+                        &[("worker", worker.id.into()), ("name", (&worker.name).into())],
+                    );
+                    return;
+                }
+            }
+            Ok(LineEvent::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Resolves one dispatched group: pops its pending entry, verifies the
+/// returned rows line up digest-for-digest with what was dispatched
+/// (any divergence fails the group — a digest mismatch would corrupt
+/// the store's content addressing), and wakes the submitting thread.
+fn resolve_group(
+    shared: &Shared,
+    worker: &Arc<WorkerHandle>,
+    gid: u64,
+    rows: Result<Vec<(JobResult, String)>, String>,
+) {
+    let Some(pg) = worker.pending.lock().unwrap().remove(&gid) else {
+        // A requeued group completing on a worker we already declared
+        // dead-and-recovered; its rows are in the store, drop them.
+        shared.log.warn(
+            "late_group",
+            &[("worker", worker.id.into()), ("group", gid.into())],
+        );
+        return;
+    };
+    worker.inflight_groups.fetch_sub(1, Ordering::SeqCst);
+    worker.inflight_gauge.dec();
+    let outcome = match rows {
+        Err(e) => Err(GroupFail::Error(e)),
+        Ok(rows) => {
+            if rows.len() != pg.digests.len()
+                || rows.iter().zip(&pg.digests).any(|((r, _), d)| &r.digest != d)
+            {
+                Err(GroupFail::Error(format!(
+                    "worker {} returned rows that do not match the dispatched digests",
+                    worker.name
+                )))
+            } else {
+                Ok(rows
+                    .into_iter()
+                    .map(|(r, src)| {
+                        (r, if src == SRC_STORE { SRC_STORE } else { SRC_EXECUTED })
+                    })
+                    .collect())
+            }
+        }
+    };
+    *pg.slot.slot.lock().unwrap() = Some(outcome);
+    pg.slot.cv.notify_all();
 }
 
 /// The resident image set for one scale, building (and keeping) all 21
@@ -695,10 +1112,148 @@ fn warn_store_write(shared: &Shared, digest: &str, error: &str) {
         .warn("store_write_failed", &[("digest", digest.into()), ("error", error.into())]);
 }
 
+/// The least-loaded live worker (in-flight groups normalized by pool
+/// width), or `None` when the daemon should execute in-process.
+fn pick_worker(shared: &Shared) -> Option<Arc<WorkerHandle>> {
+    let map = shared.workers.lock().unwrap();
+    map.values()
+        .filter(|w| w.alive.load(Ordering::SeqCst))
+        .min_by_key(|w| {
+            ((w.inflight_groups.load(Ordering::SeqCst) * 1000) / w.capacity.max(1), w.id)
+        })
+        .map(Arc::clone)
+}
+
+/// Executes a unit's store/dedup misses: dispatched to the least-loaded
+/// registered worker when there is one, in-process otherwise. A worker
+/// that dies mid-group gets its unit re-placed (on the next candidate,
+/// or in-process once no workers remain), so a crash costs a re-run,
+/// never a hole in the artifact. Returned sources are [`SRC_EXECUTED`]
+/// or [`SRC_STORE`] (the worker's own store view satisfied a member —
+/// a row some other process landed after this submit's triage).
+fn execute_unit(
+    shared: &Shared,
+    req: &SubmitRequest,
+    specs: &[&JobSpec],
+    trace: &str,
+) -> Vec<MemberOutcome> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    loop {
+        let Some(worker) = pick_worker(shared) else { break };
+        let place_start = Instant::now();
+        let lead = specs[0];
+        // Specs do not retain their config patch; recover each member's
+        // from the request by variant label (labels are unique).
+        let variants: Vec<(String, CfgPatch)> = specs
+            .iter()
+            .map(|s| {
+                let patch = req
+                    .variants
+                    .iter()
+                    .find(|(label, _)| label == &s.variant)
+                    .map(|(_, p)| p.clone())
+                    .unwrap_or_default();
+                (s.variant.clone(), patch)
+            })
+            .collect();
+        let group = protocol::GroupSpec {
+            workload: lead.workload.clone(),
+            scale: lead.scale,
+            model: lead.model,
+            variants,
+            batch: specs.len() > 1,
+            sampling: lead.sampling.as_ref().map(|s| s.sampling),
+        };
+        let gid = shared.next_group_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let slot = Arc::new(GroupSlot::default());
+        worker.pending.lock().unwrap().insert(
+            gid,
+            PendingGroup {
+                slot: Arc::clone(&slot),
+                digests: specs.iter().map(|s| s.digest.clone()).collect(),
+            },
+        );
+        worker.inflight_groups.fetch_add(1, Ordering::SeqCst);
+        worker.inflight_gauge.inc();
+        // The connection thread may have declared this worker dead
+        // between pick and insert; if our entry is still in the map we
+        // own the cleanup, otherwise the drain took it and will requeue.
+        if !worker.alive.load(Ordering::SeqCst)
+            && worker.pending.lock().unwrap().remove(&gid).is_some()
+        {
+            worker.inflight_groups.fetch_sub(1, Ordering::SeqCst);
+            worker.inflight_gauge.dec();
+            continue;
+        }
+        if write_locked(&worker.writer, &protocol::group_msg(gid, &group)).is_err() {
+            worker.alive.store(false, Ordering::SeqCst);
+            if worker.pending.lock().unwrap().remove(&gid).is_some() {
+                worker.inflight_groups.fetch_sub(1, Ordering::SeqCst);
+                worker.inflight_gauge.dec();
+            }
+            continue;
+        }
+        shared.metrics.placement_us.observe(elapsed_us(place_start));
+        worker.dispatch_counter.inc();
+        shared.log.debug(
+            "dispatch",
+            &[
+                ("trace", trace.into()),
+                ("worker", (&worker.name).into()),
+                ("group", gid.into()),
+                ("workload", (&lead.workload).into()),
+                ("model", lead.model.name().into()),
+                ("members", specs.len().into()),
+            ],
+        );
+        let outcome = {
+            let mut guard = slot.slot.lock().unwrap();
+            while guard.is_none() {
+                guard = slot.cv.wait(guard).unwrap();
+            }
+            guard.take().expect("published by the connection thread")
+        };
+        match outcome {
+            Ok(rows) => return rows.into_iter().map(Ok).collect(),
+            Err(GroupFail::Requeue) => {
+                shared.metrics.requeues.inc();
+                shared.log.warn(
+                    "requeue",
+                    &[
+                        ("trace", trace.into()),
+                        ("worker", (&worker.name).into()),
+                        ("workload", (&lead.workload).into()),
+                        ("members", specs.len().into()),
+                    ],
+                );
+                continue;
+            }
+            Err(GroupFail::Error(e)) => return specs.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+    // In-process: the non-sharded daemon's execution path, verbatim.
+    if specs.len() == 1 {
+        vec![specs[0].execute().map(|r| (r, SRC_EXECUTED))]
+    } else {
+        JobSpec::execute_batch(specs)
+            .into_iter()
+            .map(|res| res.map(|r| (r, SRC_EXECUTED)))
+            .collect()
+    }
+}
+
 /// Satisfies one job: persistent store first, then the in-flight table
-/// (wait on an identical running job), then actually simulate — and
-/// publish the result to both waiters and the store.
-fn run_job(shared: &Shared, spec: &JobSpec) -> Result<(JobResult, &'static str), String> {
+/// (wait on an identical running job), then actually simulate (locally
+/// or on a worker) — and publish the result to both waiters and the
+/// store.
+fn run_job(
+    shared: &Shared,
+    req: &SubmitRequest,
+    spec: &JobSpec,
+    trace: &str,
+) -> Result<(JobResult, &'static str), String> {
     if let Some(hit) = shared.store.get(&spec.digest) {
         shared.store_hits.fetch_add(1, Ordering::Relaxed);
         return Ok((hit, SRC_STORE));
@@ -715,25 +1270,28 @@ fn run_job(shared: &Shared, spec: &JobSpec) -> Result<(JobResult, &'static str),
         }
     };
     if owner {
-        let result = spec.execute();
-        if let Ok(r) = &result {
-            shared.executed.fetch_add(1, Ordering::Relaxed);
+        let mut out = execute_unit(shared, req, &[spec], trace);
+        let outcome = out.pop().expect("one outcome per spec");
+        if let Ok((r, src)) = &outcome {
+            if *src == SRC_EXECUTED {
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.store_hits.fetch_add(1, Ordering::Relaxed);
+            }
             if let Err(e) = shared.store.put(r) {
                 warn_store_write(shared, &spec.digest, &e);
             }
         }
         // Publish a summary copy (waiters never need the full stats),
         // then retire the in-flight entry.
-        let summary = result
-            .clone()
-            .map(|mut r| {
-                r.stats = None;
-                r
-            });
+        let summary = outcome.clone().map(|(mut r, _)| {
+            r.stats = None;
+            r
+        });
         *slot.slot.lock().unwrap() = Some(summary);
         slot.cv.notify_all();
         shared.inflight.lock().unwrap().remove(&spec.digest);
-        result.map(|r| (r, SRC_EXECUTED))
+        outcome
     } else {
         shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
         let mut guard = slot.slot.lock().unwrap();
@@ -765,9 +1323,11 @@ type MemberOutcome = Result<(JobResult, &'static str), String>;
 /// interleaved submissions can never deadlock on each other.
 fn run_batch_unit(
     shared: &Shared,
+    req: &SubmitRequest,
     specs: &[JobSpec],
     unit: &[usize],
     exec_start: Instant,
+    trace: &str,
 ) -> Vec<(usize, MemberOutcome)> {
     enum Member {
         Done(Box<MemberOutcome>),
@@ -798,27 +1358,31 @@ fn run_batch_unit(
         .filter(|&k| matches!(members[k], Member::Own(_)))
         .collect();
     let owned_specs: Vec<&JobSpec> = owned.iter().map(|&k| &specs[unit[k]]).collect();
-    let mut results = JobSpec::execute_batch(&owned_specs).into_iter();
+    let mut results = execute_unit(shared, req, &owned_specs, trace).into_iter();
     for &k in &owned {
         let spec = &specs[unit[k]];
-        let mut result = results.next().expect("one result per owned lane");
-        if let Ok(r) = &mut result {
-            r.started_s = claimed_s;
-            r.finished_s = exec_start.elapsed().as_secs_f64();
-            shared.executed.fetch_add(1, Ordering::Relaxed);
+        let mut result = results.next().expect("one outcome per owned lane");
+        if let Ok((r, src)) = &mut result {
+            if *src == SRC_EXECUTED {
+                r.started_s = claimed_s;
+                r.finished_s = exec_start.elapsed().as_secs_f64();
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.store_hits.fetch_add(1, Ordering::Relaxed);
+            }
             if let Err(e) = shared.store.put(r) {
                 warn_store_write(shared, &spec.digest, &e);
             }
         }
         let Member::Own(slot) = &members[k] else { unreachable!("filtered on Own") };
-        let summary = result.clone().map(|mut r| {
+        let summary = result.clone().map(|(mut r, _)| {
             r.stats = None;
             r
         });
         *slot.slot.lock().unwrap() = Some(summary);
         slot.cv.notify_all();
         shared.inflight.lock().unwrap().remove(&spec.digest);
-        members[k] = Member::Done(Box::new(result.map(|r| (r, SRC_EXECUTED))));
+        members[k] = Member::Done(Box::new(result));
     }
     // Now (and only now) block on jobs other requests own.
     unit.iter()
@@ -880,21 +1444,24 @@ fn run_submit_inner<W: Write + Send>(
     // the same (workload, model) form one batch unit when the request
     // left batching on. Sampled jobs never batch — lockstep measures
     // full runs only.
-    let mut units: Vec<Vec<usize>> = Vec::new();
-    for i in 0..specs.len() {
-        if req.batch_variants && specs[i].sampling.is_none() {
-            if let Some(unit) = units.last_mut() {
-                let j = unit[0];
-                if specs[j].workload == specs[i].workload && specs[j].model == specs[i].model {
-                    unit.push(i);
-                    continue;
-                }
-            }
-        }
-        units.push(vec![i]);
-    }
+    let units = dmdp_harness::partition_units(&specs, |i| {
+        req.batch_variants && specs[i].sampling.is_none()
+    });
+    // With workers registered the pool threads mostly block on remote
+    // completions, so width follows the fleet's capacity instead of
+    // the local core count — enough in flight to keep every worker
+    // busy, plus headroom for store/dedup hits resolved locally.
+    let worker_cap: usize = {
+        let workers = shared.workers.lock().unwrap();
+        workers
+            .values()
+            .filter(|w| w.alive.load(Ordering::SeqCst))
+            .map(|w| w.capacity)
+            .sum()
+    };
+    let width = if worker_cap > 0 { shared.jobs.max(2 * worker_cap) } else { shared.jobs };
     let exec_start = Instant::now();
-    let unit_outcomes = pool::map_ordered(&units, shared.jobs, |_, unit| {
+    let unit_outcomes = pool::map_ordered(&units, width, |_, unit| {
         shared.metrics.queue_wait_us.observe(elapsed_us(exec_start));
         if req.watch {
             for &i in unit {
@@ -908,7 +1475,7 @@ fn run_submit_inner<W: Write + Send>(
         let outcomes = if unit.len() == 1 {
             let i = unit[0];
             let claimed_s = exec_start.elapsed().as_secs_f64();
-            let out = run_job(shared, &specs[i]).map(|(mut r, src)| {
+            let out = run_job(shared, req, &specs[i], trace).map(|(mut r, src)| {
                 if src == SRC_EXECUTED {
                     r.started_s = claimed_s;
                     r.finished_s = exec_start.elapsed().as_secs_f64();
@@ -917,7 +1484,7 @@ fn run_submit_inner<W: Write + Send>(
             });
             vec![(i, out)]
         } else {
-            run_batch_unit(shared, &specs, unit, exec_start)
+            run_batch_unit(shared, req, &specs, unit, exec_start, trace)
         };
         if let Some(threshold_ms) = shared.slow_job_ms {
             for (_, out) in &outcomes {
@@ -950,13 +1517,7 @@ fn run_submit_inner<W: Write + Send>(
     let exec_s = exec_start.elapsed().as_secs_f64();
 
     let agg_start = Instant::now();
-    let mut slots: Vec<Option<Result<(JobResult, &'static str), String>>> =
-        (0..specs.len()).map(|_| None).collect();
-    for unit in unit_outcomes {
-        for (i, outcome) in unit {
-            slots[i] = Some(outcome);
-        }
-    }
+    let slots = dmdp_harness::collect_ordered(specs.len(), unit_outcomes);
     let mut jobs = Vec::with_capacity(slots.len());
     let (mut executed, mut from_store, mut from_dedup) = (0usize, 0usize, 0usize);
     for slot in slots {
@@ -1030,6 +1591,7 @@ fn stats_msg(shared: &Shared) -> Json {
         ("active_submits", Json::Num(shared.active_submits.load(Ordering::SeqCst) as f64)),
         ("inflight", Json::Num(shared.inflight.lock().unwrap().len() as f64)),
         ("resident_images", Json::Num(resident as f64)),
+        ("workers", Json::Num(shared.workers.lock().unwrap().len() as f64)),
         (
             "store",
             obj([

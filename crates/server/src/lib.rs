@@ -13,13 +13,22 @@
 //! dependencies. Artifacts fetched through [`Client::submit`] are
 //! byte-compatible with `dmdp campaign` output, so `dmdp report` works
 //! on them unchanged.
+//!
+//! The daemon also scales out: `dmdp worker` processes ([`run_worker`])
+//! register over the same protocol and the daemon becomes a coordinator,
+//! placing job groups on the least-loaded worker and requeueing the
+//! work of any worker that dies mid-group. The store directory is the
+//! only shared state, so sharded artifacts stay bit-identical to
+//! single-process ones.
 
 pub mod client;
 pub mod daemon;
 pub mod protocol;
 pub mod store;
+pub mod worker;
 
-pub use client::{scrape_metrics_tcp, scrape_metrics_unix, Client};
+pub use client::{retry_transient, scrape_metrics_tcp, scrape_metrics_unix, Client};
 pub use daemon::{serve, DaemonReport, ServeOptions};
 pub use protocol::{Request, SubmitRequest, PROTOCOL_VERSION};
 pub use store::{Store, StoreStats};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -12,6 +12,17 @@
 //! job events (when the submit asked to watch), a final `artifact`
 //! carrying the complete assembled campaign, `stats`, `metrics`, `ok`,
 //! `pong`, or `error`.
+//!
+//! Protocol 2 adds the coordinator ↔ worker dialect for the sharded
+//! service: a worker opens an ordinary connection and sends `register`
+//! (carrying its protocol and [`dmdp_core::SIM_VERSION`] — the
+//! handshake; a mismatch on either is answered with `error` and the
+//! connection closes), the coordinator replies `registered` and then
+//! streams `group` dispatches ([`GroupSpec`] — one batch unit or
+//! singleton job group, keyed by a dispatch id). The worker answers
+//! each with `group_done` (per-job rows: full [`JobResult`] plus its
+//! source tag) or `group_failed`, and sends `heartbeat` lines while
+//! idle so the coordinator can declare it dead and requeue.
 
 use std::io::{Read, Write};
 
@@ -21,8 +32,10 @@ use dmdp_harness::{CfgPatch, JobResult, Json, Sampling};
 use dmdp_workloads::Scale;
 
 /// Bumped when the wire format changes incompatibly. The daemon answers
-/// `ping` with its version so clients can refuse to talk across a gap.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// `ping` with its version so clients can refuse to talk across a gap;
+/// workers send theirs in `register` and are refused on a mismatch.
+/// 2 = sharded-service worker dialect (PR 10).
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A line longer than this is a protocol violation, not a message —
 /// the largest legitimate document (a full-campaign artifact) is well
@@ -399,6 +412,352 @@ pub fn metrics_msg(snapshot: &dmdp_obs::Snapshot) -> Json {
     ])
 }
 
+/// One dispatchable job group: a batch unit (consecutive config
+/// variants of one (workload, model) — PR 7) or a singleton, as carved
+/// by [`dmdp_harness::partition_units`]. The worker rebuilds the same
+/// [`dmdp_harness::JobSpec`]s from its own resident images; digests are
+/// content-derived, so both sides agree on every row's identity without
+/// shipping program bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Workload name (resolved against the worker's resident images).
+    pub workload: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Communication model every member runs under.
+    pub model: CommModel,
+    /// Member variants in campaign order as `(label, patch)`.
+    pub variants: Vec<(String, CfgPatch)>,
+    /// Execute the members as one batched lockstep simulation
+    /// ([`dmdp_harness::JobSpec::execute_batch`]) rather than
+    /// independently. Results are identical either way.
+    pub batch: bool,
+    /// Sampled execution (checkpoint fast-forward); the worker resolves
+    /// the bundle from its own store view or rebuilds it. Sampled
+    /// groups are always singletons.
+    pub sampling: Option<Sampling>,
+}
+
+impl GroupSpec {
+    /// Serializes the group body (embedded in a `group` dispatch).
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            ("scale".to_string(), Json::Str(self.scale.name().to_string())),
+            ("model".to_string(), Json::Str(self.model.name().to_string())),
+            (
+                "variants".to_string(),
+                Json::Arr(
+                    self.variants
+                        .iter()
+                        .map(|(label, patch)| {
+                            obj([("label", Json::Str(label.clone())), ("patch", patch_json(patch))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("batch".to_string(), Json::Bool(self.batch)),
+        ];
+        if let Some(s) = self.sampling {
+            members.push((
+                "sampling".to_string(),
+                obj([
+                    ("interval_insns", Json::Num(s.interval_insns as f64)),
+                    ("warmup_intervals", Json::Num(s.warmup_intervals as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
+    }
+
+    /// Parses a group body.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<GroupSpec, String> {
+        let workload = v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("group: missing `workload`")?
+            .to_string();
+        let scale_name = v.get("scale").and_then(Json::as_str).ok_or("group: missing `scale`")?;
+        let scale = Scale::from_name(scale_name)
+            .ok_or_else(|| format!("group: unknown scale `{scale_name}`"))?;
+        let model_name = v.get("model").and_then(Json::as_str).ok_or("group: missing `model`")?;
+        let model = CommModel::from_name(model_name)
+            .ok_or_else(|| format!("group: unknown model `{model_name}`"))?;
+        let variants = v
+            .get("variants")
+            .and_then(Json::as_arr)
+            .ok_or("group: missing `variants` array")?
+            .iter()
+            .map(|entry| {
+                let label = entry
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("group: variant missing `label`")?
+                    .to_string();
+                let patch = match entry.get("patch") {
+                    Some(p) => patch_from_json(p)?,
+                    None => CfgPatch::default(),
+                };
+                Ok((label, patch))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if variants.is_empty() {
+            return Err("group: empty `variants` array".to_string());
+        }
+        let sampling = match v.get("sampling") {
+            None => None,
+            Some(s) => Some(Sampling {
+                interval_insns: s
+                    .get("interval_insns")
+                    .and_then(Json::as_u64)
+                    .filter(|&n| n > 0)
+                    .ok_or("group: `sampling.interval_insns` must be positive")?,
+                warmup_intervals: s
+                    .get("warmup_intervals")
+                    .and_then(Json::as_u64)
+                    .ok_or("group: `sampling.warmup_intervals` must be a count")?
+                    as u32,
+            }),
+        };
+        Ok(GroupSpec {
+            workload,
+            scale,
+            model,
+            variants,
+            batch: v.get("batch").and_then(Json::as_bool).unwrap_or(false),
+            sampling,
+        })
+    }
+}
+
+/// A worker's opening handshake.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerHello {
+    /// The worker's [`PROTOCOL_VERSION`]; must equal the coordinator's.
+    pub protocol: u64,
+    /// The worker's [`dmdp_core::SIM_VERSION`]; must equal the
+    /// coordinator's, or digests would silently disagree.
+    pub sim_version: String,
+    /// Display name (unique per worker; labels its metrics).
+    pub name: String,
+    /// Pool width — the coordinator's capacity unit for placement.
+    pub jobs: usize,
+    /// Core-affinity hint the worker pinned itself to (informational).
+    pub cores: Vec<usize>,
+}
+
+/// `register`: worker → coordinator handshake.
+pub fn register_msg(hello: &WorkerHello) -> Json {
+    obj([
+        ("type", Json::Str("register".into())),
+        ("protocol", Json::Num(hello.protocol as f64)),
+        ("sim_version", Json::Str(hello.sim_version.clone())),
+        ("name", Json::Str(hello.name.clone())),
+        ("jobs", Json::Num(hello.jobs as f64)),
+        ("cores", Json::Arr(hello.cores.iter().map(|&c| Json::Num(c as f64)).collect())),
+    ])
+}
+
+/// `registered`: coordinator → worker handshake acknowledgement.
+pub fn registered_msg(worker_id: u64) -> Json {
+    obj([
+        ("type", Json::Str("registered".into())),
+        ("worker", Json::Num(worker_id as f64)),
+        ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+    ])
+}
+
+/// `group`: coordinator → worker job-group dispatch.
+pub fn group_msg(id: u64, spec: &GroupSpec) -> Json {
+    obj([
+        ("type", Json::Str("group".into())),
+        ("id", Json::Num(id as f64)),
+        ("group", spec.to_json()),
+    ])
+}
+
+/// `group_done`: worker → coordinator, all members finished. Each row
+/// carries the full result plus how the worker satisfied it
+/// (`"executed"` or `"store"` — its own store view may already hold a
+/// row another worker published).
+pub fn group_done_msg(id: u64, rows: &[(JobResult, String)]) -> Json {
+    obj([
+        ("type", Json::Str("group_done".into())),
+        ("id", Json::Num(id as f64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|(r, source)| {
+                        obj([("source", Json::Str(source.clone())), ("result", r.to_json())])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `group_failed`: worker → coordinator, the group errored as a whole.
+pub fn group_failed_msg(id: u64, error: &str) -> Json {
+    obj([
+        ("type", Json::Str("group_failed".into())),
+        ("id", Json::Num(id as f64)),
+        ("error", Json::Str(error.to_string())),
+    ])
+}
+
+/// `heartbeat`: worker → coordinator liveness while idle.
+pub fn heartbeat_msg() -> Json {
+    obj([("type", Json::Str("heartbeat".into()))])
+}
+
+/// A parsed worker → coordinator message (after `register`).
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// The opening handshake.
+    Register(WorkerHello),
+    /// Idle liveness.
+    Heartbeat,
+    /// A dispatched group completed; rows are `(result, source)`.
+    GroupDone {
+        /// The dispatch id from the `group` message.
+        id: u64,
+        /// One row per member, in dispatch order.
+        rows: Vec<(JobResult, String)>,
+    },
+    /// A dispatched group failed as a whole.
+    GroupFailed {
+        /// The dispatch id from the `group` message.
+        id: u64,
+        /// The worker's error message.
+        error: String,
+    },
+}
+
+impl WorkerMsg {
+    /// Parses one wire document from a worker connection.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<WorkerMsg, String> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("register") => {
+                let protocol = v
+                    .get("protocol")
+                    .and_then(Json::as_u64)
+                    .ok_or("register: missing `protocol`")?;
+                let sim_version = v
+                    .get("sim_version")
+                    .and_then(Json::as_str)
+                    .ok_or("register: missing `sim_version`")?
+                    .to_string();
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("register: missing `name`")?
+                    .to_string();
+                let jobs = v.get("jobs").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
+                let cores = v
+                    .get("cores")
+                    .and_then(Json::as_arr)
+                    .map(|arr| arr.iter().filter_map(Json::as_u64).map(|c| c as usize).collect())
+                    .unwrap_or_default();
+                Ok(WorkerMsg::Register(WorkerHello { protocol, sim_version, name, jobs, cores }))
+            }
+            Some("heartbeat") => Ok(WorkerMsg::Heartbeat),
+            Some("group_done") => {
+                let id = v.get("id").and_then(Json::as_u64).ok_or("group_done: missing `id`")?;
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("group_done: missing `rows` array")?
+                    .iter()
+                    .map(|row| {
+                        let source = row
+                            .get("source")
+                            .and_then(Json::as_str)
+                            .ok_or("group_done: row missing `source`")?
+                            .to_string();
+                        let result = JobResult::from_json(
+                            row.get("result").ok_or("group_done: row missing `result`")?,
+                        )?;
+                        Ok((result, source))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(WorkerMsg::GroupDone { id, rows })
+            }
+            Some("group_failed") => Ok(WorkerMsg::GroupFailed {
+                id: v.get("id").and_then(Json::as_u64).ok_or("group_failed: missing `id`")?,
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("worker reported an unnamed failure")
+                    .to_string(),
+            }),
+            Some(other) => Err(format!("unknown worker message type `{other}`")),
+            None => Err("worker message has no `type`".to_string()),
+        }
+    }
+}
+
+/// A parsed coordinator → worker message (after `register`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordMsg {
+    /// Registration accepted.
+    Registered {
+        /// The id the coordinator assigned this worker.
+        worker: u64,
+    },
+    /// A job-group dispatch.
+    Group {
+        /// Dispatch id to echo in `group_done`/`group_failed`.
+        id: u64,
+        /// The group to execute.
+        spec: GroupSpec,
+    },
+    /// Drain and exit.
+    Shutdown,
+    /// Protocol-level refusal (handshake mismatch); connection closes.
+    Error(String),
+}
+
+impl CoordMsg {
+    /// Parses one wire document from the coordinator connection.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<CoordMsg, String> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("registered") => Ok(CoordMsg::Registered {
+                worker: v.get("worker").and_then(Json::as_u64).ok_or("registered: missing `worker`")?,
+            }),
+            Some("group") => Ok(CoordMsg::Group {
+                id: v.get("id").and_then(Json::as_u64).ok_or("group: missing `id`")?,
+                spec: GroupSpec::from_json(v.get("group").ok_or("group: missing `group` body")?)?,
+            }),
+            Some("shutdown") => Ok(CoordMsg::Shutdown),
+            Some("error") => Ok(CoordMsg::Error(
+                v.get("message").and_then(Json::as_str).unwrap_or("unnamed error").to_string(),
+            )),
+            Some(other) => Err(format!("unknown coordinator message type `{other}`")),
+            None => Err("coordinator message has no `type`".to_string()),
+        }
+    }
+}
+
+/// `shutdown`: coordinator → worker drain order (same shape as the
+/// client request — the worker-side parser maps it to
+/// [`CoordMsg::Shutdown`]).
+pub fn worker_shutdown_msg() -> Json {
+    obj([("type", Json::Str("shutdown".into()))])
+}
+
 /// Error response. The connection may close after a protocol-level error.
 pub fn error_msg(message: &str) -> Json {
     obj([("type", Json::Str("error".into())), ("message", Json::Str(message.to_string()))])
@@ -609,6 +968,122 @@ mod tests {
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
         assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(9));
         assert_eq!(hist.get("buckets").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn group_specs_round_trip() {
+        let specs = [
+            GroupSpec {
+                workload: "mcf".into(),
+                scale: Scale::Test,
+                model: CommModel::Dmdp,
+                variants: vec![
+                    ("main".into(), CfgPatch::default()),
+                    ("rob32".into(), CfgPatch { rob: Some(32), ..CfgPatch::default() }),
+                ],
+                batch: true,
+                sampling: None,
+            },
+            GroupSpec {
+                workload: "lib".into(),
+                scale: Scale::Full,
+                model: CommModel::NoSq,
+                variants: vec![("main".into(), CfgPatch::default())],
+                batch: false,
+                sampling: Some(Sampling { interval_insns: 1000, warmup_intervals: 2 }),
+            },
+        ];
+        for spec in specs {
+            let wire = group_msg(42, &spec).compact();
+            let back = CoordMsg::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, CoordMsg::Group { id: 42, spec: spec.clone() }, "{wire}");
+        }
+        for bad in [
+            "{}",
+            r#"{"workload": "lib", "scale": "test", "model": "dmdp", "variants": []}"#,
+            r#"{"workload": "lib", "scale": "test", "model": "warp", "variants": [{"label": "main"}]}"#,
+        ] {
+            assert!(GroupSpec::from_json(&Json::parse(bad).unwrap()).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        let hello = WorkerHello {
+            protocol: PROTOCOL_VERSION,
+            sim_version: dmdp_core::SIM_VERSION.to_string(),
+            name: "w0".into(),
+            jobs: 4,
+            cores: vec![0, 1],
+        };
+        let wire = register_msg(&hello).compact();
+        let WorkerMsg::Register(back) = WorkerMsg::from_json(&Json::parse(&wire).unwrap()).unwrap()
+        else {
+            panic!("register should parse");
+        };
+        assert_eq!(back, hello);
+
+        let wire = heartbeat_msg().compact();
+        assert!(matches!(
+            WorkerMsg::from_json(&Json::parse(&wire).unwrap()).unwrap(),
+            WorkerMsg::Heartbeat
+        ));
+
+        // A group_done row carries the full summary result; parse it
+        // back and check identity fields survive the wire.
+        let w = dmdp_workloads::by_name("lib", Scale::Test).unwrap();
+        let image = dmdp_harness::PlannedImage::new(std::sync::Arc::new(w.program));
+        let result = dmdp_harness::JobSpec::new(
+            "lib",
+            w.suite,
+            CommModel::Dmdp,
+            Scale::Test,
+            "main",
+            dmdp_core::CoreConfig::new(CommModel::Dmdp),
+            &image,
+        )
+        .execute()
+        .unwrap();
+        let wire = group_done_msg(7, &[(result.clone(), "executed".to_string())]).compact();
+        let WorkerMsg::GroupDone { id, rows } =
+            WorkerMsg::from_json(&Json::parse(&wire).unwrap()).unwrap()
+        else {
+            panic!("group_done should parse");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, "executed");
+        assert_eq!(rows[0].0.digest, result.digest);
+        assert_eq!(rows[0].0.cycles, result.cycles);
+        assert_eq!(rows[0].0.ipc, result.ipc);
+
+        let wire = group_failed_msg(9, "cycle limit").compact();
+        let WorkerMsg::GroupFailed { id, error } =
+            WorkerMsg::from_json(&Json::parse(&wire).unwrap()).unwrap()
+        else {
+            panic!("group_failed should parse");
+        };
+        assert_eq!((id, error.as_str()), (9, "cycle limit"));
+    }
+
+    #[test]
+    fn coordinator_messages_round_trip() {
+        let wire = registered_msg(3).compact();
+        assert_eq!(
+            CoordMsg::from_json(&Json::parse(&wire).unwrap()).unwrap(),
+            CoordMsg::Registered { worker: 3 }
+        );
+        let wire = worker_shutdown_msg().compact();
+        assert_eq!(
+            CoordMsg::from_json(&Json::parse(&wire).unwrap()).unwrap(),
+            CoordMsg::Shutdown
+        );
+        let wire = error_msg("sim_version mismatch").compact();
+        assert_eq!(
+            CoordMsg::from_json(&Json::parse(&wire).unwrap()).unwrap(),
+            CoordMsg::Error("sim_version mismatch".into())
+        );
+        assert!(CoordMsg::from_json(&Json::parse(r#"{"type": "warp"}"#).unwrap()).is_err());
     }
 
     #[test]

@@ -13,11 +13,21 @@
 //! An optional byte cap turns the store into an LRU cache: once the
 //! tree exceeds the cap, least-recently-used entries (by access order,
 //! seeded from file mtimes at startup) are deleted until it fits.
+//!
+//! Several processes may share one store directory (the sharded
+//! service: every worker plus the coordinator). Content addressing
+//! makes that safe by construction — equal digests mean equal bytes —
+//! but each process keeps its own index, so lookups fall back to disk
+//! on an index miss (adopting entries a sibling wrote), eviction
+//! tolerates files a sibling already unlinked, and an entry whose file
+//! was re-landed by a sibling after we indexed it is never evicted
+//! inside a small grace window ([`EVICT_GRACE`]).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::SystemTime;
 
 use dmdp_harness::{JobResult, Json};
 
@@ -85,9 +95,20 @@ pub struct StoreStats {
     pub evictions: u64,
 }
 
+/// How recently a sibling process must have re-landed an entry's file
+/// (mtime newer than our index's knowledge of it) for eviction to spare
+/// it. Guards the window between a sibling's atomic rename and its
+/// result being observed durable; entries this process wrote or scanned
+/// itself are evictable immediately.
+const EVICT_GRACE: std::time::Duration = std::time::Duration::from_secs(2);
+
 struct Entry {
     bytes: u64,
     last_used: u64,
+    /// When this index last reconciled with the file on disk (insert,
+    /// adoption, or startup scan). An on-disk mtime *newer* than this is
+    /// evidence of a concurrent foreign writer.
+    seen: SystemTime,
 }
 
 struct Index {
@@ -160,10 +181,11 @@ impl Store {
         store_metrics().rescanned.add(found.len() as u64);
         let mut index =
             Index { entries: HashMap::new(), total_bytes: 0, clock: 0 };
+        let scanned_at = SystemTime::now();
         for (digest, bytes, _) in found {
             index.clock += 1;
             index.total_bytes += bytes;
-            index.entries.insert(digest, Entry { bytes, last_used: index.clock });
+            index.entries.insert(digest, Entry { bytes, last_used: index.clock, seen: scanned_at });
         }
         let store = Store {
             root: root.to_path_buf(),
@@ -187,15 +209,20 @@ impl Store {
     /// Looks a result up by digest. The returned row is marked `cached`
     /// (it was not executed by the caller). An entry that has vanished
     /// or no longer parses is dropped from the index and reported as a
-    /// miss.
+    /// miss. An un-indexed digest whose file *is* on disk — a sibling
+    /// process sharing this directory wrote it — is adopted into the
+    /// index and reported as a hit, which is how a restarted worker
+    /// re-syncs its store view without a full rescan.
     pub fn get(&self, digest: &str) -> Option<JobResult> {
-        if !valid_digest(digest) || !self.index.lock().unwrap().entries.contains_key(digest) {
+        if !valid_digest(digest) {
             self.misses.fetch_add(1, Ordering::Relaxed);
             store_metrics().misses.inc();
             return None;
         }
-        let loaded = std::fs::read_to_string(self.path_of(digest))
-            .ok()
+        let indexed = self.index.lock().unwrap().entries.contains_key(digest);
+        let text = std::fs::read_to_string(self.path_of(digest)).ok();
+        let bytes = text.as_ref().map(|t| t.len() as u64).unwrap_or(0);
+        let loaded = text
             .and_then(|text| Json::parse(&text).ok())
             .and_then(|v| JobResult::from_json(&v).ok());
         let mut index = self.index.lock().unwrap();
@@ -203,8 +230,17 @@ impl Store {
             Some(mut result) => {
                 index.clock += 1;
                 let clock = index.clock;
-                if let Some(entry) = index.entries.get_mut(digest) {
-                    entry.last_used = clock;
+                match index.entries.get_mut(digest) {
+                    Some(entry) => entry.last_used = clock,
+                    None => {
+                        // Adopt the sibling's write.
+                        index.total_bytes += bytes;
+                        index.entries.insert(
+                            digest.to_string(),
+                            Entry { bytes, last_used: clock, seen: SystemTime::now() },
+                        );
+                        self.enforce_cap(&mut index);
+                    }
                 }
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 store_metrics().hits.inc();
@@ -213,10 +249,12 @@ impl Store {
             }
             None => {
                 // Deleted or corrupted behind our back: forget it.
-                if let Some(entry) = index.entries.remove(digest) {
-                    index.total_bytes -= entry.bytes;
+                if indexed {
+                    if let Some(entry) = index.entries.remove(digest) {
+                        index.total_bytes -= entry.bytes;
+                    }
+                    std::fs::remove_file(self.path_of(digest)).ok();
                 }
-                std::fs::remove_file(self.path_of(digest)).ok();
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 store_metrics().misses.inc();
                 None
@@ -241,8 +279,25 @@ impl Store {
         if self.index.lock().unwrap().entries.contains_key(&result.digest) {
             return Ok(false);
         }
-        let write_start = std::time::Instant::now();
         let path = self.path_of(&result.digest);
+        if let Ok(meta) = std::fs::metadata(&path) {
+            // A sibling process already persisted this digest (equal
+            // digests mean equal bytes): adopt its file instead of
+            // racing a redundant rewrite.
+            let mut index = self.index.lock().unwrap();
+            if !index.entries.contains_key(&result.digest) {
+                index.clock += 1;
+                let clock = index.clock;
+                index.total_bytes += meta.len();
+                index.entries.insert(
+                    result.digest.clone(),
+                    Entry { bytes: meta.len(), last_used: clock, seen: SystemTime::now() },
+                );
+                self.enforce_cap(&mut index);
+            }
+            return Ok(false);
+        }
+        let write_start = std::time::Instant::now();
         let dir = path.parent().expect("store paths have a shard directory");
         std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         // Unique temporary per writer, atomic rename to the final name.
@@ -259,7 +314,7 @@ impl Store {
         let clock = index.clock;
         let old = index.entries.insert(
             result.digest.clone(),
-            Entry { bytes: text.len() as u64, last_used: clock },
+            Entry { bytes: text.len() as u64, last_used: clock, seen: SystemTime::now() },
         );
         index.total_bytes += text.len() as u64;
         if let Some(old) = old {
@@ -336,9 +391,18 @@ impl Store {
     /// Evicts least-recently-used entries until the tree fits the cap.
     /// The most recently touched entry is never evicted, so a store
     /// whose cap is smaller than one entry still makes progress.
+    ///
+    /// Multi-process safe: a victim whose file a sibling process already
+    /// unlinked just leaves the index (ENOENT is not an error), and a
+    /// victim whose on-disk mtime is newer than this index's knowledge
+    /// of it — a sibling re-landed the result after we indexed it — is
+    /// spared inside [`EVICT_GRACE`] (its entry is refreshed and LRU-
+    /// bumped instead). `.ckpt` bundles are never index entries, so they
+    /// are structurally exempt.
     fn enforce_cap(&self, index: &mut Index) {
         let Some(cap) = self.cap_bytes else { return };
-        while index.total_bytes > cap && index.entries.len() > 1 {
+        let mut spared: usize = 0;
+        while index.total_bytes > cap && index.entries.len() > 1 + spared {
             let Some(victim) = index
                 .entries
                 .iter()
@@ -347,10 +411,40 @@ impl Store {
             else {
                 return;
             };
+            let path = self.path_of(&victim);
+            let seen = index.entries.get(&victim).map(|e| e.seen);
+            if let (Ok(meta), Some(seen)) = (std::fs::metadata(&path), seen) {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                let within_grace = SystemTime::now()
+                    .duration_since(mtime)
+                    .map(|age| age < EVICT_GRACE)
+                    .unwrap_or(true);
+                if mtime > seen && within_grace {
+                    // A sibling just re-landed this entry: refresh our
+                    // view of it and move on to the next candidate.
+                    index.clock += 1;
+                    let clock = index.clock;
+                    if let Some(entry) = index.entries.get_mut(&victim) {
+                        index.total_bytes = index.total_bytes - entry.bytes + meta.len();
+                        entry.bytes = meta.len();
+                        entry.seen = mtime;
+                        entry.last_used = clock;
+                    }
+                    spared += 1;
+                    continue;
+                }
+            }
             if let Some(entry) = index.entries.remove(&victim) {
                 index.total_bytes -= entry.bytes;
             }
-            std::fs::remove_file(self.path_of(&victim)).ok();
+            // A sibling evicting concurrently may have unlinked the file
+            // first; that is the outcome we wanted, not an error.
+            if let Err(e) = std::fs::remove_file(&path) {
+                debug_assert!(
+                    e.kind() == std::io::ErrorKind::NotFound,
+                    "evicting {victim}: {e}"
+                );
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
             store_metrics().evictions.inc();
         }

@@ -1,0 +1,401 @@
+//! The `dmdp worker` process: one shard of a sharded `dmdp serve`.
+//!
+//! A worker dials the coordinator's TCP listener, performs the
+//! `register` handshake (protocol version and [`SIM_VERSION`] must both
+//! match — digests would silently disagree otherwise), then executes
+//! the job groups the coordinator dispatches, each on its own pool of
+//! runner threads with its own resident [`PlannedImage`]s. The
+//! content-addressed [`Store`] directory is the only state shared with
+//! the coordinator and the other workers: every executed result is
+//! persisted there, and every dispatched member is checked against it
+//! first, so a row another process already landed is never simulated
+//! twice.
+//!
+//! Liveness is a `heartbeat` line every couple of idle seconds; if the
+//! process dies mid-group the coordinator notices the dropped
+//! connection, requeues the unfinished digests on another worker (or
+//! runs them in-process), and a restarted worker simply re-registers —
+//! its store view re-syncs lazily through on-disk adoption.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dmdp_core::{CoreConfig, SIM_VERSION};
+use dmdp_harness::{JobResult, JobSpec, Json, PlannedImage, Sampling, SamplingSpec};
+use dmdp_obs::log::{EventLog, Level};
+use dmdp_sample::SampledBundle;
+use dmdp_workloads::{Scale, Suite};
+
+use crate::client::retry_transient;
+use crate::protocol::{self, CoordMsg, GroupSpec, LineEvent, LineReader, WorkerHello, PROTOCOL_VERSION};
+use crate::store::Store;
+
+/// Configuration of one [`run_worker`] invocation.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator TCP address (e.g. `127.0.0.1:7199`).
+    pub connect: String,
+    /// Root directory of the shared content-addressed result store.
+    pub store_dir: PathBuf,
+    /// Runner threads (0 = one per affinity core, minimum 1).
+    pub jobs: usize,
+    /// Cores to pin this process to (best-effort; empty = no pinning).
+    pub cores: Vec<usize>,
+    /// Display name; labels this worker's rows in coordinator metrics.
+    pub name: String,
+    /// Transient connect failures to retry ([`retry_transient`]) — a
+    /// worker usually races the coordinator's bind.
+    pub connect_retries: u32,
+    /// Suppress per-group log lines (warnings still surface).
+    pub quiet: bool,
+}
+
+/// Final worker-side counters, returned when the coordinator hangs up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Job groups completed (including failed ones).
+    pub groups: u64,
+    /// Jobs actually simulated here.
+    pub executed: u64,
+    /// Dispatched jobs satisfied from the shared store.
+    pub store_hits: u64,
+}
+
+/// Pins the calling process to `cores` via a raw `sched_setaffinity`
+/// syscall — no libc crate. Strictly best-effort: any failure leaves
+/// the default affinity in place, which only costs locality.
+#[cfg(target_os = "linux")]
+fn pin_cores(cores: &[usize]) {
+    if cores.is_empty() {
+        return;
+    }
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; 16]; // up to 1024 cpus
+    for &c in cores {
+        if c < 1024 {
+            mask[c / 64] |= 1 << (c % 64);
+        }
+    }
+    let _ = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_cores(_cores: &[usize]) {}
+
+struct ResidentWorkload {
+    name: String,
+    suite: Suite,
+    image: PlannedImage,
+}
+
+struct WorkerCtx {
+    store: Store,
+    log: EventLog,
+    /// Resident images per scale, built lazily on first dispatch —
+    /// exactly the set the coordinator holds, so digests agree.
+    images: Mutex<HashMap<&'static str, Arc<Vec<ResidentWorkload>>>>,
+    groups: AtomicU64,
+    executed: AtomicU64,
+    store_hits: AtomicU64,
+}
+
+impl WorkerCtx {
+    fn resident_images(&self, scale: Scale) -> Arc<Vec<ResidentWorkload>> {
+        let mut map = self.images.lock().unwrap();
+        if let Some(v) = map.get(scale.name()) {
+            return Arc::clone(v);
+        }
+        let built: Vec<ResidentWorkload> = dmdp_workloads::all(scale)
+            .into_iter()
+            .map(|w| ResidentWorkload {
+                name: w.name.to_string(),
+                suite: w.suite,
+                image: PlannedImage::new(Arc::new(w.program)),
+            })
+            .collect();
+        let arc = Arc::new(built);
+        map.insert(scale.name(), Arc::clone(&arc));
+        arc
+    }
+
+    /// The workload's sampled bundle: shared store blob first (the
+    /// coordinator profiles each workload once and persists it), else a
+    /// local rebuild whose bytes are persisted for everyone else.
+    fn resolve_bundle(
+        &self,
+        image: &PlannedImage,
+        sampling: Sampling,
+    ) -> Result<Arc<SampledBundle>, String> {
+        let digest = sampling.bundle_digest(&image.program);
+        if let Some(bytes) = self.store.get_blob(&digest) {
+            if let Ok(bundle) = SampledBundle::from_bytes(&bytes) {
+                let bundle = Arc::new(bundle);
+                dmdp_harness::record_bundle(&bundle, 0.0);
+                return Ok(bundle);
+            }
+            self.log.warn("bundle_corrupt", &[("digest", (&digest).into())]);
+        }
+        let bundle = dmdp_harness::build_bundle(&image.program, sampling)?;
+        if let Err(e) = self.store.put_blob(&digest, &bundle.to_bytes()) {
+            self.log.warn(
+                "store_write_failed",
+                &[("digest", (&digest).into()), ("error", (&e).into())],
+            );
+        }
+        Ok(bundle)
+    }
+
+    /// Executes one dispatched group: rebuild the member [`JobSpec`]s
+    /// against the resident images (digests are content-derived, so
+    /// they match the coordinator's), satisfy what the shared store
+    /// already holds, batch-execute the rest in lockstep when the group
+    /// asked for it, and persist every executed row.
+    fn run_group(&self, spec: &GroupSpec) -> Result<Vec<(JobResult, String)>, String> {
+        let resident = self.resident_images(spec.scale);
+        let w = resident
+            .iter()
+            .find(|w| w.name == spec.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+        let bundle = match spec.sampling {
+            Some(s) => Some(self.resolve_bundle(&w.image, s)?),
+            None => None,
+        };
+        let mut jobs = Vec::with_capacity(spec.variants.len());
+        for (label, patch) in &spec.variants {
+            let mut cfg = CoreConfig::new(spec.model);
+            patch.apply(&mut cfg);
+            let mut job =
+                JobSpec::new(&w.name, w.suite, spec.model, spec.scale, label, cfg, &w.image);
+            if let (Some(s), Some(b)) = (spec.sampling, &bundle) {
+                job = job.sampled(SamplingSpec { sampling: s, bundle: Arc::clone(b) });
+            }
+            jobs.push(job);
+        }
+        let mut rows: Vec<Option<(JobResult, String)>> = (0..jobs.len()).map(|_| None).collect();
+        let mut misses = Vec::new();
+        for (k, job) in jobs.iter().enumerate() {
+            match self.store.get(&job.digest) {
+                Some(hit) => {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    rows[k] = Some((hit, "store".to_string()));
+                }
+                None => misses.push(k),
+            }
+        }
+        let outcomes: Vec<Result<JobResult, String>> =
+            if spec.batch && misses.len() > 1 && spec.sampling.is_none() {
+                let refs: Vec<&JobSpec> = misses.iter().map(|&k| &jobs[k]).collect();
+                JobSpec::execute_batch(&refs)
+            } else {
+                misses.iter().map(|&k| jobs[k].execute()).collect()
+            };
+        for (&k, outcome) in misses.iter().zip(outcomes) {
+            let r = outcome?;
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.store.put(&r) {
+                self.log.warn(
+                    "store_write_failed",
+                    &[("digest", (&r.digest).into()), ("error", (&e).into())],
+                );
+            }
+            rows[k] = Some((r, "executed".to_string()));
+        }
+        Ok(rows.into_iter().map(|r| r.expect("every row filled")).collect())
+    }
+}
+
+fn write_locked<W: Write>(writer: &Mutex<W>, msg: &Json) -> Result<(), String> {
+    protocol::write_msg(&mut *writer.lock().unwrap(), msg)
+}
+
+/// Runs one worker until the coordinator shuts it down or the
+/// connection drops: connect (with retries), register, then drain
+/// dispatched groups on `jobs` runner threads while the main thread
+/// keeps reading the socket and heartbeating.
+///
+/// # Errors
+///
+/// Connect/handshake failures, a coordinator refusal (protocol or
+/// `SIM_VERSION` mismatch), or store setup failures.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerReport, String> {
+    pin_cores(&opts.cores);
+    let jobs = if opts.jobs == 0 { opts.cores.len().max(1) } else { opts.jobs };
+    let log = EventLog::stderr(if opts.quiet { Level::Warn } else { Level::Info });
+    let stream = retry_transient(opts.connect_retries, || TcpStream::connect(&opts.connect))
+        .map_err(|e| format!("{}: {e}", opts.connect))?;
+    let read_half = stream.try_clone().map_err(|e| format!("{}: {e}", opts.connect))?;
+    read_half
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(|e| format!("{}: {e}", opts.connect))?;
+    let mut reader = LineReader::new(read_half);
+    let writer = Mutex::new(stream);
+
+    let hello = WorkerHello {
+        protocol: PROTOCOL_VERSION,
+        sim_version: SIM_VERSION.to_string(),
+        name: opts.name.clone(),
+        jobs,
+        cores: opts.cores.clone(),
+    };
+    write_locked(&writer, &protocol::register_msg(&hello))?;
+    let worker_id = {
+        let mut idle = 0;
+        loop {
+            match reader.read_line()? {
+                LineEvent::Line(text) => {
+                    let v = Json::parse(&text)?;
+                    match CoordMsg::from_json(&v)? {
+                        CoordMsg::Registered { worker } => break worker,
+                        CoordMsg::Error(e) => {
+                            return Err(format!("coordinator refused registration: {e}"));
+                        }
+                        other => {
+                            return Err(format!(
+                                "unexpected coordinator message before registration: {other:?}"
+                            ));
+                        }
+                    }
+                }
+                LineEvent::Idle => {
+                    idle += 1;
+                    if idle > 100 {
+                        return Err("coordinator did not answer the handshake".to_string());
+                    }
+                }
+                LineEvent::Eof => {
+                    return Err("coordinator closed the connection during registration"
+                        .to_string());
+                }
+            }
+        }
+    };
+    let ctx = WorkerCtx {
+        store: Store::open(&opts.store_dir, None)?,
+        log,
+        images: Mutex::new(HashMap::new()),
+        groups: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
+        store_hits: AtomicU64::new(0),
+    };
+    ctx.log.info(
+        "worker_registered",
+        &[
+            ("name", (&opts.name).into()),
+            ("worker", worker_id.into()),
+            ("coordinator", (&opts.connect).into()),
+            ("jobs", jobs.into()),
+            ("pid", std::process::id().into()),
+        ],
+    );
+
+    let queue: Mutex<VecDeque<(u64, GroupSpec)>> = Mutex::new(VecDeque::new());
+    let queue_cv = Condvar::new();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let next = {
+                    let mut q = queue.lock().unwrap();
+                    loop {
+                        if let Some(item) = q.pop_front() {
+                            break Some(item);
+                        }
+                        if done.load(Ordering::SeqCst) {
+                            break None;
+                        }
+                        q = queue_cv.wait(q).unwrap();
+                    }
+                };
+                let Some((gid, gspec)) = next else { return };
+                let start = Instant::now();
+                let msg = match ctx.run_group(&gspec) {
+                    Ok(rows) => protocol::group_done_msg(gid, &rows),
+                    Err(e) => {
+                        ctx.log.warn(
+                            "group_failed",
+                            &[("group", gid.into()), ("error", (&e).into())],
+                        );
+                        protocol::group_failed_msg(gid, &e)
+                    }
+                };
+                ctx.groups.fetch_add(1, Ordering::Relaxed);
+                ctx.log.debug(
+                    "group_done",
+                    &[
+                        ("group", gid.into()),
+                        ("workload", (&gspec.workload).into()),
+                        ("members", gspec.variants.len().into()),
+                        ("wall_s", start.elapsed().as_secs_f64().into()),
+                    ],
+                );
+                if write_locked(&writer, &msg).is_err() {
+                    done.store(true, Ordering::SeqCst);
+                    queue_cv.notify_all();
+                    return;
+                }
+            });
+        }
+        let mut last_beat = Instant::now();
+        loop {
+            if done.load(Ordering::SeqCst) {
+                break;
+            }
+            match reader.read_line() {
+                Ok(LineEvent::Line(text)) => {
+                    match Json::parse(&text).and_then(|v| CoordMsg::from_json(&v)) {
+                        Ok(CoordMsg::Group { id, spec }) => {
+                            queue.lock().unwrap().push_back((id, spec));
+                            queue_cv.notify_one();
+                        }
+                        Ok(CoordMsg::Shutdown) => {
+                            ctx.log.info("worker_shutdown", &[("worker", worker_id.into())]);
+                            break;
+                        }
+                        Ok(CoordMsg::Registered { .. }) => {}
+                        Ok(CoordMsg::Error(e)) => {
+                            ctx.log.warn("coordinator_error", &[("error", (&e).into())]);
+                            break;
+                        }
+                        Err(e) => {
+                            ctx.log.warn("bad_line", &[("error", (&e).into())]);
+                            break;
+                        }
+                    }
+                }
+                Ok(LineEvent::Idle) => {
+                    if last_beat.elapsed() >= Duration::from_secs(2) {
+                        if write_locked(&writer, &protocol::heartbeat_msg()).is_err() {
+                            break;
+                        }
+                        last_beat = Instant::now();
+                    }
+                }
+                Ok(LineEvent::Eof) | Err(_) => break,
+            }
+        }
+        done.store(true, Ordering::SeqCst);
+        queue_cv.notify_all();
+    });
+    let report = WorkerReport {
+        groups: ctx.groups.load(Ordering::Relaxed),
+        executed: ctx.executed.load(Ordering::Relaxed),
+        store_hits: ctx.store_hits.load(Ordering::Relaxed),
+    };
+    ctx.log.info(
+        "worker_stopped",
+        &[
+            ("name", (&opts.name).into()),
+            ("groups", report.groups.into()),
+            ("executed", report.executed.into()),
+            ("store_hits", report.store_hits.into()),
+        ],
+    );
+    Ok(report)
+}

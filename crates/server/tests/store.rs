@@ -1,6 +1,7 @@
 //! Persistence tests for the content-addressed result store: round
 //! trips across reopen, crash-leftover sweeping, concurrent writers of
-//! one digest, and LRU size-cap eviction.
+//! one digest, LRU size-cap eviction, and two handles sharing one
+//! directory the way a sharded daemon's coordinator and workers do.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -173,5 +174,103 @@ fn size_cap_evicts_least_recently_used() {
     drop(store);
     let reopened = Store::open(&dir, Some(cap)).unwrap();
     assert!(reopened.stats().bytes <= cap);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Two handles on one directory — the sharded-daemon arrangement, where
+/// the coordinator and every worker each hold their own `Store` over the
+/// same tree. Results land once and every handle sees them.
+#[test]
+fn two_handles_adopt_each_others_results() {
+    let dir = tmp_dir("twohandle");
+    let a = Store::open(&dir, None).unwrap();
+    let b = Store::open(&dir, None).unwrap();
+    let from_a = result_for("lib", CommModel::Dmdp);
+    let from_b = result_for("mcf", CommModel::Baseline);
+
+    assert!(a.put(&from_a).unwrap(), "first writer writes");
+    assert!(b.get(&from_a.digest).is_some(), "sibling's write is adopted on get");
+    assert!(!b.put(&from_a).unwrap(), "re-putting a sibling's entry adopts, never rewrites");
+
+    assert!(b.put(&from_b).unwrap());
+    assert!(a.get(&from_b.digest).is_some(), "adoption works in both directions");
+    assert_eq!(a.len(), 2);
+    assert_eq!(b.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A capped handle racing a sibling's eviction: the victim's file is
+/// already gone. ENOENT is the outcome eviction wanted, not an error.
+#[test]
+fn eviction_tolerates_a_sibling_unlinking_the_victim_first() {
+    let dir = tmp_dir("enoent");
+    let results: Vec<JobResult> = [
+        ("lib", CommModel::Baseline),
+        ("lib", CommModel::Dmdp),
+        ("mcf", CommModel::Baseline),
+        ("mcf", CommModel::Dmdp),
+    ]
+    .into_iter()
+    .map(|(k, m)| result_for(k, m))
+    .collect();
+    let entry_bytes = results[0].to_json().pretty().len() as u64;
+    let store = Store::open(&dir, Some(entry_bytes * 5 / 2)).unwrap();
+    store.put(&results[0]).unwrap();
+    store.put(&results[1]).unwrap();
+    // A sibling process evicts the LRU entry out from under this index.
+    std::fs::remove_file(store.path_of(&results[0].digest)).unwrap();
+    // Overflow the cap: results[0] is the LRU victim, its file is gone.
+    store.put(&results[2]).unwrap();
+    store.put(&results[3]).unwrap();
+    assert!(!store.contains(&results[0].digest), "the gone victim left the index");
+    assert!(store.contains(&results[3].digest), "later puts landed normally");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A victim whose file a sibling re-landed after this handle last saw
+/// it (mtime newer than the index's knowledge, within the grace window)
+/// is spared — the next-oldest entry is evicted instead. Checkpoint
+/// blobs share the tree but are structurally exempt from the cap.
+#[test]
+fn eviction_spares_freshly_relanded_entries_and_ckpt_blobs() {
+    let dir = tmp_dir("grace");
+    let results: Vec<JobResult> = [
+        ("lib", CommModel::Baseline),
+        ("lib", CommModel::Dmdp),
+        ("mcf", CommModel::Baseline),
+        ("mcf", CommModel::Dmdp),
+    ]
+    .into_iter()
+    .map(|(k, m)| result_for(k, m))
+    .collect();
+    let entry_bytes = results[0].to_json().pretty().len() as u64;
+    let store = Store::open(&dir, Some(entry_bytes * 5 / 2)).unwrap();
+    let blob_digest = "feedfacefeedface";
+    store.put_blob(blob_digest, &[7u8; 2048]).unwrap();
+    store.put(&results[0]).unwrap();
+    store.put(&results[1]).unwrap();
+    // A sibling re-lands the LRU entry (same digest, same bytes) after
+    // our index last saw it; the file's mtime moves past `seen`.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let text = std::fs::read_to_string(store.path_of(&results[0].digest)).unwrap();
+    std::fs::write(store.path_of(&results[0].digest), text).unwrap();
+    // Overflow the cap. results[0] is the LRU candidate but was just
+    // re-landed, so the eviction passes over it.
+    store.put(&results[2]).unwrap();
+    store.put(&results[3]).unwrap();
+    assert!(
+        store.contains(&results[0].digest),
+        "an entry a sibling just re-landed is never the victim"
+    );
+    assert!(store.path_of(&results[0].digest).exists());
+    assert!(
+        !store.contains(&results[1].digest),
+        "the next-oldest unprotected entry was evicted instead"
+    );
+    assert_eq!(
+        store.get_blob(blob_digest).unwrap(),
+        vec![7u8; 2048],
+        "checkpoint blobs never count against the cap and are never evicted"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

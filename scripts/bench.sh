@@ -4,6 +4,16 @@
 #
 # Usage: scripts/bench.sh [label] [kernel ...]
 #
+# Since PR 10 `dmdp serve` can shard across worker processes; the
+# record's `sharded_speedup` block times the test-scale smoke campaign
+# submitted through a daemon three ways — in-process (no workers), one
+# worker shard, two worker shards — each min-of-3 over a fresh store.
+# It records the coordinator-overhead ratio (1-worker vs in-process at
+# equal cores, target <= 1.10) and the 2-worker speedup (target >= 1.6
+# where the host actually has >= 2 cores; the host core count is in the
+# record, and on a single-core box the two shards time-slice one CPU,
+# so no speedup is expected or claimed).
+#
 # Each record carries the host calibration figure printed by the bench
 # (a fixed xorshift64 loop, in Mops) and, per kernel × model, both raw
 # simulated MIPS and `norm` — host-normalised MIPS, i.e. simulated MIPS
@@ -36,11 +46,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-pr9}"
+label="${1:-pr10}"
 if [ "$#" -gt 0 ]; then shift; fi
 
-out=BENCH_PR9.json
-prev=BENCH_PR8.json
+out=BENCH_PR10.json
+prev=BENCH_PR9.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -183,6 +193,63 @@ sampled_speedup=$(jq --argjson so_wall "$so_wall" \
       sampled_only: {kernel: "zeusmp", scale: "huge", wall_s: $so_wall}}' \
     <<<"$sampled_ab")
 
+# Sharded A/B: the test-scale smoke campaign submitted through a daemon
+# with 0 (in-process), 1 and 2 worker shards, min-of-3 each over a
+# fresh store so every wall is a full cold simulation of the matrix.
+dmdp_bin=target/release/dmdp
+sharded_wall() {
+    local workers=$1 best=
+    local d sock log pid t0 t1 run_s n
+    for _ in 1 2 3; do
+        d=$(mktemp -d)
+        sock="$d/dmdp.sock"
+        log="$d/events.jsonl"
+        if [ "$workers" -gt 0 ]; then
+            "$dmdp_bin" serve --socket "$sock" --store "$d/store" \
+                --workers "$workers" --quiet --log "$log" >/dev/null &
+        else
+            "$dmdp_bin" serve --socket "$sock" --store "$d/store" \
+                --quiet --log "$log" >/dev/null &
+        fi
+        pid=$!
+        for _ in $(seq 1 200); do
+            n=$(jq -rn '[inputs | select(.event == "worker_registered")] | length' \
+                "$log" 2>/dev/null || echo 0)
+            [ -S "$sock" ] && [ "$n" = "$workers" ] && break
+            sleep 0.05
+        done
+        t0=$(date +%s.%N)
+        "$dmdp_bin" submit --socket "$sock" --scale test --model all --quiet \
+            --name "bench-shard-$workers" --out "$d/out.json" >/dev/null
+        t1=$(date +%s.%N)
+        "$dmdp_bin" submit --socket "$sock" --shutdown >/dev/null
+        wait "$pid"
+        rm -rf "$d"
+        run_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+        if [ -z "$best" ] || awk -v a="$run_s" -v b="$best" 'BEGIN { exit !(a < b) }'; then
+            best=$run_s
+        fi
+    done
+    echo "$best"
+}
+inproc_s=$(sharded_wall 0)
+w1_s=$(sharded_wall 1)
+w2_s=$(sharded_wall 2)
+sharded_speedup=$(jq -n \
+    --argjson inproc "$inproc_s" --argjson w1 "$w1_s" --argjson w2 "$w2_s" \
+    --argjson cores "$(nproc)" \
+    '{scale: "test", models: "all", host_cores: $cores,
+      in_process_wall_s: $inproc,
+      one_worker_wall_s: $w1,
+      two_worker_wall_s: $w2,
+      coordinator_overhead_ratio: ($w1 / $inproc),
+      overhead_target: "ratio <= 1.10 at equal cores",
+      two_worker_speedup: ($w1 / $w2),
+      speedup_target: "ratio >= 1.6 with >= 2 host cores",
+      note: (if $cores < 2
+             then "single-core host: both shards time-slice one CPU, no speedup expected"
+             else null end)}')
+
 record=$(jq -n \
     --arg lbl "$label" \
     --arg date "$(date -u +%F)" \
@@ -194,15 +261,17 @@ record=$(jq -n \
     --argjson hns "$host_norm_speedup" \
     --argjson mo "$metrics_overhead" \
     --argjson ss "$sampled_speedup" \
+    --argjson shard "$sharded_speedup" \
     '{"label": $lbl, "date": $date, "commit": $commit,
       "calib_host_mops": $calib, "campaign_test_scale_wall_s": $camp_s,
       "sweep_batch_speedup": $sbs,
       "host_norm_speedup": $hns,
       "metrics_overhead": $mo,
       "sampled_speedup": $ss,
+      "sharded_speedup": $shard,
       "entries": $entries}')
 
 [ -s "$out" ] || echo '[]' > "$out"
 jq --argjson rec "$record" '. + [$rec]' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
 
-echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s, sweep batched ${sweep_on_s}s vs jpv ${sweep_off_s}s, sampled A/B $(jq -r '.ratio | . * 100 | round / 100' <<<"$sampled_speedup")x)"
+echo "bench: appended record \"$label\" to $out (campaign ${camp_s}s, sweep batched ${sweep_on_s}s vs jpv ${sweep_off_s}s, sampled A/B $(jq -r '.ratio | . * 100 | round / 100' <<<"$sampled_speedup")x, sharded inproc/${inproc_s}s w1/${w1_s}s w2/${w2_s}s)"

@@ -218,9 +218,69 @@ serve_pid=
 [ ! -e "$serve_sock" ] || { echo "ci: FAIL: daemon left its socket behind"; exit 1; }
 
 # A client without a daemon must fail with a non-zero exit.
-if "$dmdp_bin" submit --socket "$serve_sock" --ping 2>/dev/null; then
+if "$dmdp_bin" submit --socket "$serve_sock" --ping --connect-retries 0 2>/dev/null; then
     echo "ci: FAIL: submit succeeded against a dead socket"
     exit 1
 fi
 
-echo "ci: build + tests + smoke campaign + probe artifacts + sampled smoke + sweep batching + daemon/metrics smoke OK ($out)"
+# Sharded smoke: a coordinator spawning two worker shards must produce
+# the same artifact as the local smoke campaign, satisfy a repeat submit
+# entirely from the store, drain cleanly, and leave no worker behind.
+shard_dir=$(mktemp -d)
+shard_sock="$shard_dir/dmdp.sock"
+shard_log="$shard_dir/events.jsonl"
+shard_pid=
+cleanup_shard() {
+    if [ -n "$shard_pid" ] && kill -0 "$shard_pid" 2>/dev/null; then
+        kill "$shard_pid" 2>/dev/null || true
+        wait "$shard_pid" 2>/dev/null || true
+    fi
+    rm -rf "$shard_dir"
+}
+trap 'cleanup_serve; cleanup_shard' EXIT
+
+"$dmdp_bin" serve --socket "$shard_sock" --store "$shard_dir/store" \
+    --workers 2 --quiet --log "$shard_log" --log-level debug &
+shard_pid=$!
+for _ in $(seq 1 200); do
+    n=$(jq -rn '[inputs | select(.event == "worker_registered")] | length' \
+        "$shard_log" 2>/dev/null || echo 0)
+    [ "$n" = 2 ] && break
+    sleep 0.05
+done
+[ "$n" = 2 ] || { echo "ci: FAIL: workers never registered ($shard_log)"; exit 1; }
+
+shard_submit="$dmdp_bin submit --socket $shard_sock --scale test --model all --quiet"
+$shard_submit --name ci-shard-1 --out "$shard_dir/first.json"
+$shard_submit --name ci-shard-2 --out "$shard_dir/second.json"
+
+# Groups really flowed through the shards.
+jq -en '[inputs] | any(.event == "dispatch")' "$shard_log" >/dev/null \
+    || { echo "ci: FAIL: sharded daemon dispatched nothing"; exit 1; }
+# Second submission: zero executed, everything from the shared store.
+jq -e '.executed == 0 and .cached == (.jobs | length)' \
+    "$shard_dir/second.json" >/dev/null \
+    || { echo "ci: FAIL: second sharded submission re-executed jobs"; exit 1; }
+# Sharded numbers must match the locally-run smoke campaign exactly.
+diff <(digests_of "$out") <(digests_of "$shard_dir/second.json") \
+    || { echo "ci: FAIL: sharded results diverge from local campaign"; exit 1; }
+
+# Drain: coordinator exits cleanly and reaps both workers.
+worker_pids=$(jq -rn '[inputs | select(.event == "worker_spawned") | .pid] | @tsv' \
+    "$shard_log")
+"$dmdp_bin" submit --socket "$shard_sock" --shutdown
+wait "$shard_pid"
+shard_pid=
+for wp in $worker_pids; do
+    for _ in $(seq 1 100); do
+        kill -0 "$wp" 2>/dev/null || break
+        sleep 0.05
+    done
+    if kill -0 "$wp" 2>/dev/null; then
+        echo "ci: FAIL: worker $wp left running after drain"
+        kill -9 "$wp" 2>/dev/null || true
+        exit 1
+    fi
+done
+
+echo "ci: build + tests + smoke campaign + probe artifacts + sampled smoke + sweep batching + daemon/metrics + sharded smoke OK ($out)"
